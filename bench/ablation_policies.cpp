@@ -1,0 +1,60 @@
+// Ablation study of the scheduler's design choices (section IV-C calls out
+// the alternatives; DESIGN.md indexes this as the policy ablation).
+//
+//   * stream policy: fifo-reuse (paper default) vs always-new vs
+//     single-stream ("schedule all children on a single stream");
+//   * automatic prefetching on/off (page-fault GPUs);
+//   * honoring const/read-only annotations on/off (section IV-D notes
+//     unannotated signatures lose concurrency but stay correct).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace psched;
+  using namespace psched::benchbin;
+
+  header("Ablation — stream policy, prefetching, read-only annotations",
+         "GrCUDA parallel scheduler, GTX 1660 Super + Tesla P100, mid scales");
+
+  const BenchId targets[] = {BenchId::VEC, BenchId::BS, BenchId::IMG,
+                             BenchId::ML};
+
+  for (const auto& gpu :
+       {sim::DeviceSpec::gtx1660super(), sim::DeviceSpec::tesla_p100()}) {
+    std::printf("\n### %s\n", gpu.name.c_str());
+    std::printf("%-6s %14s | %10s %10s %10s | %10s | %10s\n", "bench",
+                "scale", "fifo", "always", "single", "no-pref",
+                "no-const");
+    row_rule();
+    for (BenchId id : targets) {
+      const auto bench = benchsuite::make_benchmark(id);
+      RunConfig cfg;
+      cfg.scale = mid_scale(id, gpu);
+
+      auto time_with = [&](benchsuite::RunOptions o) {
+        return benchsuite::run_benchmark(*bench, Variant::GrcudaParallel,
+                                         gpu, cfg, o)
+                   .gpu_time_us /
+               1e3;
+      };
+      benchsuite::RunOptions fifo;
+      benchsuite::RunOptions always;
+      always.stream_policy = rt::StreamPolicy::AlwaysNew;
+      benchsuite::RunOptions single;
+      single.stream_policy = rt::StreamPolicy::SingleStream;
+      benchsuite::RunOptions nopref;
+      nopref.prefetch = false;
+      benchsuite::RunOptions noconst;
+      noconst.honor_read_only = false;
+
+      std::printf("%-6s %14ld | %9.2f %10.2f %10.2f | %10.2f | %10.2f\n",
+                  bench->name().c_str(), cfg.scale, time_with(fifo),
+                  time_with(always), time_with(single), time_with(nopref),
+                  time_with(noconst));
+    }
+  }
+  std::printf("\n(times in ms; lower is better. Expected: single-stream "
+              "loses kernel overlap, disabling\nprefetch pays the fault "
+              "path, ignoring const serializes read-sharing benchmarks "
+              "like ML.)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 1 — "Achievable speedup in C++ CUDA with hand-tuned GPU data
+// transfer and execution overlap", GTX 1660 Super and Tesla P100.
+//
+// Hand-tuned multi-stream host code (explicit events + prefetch) against
+// serial execution of the same kernels. Paper: geomean 1.51x on the 1660,
+// 1.62x on the P100; per-benchmark bars reproduced below.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace psched;
+using namespace psched::benchbin;
+
+struct PaperRef {
+  BenchId id;
+  double gtx1660;
+  double p100;
+};
+
+constexpr PaperRef kPaper[] = {
+    {BenchId::VEC, 2.54, 2.26}, {BenchId::BS, 1.94, 2.49},
+    {BenchId::IMG, 1.26, 1.48}, {BenchId::ML, 1.15, 1.22},
+    {BenchId::HITS, 1.39, 1.55}, {BenchId::DL, 1.21, 1.14},
+};
+
+}  // namespace
+
+int main() {
+  header("Fig. 1 — hand-tuned CUDA speedup over serial execution",
+         "geomean 1.51x (GTX 1660 Super), 1.62x (Tesla P100)");
+
+  const std::vector<sim::DeviceSpec> gpus = {
+      sim::DeviceSpec::gtx1660super(), sim::DeviceSpec::tesla_p100()};
+
+  std::printf("%-6s %-16s %12s %12s %12s\n", "bench", "gpu", "serial(ms)",
+              "tuned(ms)", "speedup");
+  row_rule();
+
+  std::vector<double> geo[2];
+  for (const PaperRef& ref : kPaper) {
+    const auto bench = benchsuite::make_benchmark(ref.id);
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      RunConfig cfg;
+      cfg.scale = mid_scale(ref.id, gpus[g]);
+      const RunResult serial = benchsuite::run_benchmark(
+          *bench, Variant::GrcudaSerial, gpus[g], cfg);
+      const RunResult tuned = benchsuite::run_benchmark(
+          *bench, Variant::HandTuned, gpus[g], cfg);
+      const double s = serial.gpu_time_us / tuned.gpu_time_us;
+      geo[g].push_back(s);
+      std::printf("%-6s %-16s %12.2f %12.2f %9.2fx   (paper: %.2fx)\n",
+                  bench->name().c_str(), gpus[g].name.c_str(),
+                  serial.gpu_time_us / 1e3, tuned.gpu_time_us / 1e3, s,
+                  g == 0 ? ref.gtx1660 : ref.p100);
+    }
+  }
+  row_rule();
+  std::printf("geomean %-15s %9.2fx   (paper: 1.51x)\n",
+              gpus[0].name.c_str(), benchsuite::geomean(geo[0]));
+  std::printf("geomean %-15s %9.2fx   (paper: 1.62x)\n",
+              gpus[1].name.c_str(), benchsuite::geomean(geo[1]));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 7 — parallel scheduler speedup over the serial GrCUDA scheduler:
+// 3 GPUs x 6 benchmarks x all fitting scales, block-size sweep 32..1024.
+//
+// Paper: geomean 44% faster overall (GTX 960 +25%, Tesla P100 +61%);
+// speedups mostly independent of input size; block_size=32 often shows
+// the best speedup because DAG scheduling masks low occupancy.
+#include <map>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace psched;
+  using namespace psched::benchbin;
+
+  header("Fig. 7 — parallel vs. serial GrCUDA scheduler",
+         "geomean +44% (960: +25%, 1660: +51%, P100: +61%)");
+
+  std::map<std::string, std::vector<double>> per_gpu;
+  std::vector<double> all;
+
+  for (const auto& gpu : benchsuite::paper_gpus()) {
+    std::printf("\n### %s\n", gpu.name.c_str());
+    std::printf("%-6s %14s %8s %12s %12s %9s %11s\n", "bench", "scale",
+                "block", "serial(ms)", "parallel(ms)", "speedup", "");
+    row_rule();
+    for (BenchId id : benchsuite::all_benchmarks()) {
+      const auto bench = benchsuite::make_benchmark(id);
+      for (long scale : benchsuite::fitting_scales(id, gpu)) {
+        double best = 0, worst = 1e30;
+        int best_block = 0, worst_block = 0;
+        for (int block : benchsuite::block_size_sweep()) {
+          RunConfig cfg;
+          cfg.scale = scale;
+          cfg.block_size = block;
+          const RunResult serial = benchsuite::run_benchmark(
+              *bench, Variant::GrcudaSerial, gpu, cfg);
+          const RunResult parallel = benchsuite::run_benchmark(
+              *bench, Variant::GrcudaParallel, gpu, cfg);
+          const double s = serial.gpu_time_us / parallel.gpu_time_us;
+          if (s > best) {
+            best = s;
+            best_block = block;
+          }
+          if (s < worst) {
+            worst = s;
+            worst_block = block;
+          }
+          if (block == 256) {  // representative series for the figure
+            std::printf("%-6s %14ld %8d %12.2f %12.2f %8.2fx\n",
+                        bench->name().c_str(), scale, block,
+                        serial.gpu_time_us / 1e3, parallel.gpu_time_us / 1e3,
+                        s);
+            per_gpu[gpu.name].push_back(s);
+            all.push_back(s);
+          }
+        }
+        std::printf("%-6s %14s %8s   best %.2fx @ block %-5d  worst %.2fx @ "
+                    "block %d\n",
+                    "", "", "", best, best_block, worst, worst_block);
+      }
+    }
+  }
+
+  row_rule();
+  for (const auto& [name, values] : per_gpu) {
+    std::printf("geomean speedup on %-16s: %.2fx\n", name.c_str(),
+                benchsuite::geomean(values));
+  }
+  std::printf("geomean speedup overall           : %.2fx   (paper: 1.44x)\n",
+              benchsuite::geomean(all));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 9 — "Slowdown compared to execution without hardware resource
+// contention": the parallel scheduler's measured time against the DAG
+// critical path costed with uncontended (solo) kernel times and
+// full-bandwidth transfers.
+//
+// Paper: relative execution time often around 70% of the contention-free
+// bound; B&S only reaches 15-20% (ten independent chains fighting over
+// PCIe bandwidth and FP64 units).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace psched;
+  using namespace psched::benchbin;
+
+  header("Fig. 9 — distance from the contention-free performance bound",
+         "bound/measured, higher is closer to the bound (paper: ~0.6-0.8; B&S 0.15-0.2)");
+
+  for (const auto& gpu : benchsuite::paper_gpus()) {
+    std::printf("\n### %s\n", gpu.name.c_str());
+    std::printf("%-6s %14s %16s %16s %12s\n", "bench", "scale",
+                "bound(ms)", "measured(ms)", "ratio");
+    row_rule();
+    for (BenchId id : benchsuite::all_benchmarks()) {
+      const auto bench = benchsuite::make_benchmark(id);
+      for (long scale : benchsuite::fitting_scales(id, gpu)) {
+        RunConfig cfg;
+        cfg.scale = scale;
+        const RunResult r = benchsuite::run_benchmark(
+            *bench, Variant::GrcudaParallel, gpu, cfg);
+        std::printf("%-6s %14ld %16.2f %16.2f %12.2f\n",
+                    bench->name().c_str(), scale, r.critical_path_us / 1e3,
+                    r.gpu_time_us / 1e3,
+                    r.critical_path_us / r.gpu_time_us);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 11 — amount of transfer and computation overlap for each benchmark
+// under the parallel scheduler, per GPU, with the achieved speedup.
+//
+// CT: kernel time overlapped with transfers; TC: transfer time overlapped
+// with kernels; CC: kernel time overlapped with other kernels; TOT: any
+// overlap, counted once (section V-F).
+//
+// Paper shapes: VEC's speedup is pure transfer overlap (CC ~ 0); IMG/ML
+// show real CC; B&S CT grows with FP64 throughput (P100) and so does its
+// speedup.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace psched;
+  using namespace psched::benchbin;
+
+  header("Fig. 11 — overlap metrics per benchmark (parallel scheduler)",
+         "percentages of overlapped time; speedup vs serial below each row");
+
+  for (const auto& gpu : benchsuite::paper_gpus()) {
+    std::printf("\n### %s\n", gpu.name.c_str());
+    std::printf("%-6s %8s %8s %8s %8s %12s\n", "bench", "CT", "TC", "CC",
+                "TOT", "speedup");
+    row_rule();
+    for (BenchId id : benchsuite::all_benchmarks()) {
+      const auto bench = benchsuite::make_benchmark(id);
+      RunConfig cfg;
+      cfg.scale = mid_scale(id, gpu);
+      const RunResult par = benchsuite::run_benchmark(
+          *bench, Variant::GrcudaParallel, gpu, cfg);
+      const RunResult ser = benchsuite::run_benchmark(
+          *bench, Variant::GrcudaSerial, gpu, cfg);
+      std::printf("%-6s %7.0f%% %7.0f%% %7.0f%% %7.0f%% %11.2fx\n",
+                  bench->name().c_str(), par.overlap.ct * 100,
+                  par.overlap.tc * 100, par.overlap.cc * 100,
+                  par.overlap.tot * 100,
+                  ser.gpu_time_us / par.gpu_time_us);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks of the scheduler's own costs (google-benchmark).
+//
+// The paper claims "negligible scheduling overheads" (section V-D): here we
+// measure the real host-side cost of the pieces — NIDL parsing, dependency
+// inference at various frontier widths, stream acquisition, and the full
+// submit path — in wall-clock nanoseconds on the host running the runtime.
+#include <benchmark/benchmark.h>
+
+#include "kernels/registry.hpp"
+#include "runtime/dependency.hpp"
+
+namespace {
+
+using namespace psched;
+
+void BM_NidlParse(benchmark::State& state) {
+  const std::string sig =
+      "const pointer, const pointer, pointer, sint32, sint32, double";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::parse_nidl(sig));
+  }
+}
+BENCHMARK(BM_NidlParse);
+
+void BM_DependencyInference(benchmark::State& state) {
+  // `width` parallel readers of one array, then one writer that must
+  // collect them all (the worst-case WAR fan-in).
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    rt::ArrayState array;
+    std::vector<std::unique_ptr<rt::Computation>> comps;
+    auto make = [&](bool read_only) -> rt::Computation& {
+      auto c = std::make_unique<rt::Computation>();
+      c->id = static_cast<long>(comps.size());
+      c->state = rt::Computation::State::Scheduled;
+      c->uses = {{&array, read_only}};
+      comps.push_back(std::move(c));
+      return *comps.back();
+    };
+    for (int i = 0; i < width; ++i) (void)rt::infer_dependencies(make(true));
+    state.ResumeTiming();
+    auto& writer = make(false);
+    benchmark::DoNotOptimize(rt::infer_dependencies(writer));
+  }
+}
+BENCHMARK(BM_DependencyInference)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SubmitKernelParallel(benchmark::State& state) {
+  sim::GpuRuntime gpu(sim::DeviceSpec::gtx1660super());
+  rt::Options opts = kernels::default_options();
+  opts.functional = false;
+  rt::Context ctx(gpu, opts);
+  auto x = ctx.array<float>(1 << 20, "x");
+  auto k = ctx.build_kernel("relu", "pointer, sint32");
+  auto configured = k(256, 256);
+  for (auto _ : state) {
+    configured(x, 1L << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitKernelParallel);
+
+void BM_SubmitKernelSerial(benchmark::State& state) {
+  sim::GpuRuntime gpu(sim::DeviceSpec::gtx1660super());
+  rt::Options opts = kernels::default_options();
+  opts.functional = false;
+  opts.policy = rt::SchedulePolicy::Serial;
+  rt::Context ctx(gpu, opts);
+  auto x = ctx.array<float>(1 << 20, "x");
+  auto k = ctx.build_kernel("relu", "pointer, sint32");
+  auto configured = k(256, 256);
+  for (auto _ : state) {
+    configured(x, 1L << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitKernelSerial);
+
+void BM_EngineEventStep(benchmark::State& state) {
+  // Cost of one simulated op lifecycle (enqueue + completion processing).
+  sim::Engine eng(sim::DeviceSpec::test_device());
+  for (auto _ : state) {
+    sim::Op op;
+    op.kind = sim::OpKind::Kernel;
+    op.stream = sim::kDefaultStream;
+    op.work = 1.0;
+    op.sm_demand = 4;
+    op.occupancy = 1.0;
+    const sim::OpId id = eng.enqueue(std::move(op), eng.now());
+    eng.run_until_op_done(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineEventStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Image pipeline — the IMG benchmark as a real application: sharpen a
+// synthetic photograph while softening low-frequency regions, then write
+// the result as a PGM file. Shows the four-stream diamond schedule the
+// runtime discovers on its own (Fig. 6).
+//
+//   $ ./image_pipeline [side] [out.pgm]
+#include <cstdio>
+#include <fstream>
+
+#include "kernels/registry.hpp"
+
+using namespace psched;
+
+int main(int argc, char** argv) {
+  const long side = argc > 1 ? std::atol(argv[1]) : 256;
+  const std::string out_path = argc > 2 ? argv[2] : "image_pipeline_out.pgm";
+  const long n = side * side;
+
+  sim::GpuRuntime gpu(sim::DeviceSpec::gtx1660super());
+  rt::Context ctx(gpu, kernels::default_options());
+
+  const auto pix = static_cast<std::size_t>(n);
+  auto image = ctx.array<float>(pix, "image");
+  auto blur_small = ctx.array<float>(pix, "blur_small");
+  auto blur_large = ctx.array<float>(pix, "blur_large");
+  auto blur_unsharpen = ctx.array<float>(pix, "blur_unsharpen");
+  auto sobel_small = ctx.array<float>(pix, "sobel_small");
+  auto sobel_large = ctx.array<float>(pix, "sobel_large");
+  auto minv = ctx.array<float>(1, "min");
+  auto maxv = ctx.array<float>(1, "max");
+  auto unsharpened = ctx.array<float>(pix, "unsharpened");
+  auto combine1 = ctx.array<float>(pix, "combine1");
+  auto out = ctx.array<float>(pix, "out");
+
+  // A synthetic photograph: soft gradient + bright disc "subject".
+  {
+    auto img = image.span_for_write<float>();
+    for (long y = 0; y < side; ++y) {
+      for (long x = 0; x < side; ++x) {
+        const double dx = (x - side / 2.0) / (side / 4.0);
+        const double dy = (y - side / 2.0) / (side / 4.0);
+        const double disc = dx * dx + dy * dy < 1.0 ? 0.55 : 0.0;
+        img[static_cast<std::size_t>(y * side + x)] = static_cast<float>(
+            0.2 + 0.25 * (static_cast<double>(x) / side) + disc);
+      }
+    }
+  }
+
+  auto blur = ctx.build_kernel(
+      "gaussian_blur", "const pointer, pointer, sint32, sint32, sint32");
+  auto sobel =
+      ctx.build_kernel("sobel", "const pointer, pointer, sint32, sint32");
+  auto kmax =
+      ctx.build_kernel("maximum_reduce", "const pointer, pointer, sint32");
+  auto kmin =
+      ctx.build_kernel("minimum_reduce", "const pointer, pointer, sint32");
+  auto extend = ctx.build_kernel(
+      "extend_levels", "pointer, const pointer, const pointer, sint32");
+  auto unsharpen = ctx.build_kernel(
+      "unsharpen", "const pointer, const pointer, pointer, sint32, float");
+  auto combine = ctx.build_kernel(
+      "combine", "const pointer, const pointer, const pointer, pointer, sint32");
+
+  sim::LaunchConfig grid2d;
+  grid2d.block = {8, 8, 1};
+  grid2d.grid = {(side + 7) / 8, (side + 7) / 8, 1};
+
+  // The whole pipeline, written sequentially; the scheduler finds the
+  // parallel structure.
+  blur.configure(grid2d)(image, blur_small, side, side, 3L);
+  sobel.configure(grid2d)(blur_small, sobel_small, side, side);
+  blur.configure(grid2d)(image, blur_large, side, side, 5L);
+  sobel.configure(grid2d)(blur_large, sobel_large, side, side);
+  kmax(32, 256)(sobel_large, maxv, n);
+  kmin(32, 256)(sobel_large, minv, n);
+  extend(32, 256)(sobel_large, minv, maxv, n);
+  blur.configure(grid2d)(image, blur_unsharpen, side, side, 7L);
+  unsharpen(32, 256)(image, blur_unsharpen, unsharpened, n, 0.5);
+  combine(32, 256)(unsharpened, blur_large, sobel_large, combine1, n);
+  combine(32, 256)(combine1, blur_small, sobel_small, out, n);
+
+  // Write the result (reading `out` synchronizes its stream chain).
+  {
+    std::ofstream pgm(out_path, std::ios::binary);
+    pgm << "P5\n" << side << " " << side << "\n255\n";
+    auto v = out.view<float>();
+    for (float p : v) {
+      const int g = std::min(255, std::max(0, static_cast<int>(p * 255)));
+      pgm.put(static_cast<char>(g));
+    }
+  }
+
+  const auto stats = ctx.stats();
+  std::printf("image %ldx%ld processed -> %s\n", side, side,
+              out_path.c_str());
+  std::printf("11 kernels scheduled on %ld streams, %ld dependency edges, "
+              "%ld cross-stream event waits\n",
+              stats.streams_created, stats.edges, stats.event_waits);
+  std::printf("GPU busy: %.1f us; overlap CC %.0f%% TOT %.0f%%\n",
+              gpu.timeline().makespan(),
+              gpu.timeline().overlap_metrics().cc * 100,
+              gpu.timeline().overlap_metrics().tot * 100);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Scheduler tour — one workload, five host-code styles (section V-D).
+//
+// Runs the Image-Processing benchmark through every executor the library
+// provides and prints the resulting GPU time, transfer volumes, and overlap
+// metrics side by side:
+//
+//   * grcuda-serial    — the original GrCUDA scheduler: default stream,
+//                        blocking, no dependency computation;
+//   * grcuda-parallel  — this paper's scheduler: dependencies inferred at
+//                        run time, streams + events managed automatically;
+//   * hand-tuned       — explicit multi-stream CUDA-events code written
+//                        with full knowledge of the DAG (Fig. 1 baseline);
+//   * graphs-manual    — CUDA-Graphs-style pre-declared task graph;
+//   * graphs-capture   — CUDA-Graphs stream capture of the hand-tuned
+//                        schedule (note: capture drops prefetches, the
+//                        paper's observation in section V-D).
+//
+//   $ ./scheduler_tour
+#include <cstdio>
+
+#include "bench_suite/runner.hpp"
+
+using namespace psched;
+using namespace psched::benchsuite;
+
+int main() {
+  const auto bench = make_benchmark(BenchId::IMG);
+  const auto gpu = sim::DeviceSpec::tesla_p100();
+
+  RunConfig cfg;
+  cfg.scale = 2000;   // 2000x2000 float image
+  cfg.iterations = 2;
+
+  std::printf("IMG benchmark, %ldx%ld image, %s\n\n", cfg.scale, cfg.scale,
+              gpu.name.c_str());
+  std::printf("%-16s %10s %8s %8s %8s %6s %6s %6s\n", "executor", "GPU ms",
+              "H2D MB", "fault MB", "streams", "CT", "TC", "CC");
+
+  double serial_ms = 0;
+  for (Variant v :
+       {Variant::GrcudaSerial, Variant::GrcudaParallel, Variant::HandTuned,
+        Variant::GraphsManual, Variant::GraphsCapture}) {
+    const RunResult r = run_benchmark(*bench, v, gpu, cfg);
+    if (v == Variant::GrcudaSerial) serial_ms = r.gpu_time_us / 1e3;
+    std::printf("%-16s %10.2f %8.1f %8.1f %8ld %6.2f %6.2f %6.2f", to_string(v),
+                r.gpu_time_us / 1e3, r.bytes_h2d / 1e6, r.bytes_faulted / 1e6,
+                r.streams_used, r.overlap.ct, r.overlap.tc, r.overlap.cc);
+    if (serial_ms > 0) {
+      std::printf("   %.2fx vs serial", serial_ms / (r.gpu_time_us / 1e3));
+    }
+    std::printf("\n");
+  }
+
+  // The automatic scheduler and the hand-tuned code should land within a
+  // few percent of each other — the paper's headline parity claim.
+  std::printf(
+      "\nThe grcuda-parallel row needs no streams, events or prefetches in\n"
+      "the host program; the hand-tuned row hard-codes all of them.\n");
+  return 0;
+}

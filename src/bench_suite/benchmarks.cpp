@@ -1,0 +1,45 @@
+#include "bench_suite/benchmarks.hpp"
+
+#include "sim/types.hpp"
+
+namespace psched::benchsuite {
+
+const char* name(BenchId id) {
+  switch (id) {
+    case BenchId::VEC: return "VEC";
+    case BenchId::BS: return "B&S";
+    case BenchId::IMG: return "IMG";
+    case BenchId::ML: return "ML";
+    case BenchId::HITS: return "HITS";
+    case BenchId::DL: return "DL";
+  }
+  return "?";
+}
+
+std::vector<BenchId> all_benchmarks() {
+  return {BenchId::VEC, BenchId::BS,   BenchId::IMG,
+          BenchId::ML,  BenchId::HITS, BenchId::DL};
+}
+
+// make_benchmark factories are defined in the per-benchmark translation
+// units; this forward-declares them.
+std::unique_ptr<Benchmark> make_vec();
+std::unique_ptr<Benchmark> make_bs();
+std::unique_ptr<Benchmark> make_img();
+std::unique_ptr<Benchmark> make_ml();
+std::unique_ptr<Benchmark> make_hits();
+std::unique_ptr<Benchmark> make_dl();
+
+std::unique_ptr<Benchmark> make_benchmark(BenchId id) {
+  switch (id) {
+    case BenchId::VEC: return make_vec();
+    case BenchId::BS: return make_bs();
+    case BenchId::IMG: return make_img();
+    case BenchId::ML: return make_ml();
+    case BenchId::HITS: return make_hits();
+    case BenchId::DL: return make_dl();
+  }
+  throw sim::ApiError("make_benchmark: unknown benchmark");
+}
+
+}  // namespace psched::benchsuite

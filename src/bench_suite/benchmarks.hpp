@@ -1,0 +1,46 @@
+// The six benchmarks of section V-B.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_suite/program.hpp"
+
+namespace psched::benchsuite {
+
+enum class BenchId { VEC, BS, IMG, ML, HITS, DL };
+
+[[nodiscard]] const char* name(BenchId id);
+[[nodiscard]] std::vector<BenchId> all_benchmarks();
+
+/// Parameters of one benchmark run.
+struct RunConfig {
+  long scale = 0;        ///< benchmark scale (elements / image side / rows)
+  int block_size = 256;  ///< threads per 1D block (2D kernels stay at 8x8)
+  int iterations = 0;    ///< 0 = benchmark default
+  bool functional = false;
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  [[nodiscard]] virtual BenchId id() const = 0;
+  [[nodiscard]] std::string name() const {
+    return benchsuite::name(id());
+  }
+  /// Paper x-axis scales for this benchmark (Figures 7-9).
+  [[nodiscard]] virtual std::vector<long> scales() const = 0;
+  /// A small scale suitable for functional verification in tests.
+  [[nodiscard]] virtual long test_scale() const = 0;
+  [[nodiscard]] virtual int default_iterations() const { return 3; }
+
+  /// Allocate arrays through `ctx` and describe the host program.
+  [[nodiscard]] virtual Program build(rt::Context& ctx,
+                                      const RunConfig& cfg) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Benchmark> make_benchmark(BenchId id);
+
+}  // namespace psched::benchsuite

@@ -1,0 +1,67 @@
+// B&S — Black & Scholes over 10 independent stocks (Fig. 6): ten fully
+// independent FP64-heavy chains, streamed input each iteration. On GPUs
+// with weak FP64 the computation dominates; on the P100 the kernels become
+// so fast that transfers dominate and CT overlap explains the speedup
+// (section V-F).
+#include "bench_suite/benchmarks.hpp"
+
+namespace psched::benchsuite {
+
+namespace {
+
+constexpr int kStocks = 10;
+
+class BsBenchmark final : public Benchmark {
+ public:
+  [[nodiscard]] BenchId id() const override { return BenchId::BS; }
+
+  [[nodiscard]] std::vector<long> scales() const override {
+    return {2'000'000, 8'000'000, 12'000'000, 50'000'000, 70'000'000};
+  }
+  [[nodiscard]] long test_scale() const override { return 1000; }
+  [[nodiscard]] int default_iterations() const override { return 4; }
+
+  [[nodiscard]] Program build(rt::Context& ctx,
+                              const RunConfig& cfg) const override {
+    const long n = cfg.scale;
+    ProgramBuilder b;
+    const auto cfg1d = cover1d(n, cfg.block_size);
+    std::vector<rt::DeviceArray> prices, results;
+    for (int s = 0; s < kStocks; ++s) {
+      prices.push_back(ctx.array<double>(static_cast<std::size_t>(n),
+                                         "P" + std::to_string(s)));
+      results.push_back(ctx.array<double>(static_cast<std::size_t>(n),
+                                          "R" + std::to_string(s)));
+    }
+    for (int s = 0; s < kStocks; ++s) {
+      b.host_write(prices[static_cast<std::size_t>(s)],
+                   [s](rt::DeviceArray& a) {
+                     auto v = a.span_for_write<double>();
+                     for (std::size_t i = 0; i < v.size(); ++i) {
+                       v[i] = 80.0 + ((i * 31 + static_cast<std::size_t>(s) * 17) % 41);
+                     }
+                   });
+      b.kernel("black_scholes",
+               "const pointer, pointer, sint32, double, double, double, double",
+               cfg1d,
+               {rt::make_value(prices[static_cast<std::size_t>(s)]),
+                rt::make_value(results[static_cast<std::size_t>(s)]),
+                rt::make_value(n), rt::make_value(100.0),
+                rt::make_value(0.05), rt::make_value(0.2),
+                rt::make_value(1.0)},
+               "bs(S" + std::to_string(s) + ")");
+    }
+    for (int s = 0; s < kStocks; ++s) {
+      b.host_read(results[static_cast<std::size_t>(s)]);
+    }
+    b.output(results[0]);
+    b.output(results[kStocks - 1]);
+    return b.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_bs() { return std::make_unique<BsBenchmark>(); }
+
+}  // namespace psched::benchsuite

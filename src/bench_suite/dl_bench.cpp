@@ -1,0 +1,128 @@
+// DL — convolutional network (Fig. 6): two towers of conv/pool layers
+// project two input images into embeddings, concatenated and combined by a
+// dense dot-product layer. The convolution weights are shared read-only
+// between towers.
+#include "bench_suite/benchmarks.hpp"
+
+namespace psched::benchsuite {
+
+namespace {
+
+class DlBenchmark final : public Benchmark {
+ public:
+  [[nodiscard]] BenchId id() const override { return BenchId::DL; }
+
+  // Scale is the square input image side (paper: 3e3 .. 16e3).
+  [[nodiscard]] std::vector<long> scales() const override {
+    return {3000, 5000, 7000, 12'000, 16'000};
+  }
+  [[nodiscard]] long test_scale() const override { return 32; }
+  [[nodiscard]] int default_iterations() const override { return 6; }
+
+  [[nodiscard]] Program build(rt::Context& ctx,
+                              const RunConfig& cfg) const override {
+    const long s = cfg.scale;
+    const long s2 = s / 2;
+    const long s4 = s / 4;
+    const auto n0 = static_cast<std::size_t>(s * s);
+    const auto n1 = static_cast<std::size_t>(s2 * s2);
+    const auto n2 = static_cast<std::size_t>(s4 * s4);
+
+    auto w_conv1 = ctx.array<float>(9, "w_conv1");
+    auto w_conv2 = ctx.array<float>(9, "w_conv2");
+    auto w_dense = ctx.array<float>(2 * n2, "w_dense");
+    auto cat = ctx.array<float>(2 * n2, "concat");
+    auto out = ctx.array<float>(1, "out");
+
+    struct Tower {
+      rt::DeviceArray img, c1, p1, c2, p2;
+    };
+    Tower towers[2];
+    for (int t = 0; t < 2; ++t) {
+      const std::string tag = std::to_string(t + 1);
+      towers[t].img = ctx.array<float>(n0, "img" + tag);
+      towers[t].c1 = ctx.array<float>(n0, "conv1_" + tag);
+      towers[t].p1 = ctx.array<float>(n1, "pool1_" + tag);
+      towers[t].c2 = ctx.array<float>(n1, "conv2_" + tag);
+      towers[t].p2 = ctx.array<float>(n2, "pool2_" + tag);
+    }
+
+    ProgramBuilder b;
+    auto small_weights = [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = static_cast<float>(((i * 37 + 11) % 19) / 19.0 - 0.5) * 0.4f;
+      }
+    };
+    b.setup_write(w_conv1, small_weights);
+    b.setup_write(w_conv2, small_weights);
+    b.setup_write(w_dense, [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      const float scale = 1.0f / static_cast<float>(v.size());
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = scale * static_cast<float>(1 + i % 5);
+      }
+    });
+
+    const std::string conv_sig =
+        "const pointer, const pointer, pointer, sint32, sint32, sint32";
+    const std::string pool_sig = "const pointer, pointer, sint32, sint32";
+
+    for (int t = 0; t < 2; ++t) {
+      const std::string tag = "_t" + std::to_string(t + 1);
+      Tower& tw = towers[t];
+      b.setup_write(tw.img, [t](rt::DeviceArray& a) {
+        auto v = a.span_for_write<float>();
+        for (std::size_t i = 0; i < v.size(); ++i) {
+          v[i] = static_cast<float>(
+              ((i * 2654435761u + static_cast<std::size_t>(t) * 7) % 977) /
+              977.0);
+        }
+      });
+      b.kernel("conv2d", conv_sig, cover2d(s, s).with_shared_mem(4 << 10),
+               {rt::make_value(tw.img), rt::make_value(w_conv1),
+                rt::make_value(tw.c1), rt::make_value(s), rt::make_value(s),
+                rt::make_value(3L)},
+               "conv1" + tag);
+      b.kernel("pool2d", pool_sig, cover2d(s2, s2),
+               {rt::make_value(tw.c1), rt::make_value(tw.p1),
+                rt::make_value(s), rt::make_value(s)},
+               "pool1" + tag);
+      b.kernel("conv2d", conv_sig, cover2d(s2, s2).with_shared_mem(4 << 10),
+               {rt::make_value(tw.p1), rt::make_value(w_conv2),
+                rt::make_value(tw.c2), rt::make_value(s2), rt::make_value(s2),
+                rt::make_value(3L)},
+               "conv2" + tag);
+      b.kernel("pool2d", pool_sig, cover2d(s4, s4),
+               {rt::make_value(tw.c2), rt::make_value(tw.p2),
+                rt::make_value(s2), rt::make_value(s2)},
+               "pool2" + tag);
+      b.kernel("relu", "pointer, sint32",
+               cover1d(static_cast<long>(n2), cfg.block_size),
+               {rt::make_value(tw.p2),
+                rt::make_value(static_cast<long>(n2))},
+               "relu" + tag);
+    }
+    b.kernel("concat", "const pointer, const pointer, pointer, sint32, sint32",
+             cover1d(static_cast<long>(2 * n2), cfg.block_size),
+             {rt::make_value(towers[0].p2), rt::make_value(towers[1].p2),
+              rt::make_value(cat), rt::make_value(static_cast<long>(n2)),
+              rt::make_value(static_cast<long>(n2))},
+             "concat");
+    b.kernel("dense", "const pointer, const pointer, pointer, sint32, sint32",
+             cover1d(static_cast<long>(2 * n2) / 64, cfg.block_size),
+             {rt::make_value(cat), rt::make_value(w_dense),
+              rt::make_value(out), rt::make_value(static_cast<long>(2 * n2)),
+              rt::make_value(1L)},
+             "dense");
+    b.host_read(out);
+    b.output(out);
+    return b.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_dl() { return std::make_unique<DlBenchmark>(); }
+
+}  // namespace psched::benchsuite

@@ -1,0 +1,128 @@
+// IMG — image processing pipeline (Fig. 6): combines a sharpened picture
+// with copies blurred at low and medium frequencies. Complex diamond
+// dependencies across four streams; the speedup comes from kernel/kernel
+// overlap (high CC in Fig. 11).
+#include "bench_suite/benchmarks.hpp"
+
+namespace psched::benchsuite {
+
+namespace {
+
+class ImgBenchmark final : public Benchmark {
+ public:
+  [[nodiscard]] BenchId id() const override { return BenchId::IMG; }
+
+  // Scale is the square image side (paper: 16e2 .. 16e3 pixels per side).
+  [[nodiscard]] std::vector<long> scales() const override {
+    return {1600, 3200, 4800, 10'000, 16'000};
+  }
+  [[nodiscard]] long test_scale() const override { return 32; }
+  [[nodiscard]] int default_iterations() const override { return 2; }
+
+  [[nodiscard]] Program build(rt::Context& ctx,
+                              const RunConfig& cfg) const override {
+    const long side = cfg.scale;
+    const long n = side * side;
+    const auto pix = static_cast<std::size_t>(n);
+
+    auto image = ctx.array<float>(pix, "image");
+    auto blur_small = ctx.array<float>(pix, "blur_small");
+    auto blur_large = ctx.array<float>(pix, "blur_large");
+    auto blur_unsharpen = ctx.array<float>(pix, "blur_unsharpen");
+    auto sobel_small = ctx.array<float>(pix, "sobel_small");
+    auto sobel_large = ctx.array<float>(pix, "sobel_large");
+    auto minv = ctx.array<float>(1, "min");
+    auto maxv = ctx.array<float>(1, "max");
+    auto unsharpened = ctx.array<float>(pix, "unsharpened");
+    auto combine1 = ctx.array<float>(pix, "combine1");
+    auto out = ctx.array<float>(pix, "out");
+
+    ProgramBuilder b;
+    // The tiled stencils stage an input halo in shared memory; the tile
+    // buffer limits resident blocks per SM, leaving warp slots idle in
+    // serial execution (section V-F: IMG's speedup comes from overlapping
+    // kernels that leave shared memory unused).
+    const auto cfg2d = cover2d(side, side).with_shared_mem(12 << 10);
+    const auto cfg1d = cover1d(n, cfg.block_size);
+    const std::string blur_sig =
+        "const pointer, pointer, sint32, sint32, sint32";
+    const std::string sobel_sig = "const pointer, pointer, sint32, sint32";
+
+    b.setup_write(image, [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = static_cast<float>((i * 2654435761u % 1000) / 1000.0);
+      }
+    });
+    // Branch 1: small blur -> sobel (edge mask for the final combine).
+    b.kernel("gaussian_blur", blur_sig, cfg2d,
+             {rt::make_value(image), rt::make_value(blur_small),
+              rt::make_value(side), rt::make_value(side), rt::make_value(3L)},
+             "blur_small");
+    b.kernel("sobel", sobel_sig, cfg2d,
+             {rt::make_value(blur_small), rt::make_value(sobel_small),
+              rt::make_value(side), rt::make_value(side)},
+             "sobel_small");
+    // Branch 2: large blur -> sobel -> min/max -> extend (mid-freq mask).
+    b.kernel("gaussian_blur", blur_sig, cfg2d,
+             {rt::make_value(image), rt::make_value(blur_large),
+              rt::make_value(side), rt::make_value(side), rt::make_value(5L)},
+             "blur_large");
+    b.kernel("sobel", sobel_sig, cfg2d,
+             {rt::make_value(blur_large), rt::make_value(sobel_large),
+              rt::make_value(side), rt::make_value(side)},
+             "sobel_large");
+    b.kernel("maximum_reduce", "const pointer, pointer, sint32",
+             cover1d(n / 64, cfg.block_size),
+             {rt::make_value(sobel_large), rt::make_value(maxv),
+              rt::make_value(n)},
+             "max");
+    b.kernel("minimum_reduce", "const pointer, pointer, sint32",
+             cover1d(n / 64, cfg.block_size),
+             {rt::make_value(sobel_large), rt::make_value(minv),
+              rt::make_value(n)},
+             "min");
+    b.kernel("extend_levels", "pointer, const pointer, const pointer, sint32",
+             cfg1d,
+             {rt::make_value(sobel_large), rt::make_value(minv),
+              rt::make_value(maxv), rt::make_value(n)},
+             "extend");
+    // Branch 3: unsharpen mask of the original image.
+    b.kernel("gaussian_blur", blur_sig, cfg2d,
+             {rt::make_value(image), rt::make_value(blur_unsharpen),
+              rt::make_value(side), rt::make_value(side), rt::make_value(7L)},
+             "blur_unsharpen");
+    b.kernel("unsharpen",
+             "const pointer, const pointer, pointer, sint32, float", cfg1d,
+             {rt::make_value(image), rt::make_value(blur_unsharpen),
+              rt::make_value(unsharpened), rt::make_value(n),
+              rt::make_value(0.5)},
+             "unsharpen");
+    // Joins: blend sharpened with the blurs, masked by the edge maps.
+    b.kernel("combine",
+             "const pointer, const pointer, const pointer, pointer, sint32",
+             cfg1d,
+             {rt::make_value(unsharpened), rt::make_value(blur_large),
+              rt::make_value(sobel_large), rt::make_value(combine1),
+              rt::make_value(n)},
+             "combine_1");
+    b.kernel("combine",
+             "const pointer, const pointer, const pointer, pointer, sint32",
+             cfg1d,
+             {rt::make_value(combine1), rt::make_value(blur_small),
+              rt::make_value(sobel_small), rt::make_value(out),
+              rt::make_value(n)},
+             "combine_2");
+    b.host_read(out);
+    b.output(out);
+    return b.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_img() {
+  return std::make_unique<ImgBenchmark>();
+}
+
+}  // namespace psched::benchsuite

@@ -1,0 +1,160 @@
+// ML — machine learning ensemble (Fig. 2/6): a Categorical Naive Bayes
+// branch and a Ridge Regression branch share the same read-only input
+// matrix (200 features), each ends in a softmax, and an argmax combines
+// the scores. Exercises read-only-argument concurrency and branch
+// imbalance.
+#include "bench_suite/benchmarks.hpp"
+
+namespace psched::benchsuite {
+
+namespace {
+
+constexpr long kFeatures = 200;
+constexpr long kClasses = 10;
+
+class MlBenchmark final : public Benchmark {
+ public:
+  [[nodiscard]] BenchId id() const override { return BenchId::ML; }
+
+  // Scale is the number of input rows.
+  [[nodiscard]] std::vector<long> scales() const override {
+    return {200'000, 800'000, 1'200'000, 4'000'000, 6'000'000};
+  }
+  [[nodiscard]] long test_scale() const override { return 64; }
+  [[nodiscard]] int default_iterations() const override { return 2; }
+
+  [[nodiscard]] Program build(rt::Context& ctx,
+                              const RunConfig& cfg) const override {
+    const long rows = cfg.scale;
+    const auto r = static_cast<std::size_t>(rows);
+    const auto f = static_cast<std::size_t>(kFeatures);
+    const auto c = static_cast<std::size_t>(kClasses);
+
+    auto x = ctx.array<float>(r * f, "X");
+    auto mean = ctx.array<float>(f, "mean");
+    auto stddev = ctx.array<float>(f, "std");
+    auto z = ctx.array<float>(r * f, "Z");
+    auto w_rr = ctx.array<float>(f * c, "W_rr");
+    auto w_nb = ctx.array<float>(f * c, "W_nb");
+    auto bias = ctx.array<float>(c, "bias");
+    auto r1 = ctx.array<float>(r * c, "R1");
+    auto r2 = ctx.array<float>(r * c, "R2");
+    auto rmax1 = ctx.array<float>(r, "rmax1");
+    auto rsum1 = ctx.array<float>(r, "rsum1");
+    auto rmax2 = ctx.array<float>(r, "rmax2");
+    auto rsum2 = ctx.array<float>(r, "rsum2");
+    auto out = ctx.array<std::int32_t>(r, "out");
+
+    ProgramBuilder b;
+    // Static model parameters, uploaded once.
+    auto pseudo = [](std::size_t i, std::size_t salt) {
+      return static_cast<float>(((i * 2654435761u + salt * 97) % 200) / 100.0 -
+                                1.0);
+    };
+    b.setup_write(mean, [pseudo](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = pseudo(i, 1) * 0.1f;
+    });
+    b.setup_write(stddev, [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        v[i] = 1.0f + (i % 3) * 0.25f;
+      }
+    });
+    b.setup_write(w_rr, [pseudo](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = pseudo(i, 2) * 0.2f;
+    });
+    b.setup_write(w_nb, [pseudo](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = pseudo(i, 3) * 0.2f;
+    });
+    b.setup_write(bias, [pseudo](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = pseudo(i, 4) * 0.05f;
+    });
+
+    const auto mm_cfg = cover1d(rows, cfg.block_size);
+    const auto row_cfg = cover1d(rows, cfg.block_size);
+    const std::string mm_sig =
+        "const pointer, const pointer, pointer, sint32, sint32, sint32";
+    const std::string rowred_sig = "const pointer, pointer, sint32, sint32";
+    const std::string rowop_sig = "pointer, const pointer, sint32, sint32";
+
+    b.setup_write(x, [pseudo](rt::DeviceArray& a) {
+      auto v = a.span_for_write<float>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = pseudo(i, 5);
+    });
+    // --- Naive Bayes branch (reads X directly, read-only) ---
+    b.kernel("nb_scores", mm_sig, mm_cfg,
+             {rt::make_value(x), rt::make_value(w_nb), rt::make_value(r1),
+              rt::make_value(rows), rt::make_value(kFeatures),
+              rt::make_value(kClasses)},
+             "nb_scores");
+    b.kernel("row_max", rowred_sig, row_cfg,
+             {rt::make_value(r1), rt::make_value(rmax1), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "nb_row_max");
+    b.kernel("exp_sub", rowop_sig, row_cfg,
+             {rt::make_value(r1), rt::make_value(rmax1), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "nb_exp");
+    b.kernel("row_sum", rowred_sig, row_cfg,
+             {rt::make_value(r1), rt::make_value(rsum1), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "nb_row_sum");
+    b.kernel("softmax_div", rowop_sig, row_cfg,
+             {rt::make_value(r1), rt::make_value(rsum1), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "nb_softmax");
+    // --- Ridge Regression branch (normalizes X first: longer branch) ---
+    b.kernel("normalize",
+             "const pointer, const pointer, const pointer, pointer, sint32, "
+             "sint32",
+             mm_cfg,
+             {rt::make_value(x), rt::make_value(mean), rt::make_value(stddev),
+              rt::make_value(z), rt::make_value(rows),
+              rt::make_value(kFeatures)},
+             "rr_normalize");
+    b.kernel("rr_scores", mm_sig, mm_cfg,
+             {rt::make_value(z), rt::make_value(w_rr), rt::make_value(r2),
+              rt::make_value(rows), rt::make_value(kFeatures),
+              rt::make_value(kClasses)},
+             "rr_scores");
+    b.kernel("add_bias", rowop_sig, row_cfg,
+             {rt::make_value(r2), rt::make_value(bias), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "rr_bias");
+    b.kernel("row_max", rowred_sig, row_cfg,
+             {rt::make_value(r2), rt::make_value(rmax2), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "rr_row_max");
+    b.kernel("exp_sub", rowop_sig, row_cfg,
+             {rt::make_value(r2), rt::make_value(rmax2), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "rr_exp");
+    b.kernel("row_sum", rowred_sig, row_cfg,
+             {rt::make_value(r2), rt::make_value(rsum2), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "rr_row_sum");
+    b.kernel("softmax_div", rowop_sig, row_cfg,
+             {rt::make_value(r2), rt::make_value(rsum2), rt::make_value(rows),
+              rt::make_value(kClasses)},
+             "rr_softmax");
+    // --- Ensemble combine ---
+    b.kernel("argmax_combine",
+             "const pointer, const pointer, pointer, sint32, sint32", row_cfg,
+             {rt::make_value(r1), rt::make_value(r2), rt::make_value(out),
+              rt::make_value(rows), rt::make_value(kClasses)},
+             "argmax");
+    b.host_read(out);
+    b.output(out);
+    return b.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_ml() { return std::make_unique<MlBenchmark>(); }
+
+}  // namespace psched::benchsuite

@@ -1,0 +1,114 @@
+// Benchmark program IR.
+//
+// Each benchmark describes its host program once — managed-array setup,
+// then a repeated iteration of kernel invocations and CPU accesses — and
+// four executors replay it:
+//   * through the GrCUDA context (parallel or serial policy), where
+//     dependencies are inferred automatically at run time;
+//   * through the CUDA-Graphs API (manual dependencies, or stream capture
+//     of the hand-tuned schedule), instantiated once and relaunched;
+//   * through hand-tuned multi-stream CUDA-events code with explicit
+//     prefetching — the skilled-programmer baseline of Fig. 1.
+//
+// This mirrors the paper's methodology: "the kernel code and the setup are
+// the same ..., but the host code is written using the C++ CUDA Graphs
+// API" (section V-D).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/execution_context.hpp"
+
+namespace psched::benchsuite {
+
+struct Step {
+  enum class Kind { Kernel, HostWrite, HostRead };
+
+  Kind kind = Kind::Kernel;
+
+  // --- Kernel steps ---
+  std::string kernel;     ///< registry name
+  std::string signature;  ///< NIDL signature string
+  std::string label;      ///< display label ("square(X)")
+  sim::LaunchConfig config;
+  std::vector<rt::Value> values;
+
+  // --- Host access steps ---
+  rt::DeviceArray array;
+  /// Functional-mode data generator for HostWrite steps (deterministic, so
+  /// every executor variant sees identical inputs). Timing-only runs skip
+  /// it and model the access with touch_write().
+  std::function<void(rt::DeviceArray&)> init;
+};
+
+struct Program {
+  std::vector<Step> setup;      ///< one-time host writes (weights, graphs)
+  std::vector<Step> iteration;  ///< repeated every iteration
+  std::vector<rt::DeviceArray> outputs;  ///< checksum roots for verification
+};
+
+/// Convenience builder used by the benchmark definitions.
+class ProgramBuilder {
+ public:
+  void setup_write(const rt::DeviceArray& a,
+                   std::function<void(rt::DeviceArray&)> init = {}) {
+    Step s;
+    s.kind = Step::Kind::HostWrite;
+    s.array = a;
+    s.init = std::move(init);
+    program_.setup.push_back(std::move(s));
+  }
+  void host_write(const rt::DeviceArray& a,
+                  std::function<void(rt::DeviceArray&)> init = {}) {
+    Step s;
+    s.kind = Step::Kind::HostWrite;
+    s.array = a;
+    s.init = std::move(init);
+    program_.iteration.push_back(std::move(s));
+  }
+  void host_read(const rt::DeviceArray& a) {
+    Step s;
+    s.kind = Step::Kind::HostRead;
+    s.array = a;
+    program_.iteration.push_back(std::move(s));
+  }
+  void kernel(std::string name, std::string signature, sim::LaunchConfig cfg,
+              std::vector<rt::Value> values, std::string label = "") {
+    Step s;
+    s.kind = Step::Kind::Kernel;
+    s.kernel = std::move(name);
+    s.signature = std::move(signature);
+    s.label = label.empty() ? s.kernel : std::move(label);
+    s.config = cfg;
+    s.values = std::move(values);
+    program_.iteration.push_back(std::move(s));
+  }
+  void output(const rt::DeviceArray& a) { program_.outputs.push_back(a); }
+
+  [[nodiscard]] Program take() { return std::move(program_); }
+
+ private:
+  Program program_;
+};
+
+/// 1D launch helper: grid covering n elements with the given block size,
+/// capped at the CUDA grid limit.
+[[nodiscard]] inline sim::LaunchConfig cover1d(long n, int block_size) {
+  const long blocks =
+      std::min<long>((n + block_size - 1) / block_size, 65535);
+  return sim::LaunchConfig::linear(std::max<long>(blocks, 1), block_size);
+}
+
+/// 2D launch helper: 8x8 blocks over an h x w image (the paper keeps 2D
+/// blocks at 8x8 across the sweep).
+[[nodiscard]] inline sim::LaunchConfig cover2d(long h, long w) {
+  sim::LaunchConfig cfg;
+  cfg.block = {8, 8, 1};
+  cfg.grid = {std::max<long>((w + 7) / 8, 1), std::max<long>((h + 7) / 8, 1),
+              1};
+  return cfg;
+}
+
+}  // namespace psched::benchsuite

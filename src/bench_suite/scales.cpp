@@ -1,0 +1,44 @@
+#include "bench_suite/scales.hpp"
+
+#include "kernels/registry.hpp"
+#include "sim/runtime.hpp"
+
+namespace psched::benchsuite {
+
+std::size_t footprint_bytes(BenchId id, long scale) {
+  // Dry-run allocation on a device with ample memory.
+  sim::DeviceSpec spec = sim::DeviceSpec::test_device();
+  spec.memory_bytes = 64ull << 30;
+  sim::GpuRuntime gpu(spec);
+  rt::Options opts = kernels::default_options();
+  opts.functional = false;
+  rt::Context ctx(gpu, opts);
+  const auto bench = make_benchmark(id);
+  RunConfig cfg;
+  cfg.scale = scale;
+  (void)bench->build(ctx, cfg);
+  return gpu.memory().used_bytes();
+}
+
+bool fits(BenchId id, long scale, const sim::DeviceSpec& spec) {
+  return footprint_bytes(id, scale) <=
+         static_cast<std::size_t>(
+             static_cast<double>(spec.memory_bytes) * 0.95);
+}
+
+std::vector<long> fitting_scales(BenchId id, const sim::DeviceSpec& spec) {
+  std::vector<long> out;
+  for (long s : make_benchmark(id)->scales()) {
+    if (fits(id, s, spec)) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<sim::DeviceSpec> paper_gpus() {
+  return {sim::DeviceSpec::gtx960(), sim::DeviceSpec::gtx1660super(),
+          sim::DeviceSpec::tesla_p100()};
+}
+
+std::vector<int> block_size_sweep() { return {32, 128, 256, 1024}; }
+
+}  // namespace psched::benchsuite

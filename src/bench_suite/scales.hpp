@@ -1,0 +1,30 @@
+// Scale sweeps, memory footprints (Table I) and the paper's GPU roster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "sim/device_spec.hpp"
+
+namespace psched::benchsuite {
+
+/// Managed-memory footprint of one benchmark at one scale, measured by a
+/// dry-run allocation (the honest number Table I reports).
+[[nodiscard]] std::size_t footprint_bytes(BenchId id, long scale);
+
+/// "GPUs are tested with different input sizes up to the largest size that
+/// fits in GPU memory" (Table I).
+[[nodiscard]] bool fits(BenchId id, long scale, const sim::DeviceSpec& spec);
+
+/// Scales of a benchmark that fit on a device.
+[[nodiscard]] std::vector<long> fitting_scales(BenchId id,
+                                               const sim::DeviceSpec& spec);
+
+/// The three GPUs of the evaluation (section V-A).
+[[nodiscard]] std::vector<sim::DeviceSpec> paper_gpus();
+
+/// The block-size sweep of Fig. 7 (threads per 1D block).
+[[nodiscard]] std::vector<int> block_size_sweep();
+
+}  // namespace psched::benchsuite

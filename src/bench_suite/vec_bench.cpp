@@ -1,0 +1,59 @@
+// VEC — Vector Squares (Fig. 4): squares two streamed input vectors on
+// independent streams and reduces the sum of their differences. Every
+// iteration receives fresh input data, so transfer/compute overlap is the
+// whole speedup (CC ~ 0 in Fig. 11).
+#include "bench_suite/benchmarks.hpp"
+
+namespace psched::benchsuite {
+
+namespace {
+
+class VecBenchmark final : public Benchmark {
+ public:
+  [[nodiscard]] BenchId id() const override { return BenchId::VEC; }
+
+  [[nodiscard]] std::vector<long> scales() const override {
+    return {20'000'000, 80'000'000, 120'000'000, 500'000'000, 700'000'000};
+  }
+  [[nodiscard]] long test_scale() const override { return 2000; }
+  [[nodiscard]] int default_iterations() const override { return 4; }
+
+  [[nodiscard]] Program build(rt::Context& ctx,
+                              const RunConfig& cfg) const override {
+    const long n = cfg.scale;
+    auto x = ctx.array<double>(static_cast<std::size_t>(n), "X");
+    auto y = ctx.array<double>(static_cast<std::size_t>(n), "Y");
+    auto z = ctx.array<double>(1, "Z");
+
+    ProgramBuilder b;
+    const auto cfg1d = cover1d(n, cfg.block_size);
+    b.host_write(x, [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<double>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = 1.0 + (i % 7) * 0.5;
+    });
+    b.host_write(y, [](rt::DeviceArray& a) {
+      auto v = a.span_for_write<double>();
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = (i % 5) * 0.3;
+    });
+    b.kernel("square", "pointer, sint32", cfg1d, {rt::make_value(x), rt::make_value(n)},
+             "square(X)");
+    b.kernel("square", "pointer, sint32", cfg1d, {rt::make_value(y), rt::make_value(n)},
+             "square(Y)");
+    b.kernel("reduce_sum_diff", "const pointer, const pointer, pointer, sint32",
+             cover1d(n / 64, cfg.block_size),
+             {rt::make_value(x), rt::make_value(y), rt::make_value(z),
+              rt::make_value(n)},
+             "sum(X-Y)");
+    b.host_read(z);
+    b.output(z);
+    return b.take();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_vec() {
+  return std::make_unique<VecBenchmark>();
+}
+
+}  // namespace psched::benchsuite

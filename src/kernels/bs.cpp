@@ -1,0 +1,55 @@
+// B&S — Black & Scholes European call option pricing (section V-B).
+//
+//   black_scholes(spot const ptr, out ptr, n, k, r, v, t)
+//
+// Double-precision and math-function heavy (exp/log/sqrt/erf): on GPUs
+// without fast FP64 units (consumer Maxwell/Turing) this kernel is
+// compute-bound; on the P100 it becomes transfer-bound — the crossover the
+// paper highlights in section V-F.
+#include <cmath>
+
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+namespace {
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+void register_bs(rt::KernelRegistry& r) {
+  r.add({"black_scholes",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto spot = a.cspan<double>(0);
+           auto out = a.span<double>(1);
+           const auto n = static_cast<std::size_t>(a.i64(2));
+           const double strike = a.f64(3);
+           const double rate = a.f64(4);
+           const double vol = a.f64(5);
+           const double expiry = a.f64(6);
+           const double sqrt_t = std::sqrt(expiry);
+           for (std::size_t i = 0; i < n && i < spot.size(); ++i) {
+             const double s = spot[i];
+             const double d1 =
+                 (std::log(s / strike) +
+                  (rate + 0.5 * vol * vol) * expiry) /
+                 (vol * sqrt_t);
+             const double d2 = d1 - vol * sqrt_t;
+             out[i] = s * norm_cdf(d1) -
+                      strike * std::exp(-rate * expiry) * norm_cdf(d2);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           // log + exp + 2x erfc + sqrt + ~15 arithmetic ops, all FP64.
+           // Double-precision transcendentals have no fast hardware path
+           // and expand to ~40-flop polynomial sequences, and their long
+           // dependency chains keep less than half the warp slots busy.
+           return elementwise_cost(static_cast<double>(a.i64(2)), 1, 1,
+                                   /*flops_per_elem=*/300, /*bytes=*/8,
+                                   /*fp64=*/true, /*duty=*/0.4);
+         }});
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,35 @@
+// Generic building-block kernels: copy and memset.
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+void register_common(rt::KernelRegistry& r) {
+  // copy(in const ptr, out ptr, n): out[i] = in[i]
+  r.add({"copy",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const auto n = static_cast<std::size_t>(a.i64(2));
+           for (std::size_t i = 0; i < n && i < out.size(); ++i) {
+             out[i] = in[i];
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(2)), 1, 1, 0);
+         }});
+
+  // memset(out ptr, n, value): out[i] = value
+  r.add({"memset",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto out = a.span<float>(0);
+           const auto n = static_cast<std::size_t>(a.i64(1));
+           const float v = static_cast<float>(a.f64(2));
+           for (std::size_t i = 0; i < n && i < out.size(); ++i) out[i] = v;
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(1)), 0, 1, 0);
+         }});
+}
+
+}  // namespace psched::kernels

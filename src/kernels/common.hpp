@@ -1,0 +1,106 @@
+// Shared cost-model helpers for the benchmark kernels.
+//
+// Counters are derived from first principles, not measured: an elementwise
+// kernel reading r and writing w streams moves (r+w)*sizeof(T) bytes of
+// DRAM per element; reductions read once; dense algebra enjoys cache reuse
+// so DRAM traffic is the compulsory footprint while L2 carries the reused
+// operands. Instruction counts approximate flops + loads/stores + loop
+// overhead, which lands IPC in the plausible 0.05-0.5 per-SM range the
+// paper reports (Fig. 12).
+#pragma once
+
+#include <cstddef>
+
+#include "sim/op.hpp"
+
+namespace psched::kernels {
+
+/// Streaming elementwise kernel over n elements.
+[[nodiscard]] inline sim::KernelProfile elementwise_cost(
+    double n, double reads, double writes, double flops_per_elem,
+    double elem_bytes = 4, bool fp64 = false, double duty = 1.0) {
+  sim::KernelProfile p;
+  const double flops = n * flops_per_elem;
+  (fp64 ? p.flops_dp : p.flops_sp) = flops;
+  p.dram_bytes = n * (reads + writes) * elem_bytes;
+  p.l2_bytes = p.dram_bytes * 1.3;  // streaming: little reuse
+  p.instructions = n * (flops_per_elem + 2 * (reads + writes) + 4);
+  p.duty = duty;
+  return p;
+}
+
+/// Tree reduction over n elements to one value.
+[[nodiscard]] inline sim::KernelProfile reduction_cost(double n,
+                                                       double elem_bytes = 4,
+                                                       double reads = 1,
+                                                       bool fp64 = false,
+                                                       double duty = 1.0) {
+  sim::KernelProfile p;
+  (fp64 ? p.flops_dp : p.flops_sp) = n * reads;  // one op per loaded element
+  p.dram_bytes = n * reads * elem_bytes;
+  p.l2_bytes = p.dram_bytes * 1.2;
+  p.instructions = n * (reads * 2 + 3);
+  p.duty = duty;
+  return p;
+}
+
+/// Dense matmul rows x k x cols (fp32), tiled with good cache reuse.
+[[nodiscard]] inline sim::KernelProfile matmul_cost(double rows, double k,
+                                                    double cols,
+                                                    double duty = 1.0) {
+  sim::KernelProfile p;
+  p.flops_sp = 2.0 * rows * k * cols;
+  // Compulsory traffic only; reuse happens in shared memory / L2.
+  p.dram_bytes = 4.0 * (rows * k + k * cols + rows * cols);
+  p.l2_bytes = 4.0 * rows * k * cols / 8.0;  // tile refetches through L2
+  p.instructions = rows * k * cols * 1.5;
+  p.duty = duty;
+  return p;
+}
+
+/// Naive tall-matrix classifier scores: rows x k inputs against a k x cols
+/// parameter matrix, one thread per row with a column-strided inner loop.
+/// No tiling means the input matrix re-streams from DRAM once per output
+/// class, and the strided gathers stall the warps — the paper's "slow
+/// kernel that operates on tall matrices and does not use the GPU
+/// parallelism to its full extent" (IPC 0.04 in Fig. 12).
+[[nodiscard]] inline sim::KernelProfile tall_scores_cost(double rows, double k,
+                                                         double cols,
+                                                         double duty = 0.04) {
+  sim::KernelProfile p;
+  p.flops_sp = 2.0 * rows * k * cols;
+  p.dram_bytes = 4.0 * rows * k * cols + 4.0 * rows * cols;  // re-streamed
+  p.l2_bytes = p.dram_bytes * 1.1;
+  p.instructions = rows * k * cols * 2.0;
+  p.duty = duty;
+  return p;
+}
+
+/// 2D stencil (radius r) over an h x w single-channel image.
+[[nodiscard]] inline sim::KernelProfile stencil_cost(double h, double w,
+                                                     double diameter,
+                                                     double duty = 1.0) {
+  sim::KernelProfile p;
+  const double taps = diameter * diameter;
+  p.flops_sp = h * w * taps * 2.0;
+  p.dram_bytes = 4.0 * h * w * 2.0;         // compulsory in + out
+  p.l2_bytes = 4.0 * h * w * taps * 0.6;    // halo reuse through L2
+  p.instructions = h * w * (taps * 3 + 6);
+  p.duty = duty;
+  return p;
+}
+
+/// CSR sparse matrix-vector product with nnz nonzeros and n rows (fp32
+/// values + 32-bit indices; irregular access, poor locality).
+[[nodiscard]] inline sim::KernelProfile spmv_cost(double nnz, double rows,
+                                                  double duty = 1.0) {
+  sim::KernelProfile p;
+  p.flops_sp = 2.0 * nnz;
+  p.dram_bytes = nnz * (4.0 + 4.0) + rows * (4.0 + 8.0);
+  p.l2_bytes = nnz * 12.0;  // gather traffic bounces through L2
+  p.instructions = nnz * 6.0 + rows * 4.0;
+  p.duty = duty;
+  return p;
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,153 @@
+// DL — convolutional-network kernels (section V-B).
+//
+// Two towers of conv/pool layers project two images into embeddings that a
+// dense layer combines (Fig. 6). Single-channel float images, clamp
+// padding, 2x2 max pooling.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+namespace {
+
+std::size_t clamp_idx(long v, long lo, long hi) {
+  return static_cast<std::size_t>(std::clamp(v, lo, hi));
+}
+
+}  // namespace
+
+void register_dl(rt::KernelRegistry& r) {
+  // conv2d(in const [h*w], weights const [k*k], out [h*w], h, w, k)
+  r.add({"conv2d",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto wgt = a.cspan<float>(1);
+           auto out = a.span<float>(2);
+           const long h = a.i64(3);
+           const long w = a.i64(4);
+           const int k = static_cast<int>(a.i64(5));
+           const int radius = k / 2;
+           for (long y = 0; y < h; ++y) {
+             for (long x = 0; x < w; ++x) {
+               double acc = 0;
+               for (int dy = 0; dy < k; ++dy) {
+                 for (int dx = 0; dx < k; ++dx) {
+                   acc += in[clamp_idx(y + dy - radius, 0, h - 1) *
+                                 static_cast<std::size_t>(w) +
+                             clamp_idx(x + dx - radius, 0, w - 1)] *
+                          wgt[static_cast<std::size_t>(dy * k + dx)];
+                 }
+               }
+               out[static_cast<std::size_t>(y * w + x)] =
+                   static_cast<float>(acc);
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           // Direct convolution with a shared-memory input tile. The
+           // layer applies a bank of kFilters filters; the functional host
+           // path computes the first (representative) plane — identical
+           // across all five executor variants, so checksum equivalence is
+           // unaffected — while the cost model accounts for the full bank.
+           constexpr double kFilters = 24;
+           sim::KernelProfile p = stencil_cost(
+               static_cast<double>(a.i64(3)), static_cast<double>(a.i64(4)),
+               static_cast<double>(a.i64(5)), /*duty=*/0.45);
+           p.flops_sp *= kFilters;
+           // The filter loop is dense dual-issue FMA work on data staged in
+           // shared memory: instructions track issued warp work (not one
+           // per flop) and tile reuse bypasses the L2 almost entirely.
+           p.instructions = p.flops_sp * 0.12;
+           p.l2_bytes = p.dram_bytes * 1.6;
+           return p;
+         }});
+
+  // pool2d(in const [h*w], out [(h/2)*(w/2)], h, w): 2x2 max pooling
+  r.add({"pool2d",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const long h = a.i64(2);
+           const long w = a.i64(3);
+           const long oh = h / 2;
+           const long ow = w / 2;
+           for (long y = 0; y < oh; ++y) {
+             for (long x = 0; x < ow; ++x) {
+               float best = in[static_cast<std::size_t>(2 * y * w + 2 * x)];
+               for (int dy = 0; dy < 2; ++dy) {
+                 for (int dx = 0; dx < 2; ++dx) {
+                   best = std::max(
+                       best, in[static_cast<std::size_t>(
+                                (2 * y + dy) * w + 2 * x + dx)]);
+                 }
+               }
+               out[static_cast<std::size_t>(y * ow + x)] = best;
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(2)) *
+                                       static_cast<double>(a.i64(3)),
+                                   1, 0.25, 1, 4, /*fp64=*/false,
+                                   /*duty=*/0.4);
+         }});
+
+  // relu(x, n)
+  r.add({"relu",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto x = a.span<float>(0);
+           const auto n = static_cast<std::size_t>(a.i64(1));
+           for (std::size_t i = 0; i < n && i < x.size(); ++i) {
+             x[i] = std::max(0.0f, x[i]);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(1)), 1, 1, 1, 4,
+                                   /*fp64=*/false, /*duty=*/0.4);
+         }});
+
+  // concat(a const [na], b const [nb], out [na+nb], na, nb)
+  r.add({"concat",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto lhs = a.cspan<float>(0);
+           auto rhs = a.cspan<float>(1);
+           auto out = a.span<float>(2);
+           const auto na = static_cast<std::size_t>(a.i64(3));
+           const auto nb = static_cast<std::size_t>(a.i64(4));
+           for (std::size_t i = 0; i < na; ++i) out[i] = lhs[i];
+           for (std::size_t i = 0; i < nb; ++i) out[na + i] = rhs[i];
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(
+               static_cast<double>(a.i64(3)) + static_cast<double>(a.i64(4)),
+               1, 1, 0, 4, /*fp64=*/false, /*duty=*/0.4);
+         }});
+
+  // dense(in const [n_in], weights const [n_out*n_in], out [n_out],
+  //       n_in, n_out): out[j] = sum_i in[i] * w[j*n_in+i]
+  r.add({"dense",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto wgt = a.cspan<float>(1);
+           auto out = a.span<float>(2);
+           const auto n_in = static_cast<std::size_t>(a.i64(3));
+           const auto n_out = static_cast<std::size_t>(a.i64(4));
+           for (std::size_t j = 0; j < n_out; ++j) {
+             double acc = 0;
+             for (std::size_t i = 0; i < n_in; ++i) {
+               acc += static_cast<double>(in[i]) * wgt[j * n_in + i];
+             }
+             out[j] = static_cast<float>(acc);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return matmul_cost(static_cast<double>(a.i64(4)),
+                              static_cast<double>(a.i64(3)), 1,
+                              /*duty=*/0.5);
+         }});
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,198 @@
+// IMG — image processing pipeline kernels (section V-B).
+//
+// Single-channel float images in row-major h x w layout, clamp-to-edge
+// boundary handling. The pipeline combines a sharpened picture with copies
+// blurred at low and medium frequencies (Fig. 6).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+namespace {
+
+std::size_t clamp_idx(long v, long lo, long hi) {
+  return static_cast<std::size_t>(std::clamp(v, lo, hi));
+}
+
+std::vector<float> gaussian_weights(int diameter) {
+  std::vector<float> w(static_cast<std::size_t>(diameter) *
+                       static_cast<std::size_t>(diameter));
+  const double sigma = std::max(1.0, diameter / 3.0);
+  const int radius = diameter / 2;
+  double total = 0;
+  for (int dy = 0; dy < diameter; ++dy) {
+    for (int dx = 0; dx < diameter; ++dx) {
+      const double y = dy - radius;
+      const double x = dx - radius;
+      const double g = std::exp(-(x * x + y * y) / (2 * sigma * sigma));
+      w[static_cast<std::size_t>(dy * diameter + dx)] =
+          static_cast<float>(g);
+      total += g;
+    }
+  }
+  for (auto& v : w) v = static_cast<float>(v / total);
+  return w;
+}
+
+}  // namespace
+
+void register_img(rt::KernelRegistry& r) {
+  // gaussian_blur(in const, out, h, w, diameter)
+  r.add({"gaussian_blur",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const long h = a.i64(2);
+           const long w = a.i64(3);
+           const int d = static_cast<int>(a.i64(4));
+           const auto weights = gaussian_weights(d);
+           const int radius = d / 2;
+           for (long y = 0; y < h; ++y) {
+             for (long x = 0; x < w; ++x) {
+               double acc = 0;
+               for (int dy = 0; dy < d; ++dy) {
+                 for (int dx = 0; dx < d; ++dx) {
+                   const std::size_t sy = clamp_idx(y + dy - radius, 0, h - 1);
+                   const std::size_t sx = clamp_idx(x + dx - radius, 0, w - 1);
+                   acc += in[sy * static_cast<std::size_t>(w) + sx] *
+                          weights[static_cast<std::size_t>(dy * d + dx)];
+                 }
+               }
+               out[static_cast<std::size_t>(y * w + x)] =
+                   static_cast<float>(acc);
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           // Shared-memory tiled blur: the tile buffer caps resident
+           // blocks (set by the launch config) and the tap loop's
+           // dependent accumulations cap the issue-slot duty.
+           return stencil_cost(static_cast<double>(a.i64(2)),
+                               static_cast<double>(a.i64(3)),
+                               static_cast<double>(a.i64(4)),
+                               /*duty=*/0.25);
+         }});
+
+  // sobel(in const, out, h, w)
+  r.add({"sobel",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const long h = a.i64(2);
+           const long w = a.i64(3);
+           static const int gx[3][3] = {{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}};
+           static const int gy[3][3] = {{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}};
+           for (long y = 0; y < h; ++y) {
+             for (long x = 0; x < w; ++x) {
+               double sx = 0, sy = 0;
+               for (int dy = 0; dy < 3; ++dy) {
+                 for (int dx = 0; dx < 3; ++dx) {
+                   const float v =
+                       in[clamp_idx(y + dy - 1, 0, h - 1) *
+                              static_cast<std::size_t>(w) +
+                          clamp_idx(x + dx - 1, 0, w - 1)];
+                   sx += gx[dy][dx] * v;
+                   sy += gy[dy][dx] * v;
+                 }
+               }
+               out[static_cast<std::size_t>(y * w + x)] =
+                   static_cast<float>(std::sqrt(sx * sx + sy * sy));
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return stencil_cost(static_cast<double>(a.i64(2)),
+                               static_cast<double>(a.i64(3)), 3,
+                               /*duty=*/0.3);
+         }});
+
+  // maximum_reduce(in const, out[1], n) / minimum_reduce
+  r.add({"maximum_reduce",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const auto n = static_cast<std::size_t>(a.i64(2));
+           float best = in.empty() ? 0.0f : in[0];
+           for (std::size_t i = 0; i < n && i < in.size(); ++i) {
+             best = std::max(best, in[i]);
+           }
+           out[0] = best;
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return reduction_cost(static_cast<double>(a.i64(2)), 4, 1,
+                                 /*fp64=*/false, /*duty=*/0.3);
+         }});
+  r.add({"minimum_reduce",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto in = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const auto n = static_cast<std::size_t>(a.i64(2));
+           float best = in.empty() ? 0.0f : in[0];
+           for (std::size_t i = 0; i < n && i < in.size(); ++i) {
+             best = std::min(best, in[i]);
+           }
+           out[0] = best;
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return reduction_cost(static_cast<double>(a.i64(2)), 4, 1,
+                                 /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // extend_levels(img, min const[1], max const[1], n): histogram stretch
+  r.add({"extend_levels",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto img = a.span<float>(0);
+           auto lo = a.cspan<float>(1);
+           auto hi = a.cspan<float>(2);
+           const auto n = static_cast<std::size_t>(a.i64(3));
+           const float span = std::max(1e-12f, hi[0] - lo[0]);
+           for (std::size_t i = 0; i < n && i < img.size(); ++i) {
+             img[i] = std::clamp((img[i] - lo[0]) / span * 5.0f, 0.0f, 1.0f);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(3)), 1, 1, 4, 4,
+                                   /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // unsharpen(img const, blurred const, out, n, amount)
+  r.add({"unsharpen",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto img = a.cspan<float>(0);
+           auto blur = a.cspan<float>(1);
+           auto out = a.span<float>(2);
+           const auto n = static_cast<std::size_t>(a.i64(3));
+           const float amount = static_cast<float>(a.f64(4));
+           for (std::size_t i = 0; i < n && i < out.size(); ++i) {
+             out[i] = std::clamp(
+                 img[i] * (1.0f + amount) - blur[i] * amount, 0.0f, 1.0f);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(3)), 2, 1, 4, 4,
+                                   /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // combine(a const, b const, mask const, out, n): blend by mask
+  r.add({"combine",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto x = a.cspan<float>(0);
+           auto y = a.cspan<float>(1);
+           auto mask = a.cspan<float>(2);
+           auto out = a.span<float>(3);
+           const auto n = static_cast<std::size_t>(a.i64(4));
+           for (std::size_t i = 0; i < n && i < out.size(); ++i) {
+             out[i] = x[i] * mask[i] + y[i] * (1.0f - mask[i]);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(static_cast<double>(a.i64(4)), 3, 1, 3, 4,
+                                   /*fp64=*/false, /*duty=*/0.3);
+         }});
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,213 @@
+// ML — machine-learning ensemble kernels (section V-B, Fig. 2/6).
+//
+// Two classifier branches (Categorical Naive Bayes and Ridge Regression)
+// share the same read-only input matrix, apply softmax normalization and
+// combine scores by argmax. Matrices are row-major float arrays.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+void register_ml(rt::KernelRegistry& r) {
+  // normalize(x const, mean const[cols], std const[cols], out, rows, cols)
+  r.add({"normalize",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto x = a.cspan<float>(0);
+           auto mean = a.cspan<float>(1);
+           auto stddev = a.cspan<float>(2);
+           auto out = a.span<float>(3);
+           const auto rows = static_cast<std::size_t>(a.i64(4));
+           const auto cols = static_cast<std::size_t>(a.i64(5));
+           for (std::size_t i = 0; i < rows; ++i) {
+             for (std::size_t j = 0; j < cols; ++j) {
+               const float s = stddev[j] != 0.0f ? stddev[j] : 1.0f;
+               out[i * cols + j] = (x[i * cols + j] - mean[j]) / s;
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(
+               static_cast<double>(a.i64(4)) * static_cast<double>(a.i64(5)),
+               1, 1, 2, 4, /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // Classifier score kernels: out[i][c] = sum_j x[i][j] * w[j][c] over a
+  // tall rows x k input against a small k x cols parameter matrix.
+  //
+  // Both branches use the same naive one-thread-per-row implementation the
+  // paper's benchmarks inherit from open-source CUDA code: the input
+  // matrix re-streams from DRAM once per output class and the strided
+  // inner loop leaves most warp slots idle (the "slow kernel that operates
+  // on tall matrices", IPC 0.04 in Fig. 12). The Naive Bayes variant also
+  // takes log-probability lookups per tap, making it the longer branch —
+  // the ML benchmark's branch imbalance.
+  const auto scores_host = [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+    auto x = a.cspan<float>(0);
+    auto w = a.cspan<float>(1);
+    auto out = a.span<float>(2);
+    const auto rows = static_cast<std::size_t>(a.i64(3));
+    const auto k = static_cast<std::size_t>(a.i64(4));
+    const auto cols = static_cast<std::size_t>(a.i64(5));
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        double acc = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+          acc += static_cast<double>(x[i * k + j]) * w[j * cols + c];
+        }
+        out[i * cols + c] = static_cast<float>(acc);
+      }
+    }
+  };
+  r.add({"nb_scores", scores_host,
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           sim::KernelProfile p = tall_scores_cost(
+               static_cast<double>(a.i64(3)), static_cast<double>(a.i64(4)),
+               static_cast<double>(a.i64(5)), /*duty=*/0.03);
+           p.instructions *= 1.6;  // log-prob lookups per tap
+           p.flops_sp *= 1.6;
+           return p;
+         }});
+  r.add({"rr_scores", scores_host,
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return tall_scores_cost(static_cast<double>(a.i64(3)),
+                                   static_cast<double>(a.i64(4)),
+                                   static_cast<double>(a.i64(5)),
+                                   /*duty=*/0.06);
+         }});
+  // Generic dense matmul retained for API users (quickstart examples).
+  r.add({"matmul", scores_host,
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return matmul_cost(static_cast<double>(a.i64(3)),
+                              static_cast<double>(a.i64(4)),
+                              static_cast<double>(a.i64(5)));
+         }});
+
+  // add_bias(mat, bias const[cols], rows, cols)
+  r.add({"add_bias",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto mat = a.span<float>(0);
+           auto bias = a.cspan<float>(1);
+           const auto rows = static_cast<std::size_t>(a.i64(2));
+           const auto cols = static_cast<std::size_t>(a.i64(3));
+           for (std::size_t i = 0; i < rows; ++i) {
+             for (std::size_t j = 0; j < cols; ++j) {
+               mat[i * cols + j] += bias[j];
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(
+               static_cast<double>(a.i64(2)) * static_cast<double>(a.i64(3)),
+               1, 1, 1, 4, /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // row_max(mat const, out[rows], rows, cols)
+  r.add({"row_max",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto mat = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const auto rows = static_cast<std::size_t>(a.i64(2));
+           const auto cols = static_cast<std::size_t>(a.i64(3));
+           for (std::size_t i = 0; i < rows; ++i) {
+             float best = mat[i * cols];
+             for (std::size_t j = 1; j < cols; ++j) {
+               best = std::max(best, mat[i * cols + j]);
+             }
+             out[i] = best;
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return reduction_cost(static_cast<double>(a.i64(2)) *
+                                     static_cast<double>(a.i64(3)),
+                                 4, 1, /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // exp_sub(mat, rowref const[rows], rows, cols): mat = exp(mat - ref[r])
+  r.add({"exp_sub",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto mat = a.span<float>(0);
+           auto ref = a.cspan<float>(1);
+           const auto rows = static_cast<std::size_t>(a.i64(2));
+           const auto cols = static_cast<std::size_t>(a.i64(3));
+           for (std::size_t i = 0; i < rows; ++i) {
+             for (std::size_t j = 0; j < cols; ++j) {
+               mat[i * cols + j] = std::exp(mat[i * cols + j] - ref[i]);
+             }
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(
+               static_cast<double>(a.i64(2)) * static_cast<double>(a.i64(3)),
+               1, 1, 12, 4, /*fp64=*/false, /*duty=*/0.3);  // exp ~ 10 flops
+         }});
+
+  // row_sum(mat const, out[rows], rows, cols)
+  r.add({"row_sum",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto mat = a.cspan<float>(0);
+           auto out = a.span<float>(1);
+           const auto rows = static_cast<std::size_t>(a.i64(2));
+           const auto cols = static_cast<std::size_t>(a.i64(3));
+           for (std::size_t i = 0; i < rows; ++i) {
+             double acc = 0;
+             for (std::size_t j = 0; j < cols; ++j) acc += mat[i * cols + j];
+             out[i] = static_cast<float>(acc);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return reduction_cost(static_cast<double>(a.i64(2)) *
+                                     static_cast<double>(a.i64(3)),
+                                 4, 1, /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // softmax_div(mat, rowsum const[rows], rows, cols): mat[r][c] /= sum[r]
+  r.add({"softmax_div",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto mat = a.span<float>(0);
+           auto sum = a.cspan<float>(1);
+           const auto rows = static_cast<std::size_t>(a.i64(2));
+           const auto cols = static_cast<std::size_t>(a.i64(3));
+           for (std::size_t i = 0; i < rows; ++i) {
+             const float s = sum[i] != 0.0f ? sum[i] : 1.0f;
+             for (std::size_t j = 0; j < cols; ++j) mat[i * cols + j] /= s;
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return elementwise_cost(
+               static_cast<double>(a.i64(2)) * static_cast<double>(a.i64(3)),
+               1, 1, 4, 4, /*fp64=*/false, /*duty=*/0.3);
+         }});
+
+  // argmax_combine(r1 const, r2 const, out[rows] i32, rows, cols):
+  //   out[r] = argmax_c(r1[r][c] + r2[r][c])   (the ensemble vote)
+  r.add({"argmax_combine",
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           auto r1 = a.cspan<float>(0);
+           auto r2 = a.cspan<float>(1);
+           auto out = a.span<std::int32_t>(2);
+           const auto rows = static_cast<std::size_t>(a.i64(3));
+           const auto cols = static_cast<std::size_t>(a.i64(4));
+           for (std::size_t i = 0; i < rows; ++i) {
+             std::size_t best = 0;
+             float best_v = r1[i * cols] + r2[i * cols];
+             for (std::size_t j = 1; j < cols; ++j) {
+               const float v = r1[i * cols + j] + r2[i * cols + j];
+               if (v > best_v) {
+                 best_v = v;
+                 best = j;
+               }
+             }
+             out[i] = static_cast<std::int32_t>(best);
+           }
+         },
+         [](const sim::LaunchConfig&, const rt::ArgsView& a) {
+           return reduction_cost(2.0 * static_cast<double>(a.i64(3)) *
+                                     static_cast<double>(a.i64(4)),
+                                 4, 1, /*fp64=*/false, /*duty=*/0.3);
+         }});
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,26 @@
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+
+const rt::KernelRegistry& registry() {
+  static const rt::KernelRegistry reg = [] {
+    rt::KernelRegistry r;
+    register_common(r);
+    register_vec(r);
+    register_bs(r);
+    register_img(r);
+    register_ml(r);
+    register_hits(r);
+    register_dl(r);
+    return r;
+  }();
+  return reg;
+}
+
+rt::Options default_options() {
+  rt::Options opts;
+  opts.registry = &registry();
+  return opts;
+}
+
+}  // namespace psched::kernels

@@ -1,0 +1,39 @@
+// The builtin kernel registry: every GPU kernel used by the paper's six
+// benchmarks (section V-B), each with a functional host implementation and
+// a cost descriptor.
+//
+// Distinct kernels by benchmark (the paper counts 33 kernels across the
+// benchmark DAGs, where per-benchmark reuse such as the ten B&S instances
+// or the four DL convolutions counts once per use):
+//   VEC  — square, reduce_sum_diff
+//   B&S  — black_scholes (FP64-heavy; instantiated 10x)
+//   IMG  — gaussian_blur, sobel, maximum_reduce, minimum_reduce,
+//          extend_levels, unsharpen, combine
+//   ML   — normalize, matmul, add_bias, row_max, exp_sub, row_sum,
+//          softmax_div, argmax_combine
+//   HITS — spmv_csr, vector_sum, vector_divide
+//   DL   — conv2d, pool2d, relu, concat, dense
+//   misc — copy, memset (building blocks for examples/tests)
+#pragma once
+
+#include "runtime/execution_context.hpp"
+#include "runtime/kernel.hpp"
+
+namespace psched::kernels {
+
+/// The process-wide builtin registry (built once, thread-safe init).
+[[nodiscard]] const rt::KernelRegistry& registry();
+
+/// Convenience: context options pre-wired to the builtin registry.
+[[nodiscard]] rt::Options default_options();
+
+// Per-module registration (called by registry(); exposed for tests).
+void register_common(rt::KernelRegistry& r);
+void register_vec(rt::KernelRegistry& r);
+void register_bs(rt::KernelRegistry& r);
+void register_img(rt::KernelRegistry& r);
+void register_ml(rt::KernelRegistry& r);
+void register_hits(rt::KernelRegistry& r);
+void register_dl(rt::KernelRegistry& r);
+
+}  // namespace psched::kernels

@@ -1,0 +1,15 @@
+#include "runtime/computation.hpp"
+
+namespace psched::rt {
+
+const char* Computation::kind_name() const {
+  switch (kind) {
+    case Kind::Kernel: return "kernel";
+    case Kind::HostRead: return "host-read";
+    case Kind::HostWrite: return "host-write";
+    case Kind::Library: return "library";
+  }
+  return "?";
+}
+
+}  // namespace psched::rt

@@ -1,0 +1,78 @@
+#include "runtime/dependency.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace psched::rt {
+
+namespace {
+
+/// Remove computations that can no longer create dependencies from a
+/// reader list (lazy pruning keeps the lists short on long-running apps).
+void prune_inactive(std::vector<Computation*>& readers) {
+  std::erase_if(readers, [](Computation* r) { return !r->is_active(); });
+}
+
+}  // namespace
+
+std::vector<Computation*> infer_dependencies(Computation& c,
+                                             bool honor_read_only) {
+  // Coalesce duplicate array arguments: one write use dominates any number
+  // of read uses of the same array within a single computation.
+  std::vector<std::pair<ArrayState*, bool>> combined;  // (array, writes?)
+  for (const Computation::Use& use : c.uses) {
+    const bool writes = !use.read_only || !honor_read_only;
+    auto it = std::find_if(combined.begin(), combined.end(),
+                           [&](const auto& p) { return p.first == use.array; });
+    if (it == combined.end()) {
+      combined.emplace_back(use.array, writes);
+    } else {
+      it->second = it->second || writes;
+    }
+  }
+
+  std::vector<Computation*> deps;
+  auto add_dep = [&](Computation* d) {
+    if (d == nullptr || d == &c || !d->is_active()) return;
+    if (std::find(deps.begin(), deps.end(), d) == deps.end()) {
+      deps.push_back(d);
+    }
+  };
+
+  for (auto& [array, writes] : combined) {
+    prune_inactive(array->readers);
+    Computation* writer =
+        (array->last_writer != nullptr && array->last_writer->is_active())
+            ? array->last_writer
+            : nullptr;
+    if (writes) {
+      if (!array->readers.empty()) {
+        // WAR: readers already transitively depend on the writer.
+        for (Computation* r : array->readers) add_dep(r);
+      } else {
+        add_dep(writer);  // RAW / WAW
+      }
+      // "All dependency sets are updated."
+      if (array->last_writer != nullptr) {
+        array->last_writer->dep_set.erase(array);
+      }
+      for (Computation* r : array->readers) r->dep_set.erase(array);
+      array->last_writer = &c;
+      array->readers.clear();
+    } else {
+      add_dep(writer);  // the writer's dependency set is NOT updated
+      array->readers.push_back(&c);
+    }
+    // The new computation can introduce dependencies through this argument.
+    c.dep_set.insert(array);
+  }
+
+  // Wire the DAG links.
+  for (Computation* d : deps) {
+    d->children.push_back(&c);
+    c.parents.push_back(d);
+  }
+  return deps;
+}
+
+}  // namespace psched::rt

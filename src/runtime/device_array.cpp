@@ -1,0 +1,118 @@
+#include "runtime/device_array.hpp"
+
+#include "runtime/execution_context.hpp"
+
+namespace psched::rt {
+
+void ArrayState::ensure_host() {
+  if (host.empty() && size > 0) host.assign(bytes(), std::byte{0});
+}
+
+void DeviceArray::check_valid() const {
+  if (!state_) throw sim::ApiError("use of an empty DeviceArray handle");
+  if (state_->freed) {
+    throw sim::ApiError("use of freed array '" + state_->name + "'");
+  }
+}
+
+void DeviceArray::host_read_hook() const { state_->ctx->on_host_read(state_.get()); }
+
+void DeviceArray::host_write_hook() { state_->ctx->on_host_write(state_.get()); }
+
+bool DeviceArray::functional_mode() const {
+  return state_->ctx->options().functional;
+}
+
+double DeviceArray::get(std::size_t i) const {
+  check_valid();
+  if (i >= state_->size) {
+    throw sim::ApiError("get: index out of range on '" + state_->name + "'");
+  }
+  host_read_hook();
+  if (!functional_mode()) return 0.0;
+  state_->ensure_host();
+  return load_element(*state_, i);
+}
+
+void DeviceArray::set(std::size_t i, double v) {
+  check_valid();
+  if (i >= state_->size) {
+    throw sim::ApiError("set: index out of range on '" + state_->name + "'");
+  }
+  host_write_hook();
+  if (!functional_mode()) return;
+  state_->ensure_host();
+  store_element(*state_, i, v);
+}
+
+void DeviceArray::fill(double v) {
+  check_valid();
+  host_write_hook();
+  if (!functional_mode()) return;
+  state_->ensure_host();
+  for (std::size_t i = 0; i < state_->size; ++i) store_element(*state_, i, v);
+}
+
+void DeviceArray::touch_read() const {
+  check_valid();
+  host_read_hook();
+}
+
+void DeviceArray::touch_write() {
+  check_valid();
+  host_write_hook();
+}
+
+double load_element(const ArrayState& a, std::size_t i) {
+  const std::byte* p = a.host.data() + i * dtype_size(a.dtype);
+  switch (a.dtype) {
+    case DType::F32: {
+      float v;
+      std::memcpy(&v, p, sizeof v);
+      return v;
+    }
+    case DType::F64: {
+      double v;
+      std::memcpy(&v, p, sizeof v);
+      return v;
+    }
+    case DType::I32: {
+      std::int32_t v;
+      std::memcpy(&v, p, sizeof v);
+      return static_cast<double>(v);
+    }
+    case DType::I64: {
+      std::int64_t v;
+      std::memcpy(&v, p, sizeof v);
+      return static_cast<double>(v);
+    }
+  }
+  return 0;
+}
+
+void store_element(ArrayState& a, std::size_t i, double v) {
+  std::byte* p = a.host.data() + i * dtype_size(a.dtype);
+  switch (a.dtype) {
+    case DType::F32: {
+      const float x = static_cast<float>(v);
+      std::memcpy(p, &x, sizeof x);
+      return;
+    }
+    case DType::F64: {
+      std::memcpy(p, &v, sizeof v);
+      return;
+    }
+    case DType::I32: {
+      const std::int32_t x = static_cast<std::int32_t>(v);
+      std::memcpy(p, &x, sizeof x);
+      return;
+    }
+    case DType::I64: {
+      const std::int64_t x = static_cast<std::int64_t>(v);
+      std::memcpy(p, &x, sizeof x);
+      return;
+    }
+  }
+}
+
+}  // namespace psched::rt

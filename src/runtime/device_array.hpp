@@ -1,0 +1,157 @@
+// DeviceArray — the GrCUDA-style managed array handle.
+//
+// Arrays are backed by (simulated) unified memory and may be touched by the
+// host at any point of the program. Every host access is intercepted and
+// routed through the execution context, which decides whether the access
+// introduces a data dependency on in-flight GPU computations and, if so,
+// synchronizes exactly the streams operating on this array (section IV-A).
+//
+// Functional mode keeps a real host buffer so kernels compute real results;
+// timing-only mode (used by the paper-scale benchmarks) skips the buffer but
+// preserves every scheduling side effect.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/dtype.hpp"
+#include "sim/types.hpp"
+
+namespace psched::rt {
+
+class Context;
+class Computation;
+
+/// Shared state of one managed array. Lifetime is managed by shared_ptr:
+/// the handle(s) and any in-flight computation closures keep it alive.
+struct ArrayState {
+  Context* ctx = nullptr;
+  sim::ArrayId sim_id = sim::kInvalidArray;
+  DType dtype = DType::F32;
+  std::size_t size = 0;  ///< element count
+  std::string name;
+
+  /// Host backing storage; allocated lazily and only in functional mode.
+  std::vector<std::byte> host;
+
+  // --- dependency tracking (owned by the dependency module) ---
+  Computation* last_writer = nullptr;
+  std::vector<Computation*> readers;  ///< active readers since last write
+
+  bool freed = false;
+
+  [[nodiscard]] std::size_t bytes() const { return size * dtype_size(dtype); }
+  /// Allocate (zero-initialised) host storage if absent.
+  void ensure_host();
+};
+
+class DeviceArray {
+ public:
+  DeviceArray() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] std::size_t size() const { return state_->size; }
+  [[nodiscard]] std::size_t bytes() const { return state_->bytes(); }
+  [[nodiscard]] DType dtype() const { return state_->dtype; }
+  [[nodiscard]] const std::string& name() const { return state_->name; }
+
+  // --- element access (host-side, intercepted) ---
+  /// Read element `i`, converted to double. A CPU-read computational
+  /// element: may synchronize the streams producing this array.
+  [[nodiscard]] double get(std::size_t i) const;
+  /// Write element `i`. A CPU-write computational element: waits for all
+  /// active readers and writers of this array.
+  void set(std::size_t i, double v);
+
+  // --- bulk access (one scheduling event for the whole operation) ---
+  /// Overwrite every element with `v` (host-write semantics).
+  void fill(double v);
+  /// Copy from host data (host-write semantics).
+  template <typename T>
+  void copy_from(std::span<const T> src);
+  /// Typed view for reading results (host-read semantics). Functional only.
+  template <typename T>
+  [[nodiscard]] std::span<const T> view() const;
+  /// Typed span for initialization (host-write semantics). Functional only.
+  template <typename T>
+  [[nodiscard]] std::span<T> span_for_write();
+
+  // --- timing-only host access (no data, same scheduling effects) ---
+  void touch_read() const;
+  void touch_write();
+
+  [[nodiscard]] ArrayState* state() const { return state_.get(); }
+  [[nodiscard]] std::shared_ptr<ArrayState> shared_state() const {
+    return state_;
+  }
+
+ private:
+  friend class Context;
+  explicit DeviceArray(std::shared_ptr<ArrayState> s) : state_(std::move(s)) {}
+
+  void check_valid() const;
+  // Context hooks (defined in device_array.cpp to avoid a header cycle).
+  void host_read_hook() const;
+  void host_write_hook();
+  [[nodiscard]] bool functional_mode() const;
+
+  std::shared_ptr<ArrayState> state_;
+};
+
+template <typename T>
+void DeviceArray::copy_from(std::span<const T> src) {
+  check_valid();
+  if (dtype_of_v<T> != state_->dtype) {
+    throw sim::ApiError("copy_from: element type mismatch on '" +
+                        state_->name + "'");
+  }
+  if (src.size() != state_->size) {
+    throw sim::ApiError("copy_from: size mismatch on '" + state_->name + "'");
+  }
+  host_write_hook();
+  if (!functional_mode()) return;
+  state_->ensure_host();
+  std::memcpy(state_->host.data(), src.data(), state_->bytes());
+}
+
+template <typename T>
+std::span<const T> DeviceArray::view() const {
+  check_valid();
+  if (dtype_of_v<T> != state_->dtype) {
+    throw sim::ApiError("view: element type mismatch on '" + state_->name +
+                        "'");
+  }
+  if (!functional_mode()) {
+    throw sim::ApiError("view: host data views require functional mode");
+  }
+  host_read_hook();
+  state_->ensure_host();
+  return {reinterpret_cast<const T*>(state_->host.data()), state_->size};
+}
+
+template <typename T>
+std::span<T> DeviceArray::span_for_write() {
+  check_valid();
+  if (dtype_of_v<T> != state_->dtype) {
+    throw sim::ApiError("span_for_write: element type mismatch on '" +
+                        state_->name + "'");
+  }
+  if (!functional_mode()) {
+    throw sim::ApiError("span_for_write: requires functional mode");
+  }
+  host_write_hook();
+  state_->ensure_host();
+  return {reinterpret_cast<T*>(state_->host.data()), state_->size};
+}
+
+// Raw (unintercepted) element helpers used by kernel host implementations,
+// which conceptually run on the device and must not trigger CPU-access
+// scheduling.
+[[nodiscard]] double load_element(const ArrayState& a, std::size_t i);
+void store_element(ArrayState& a, std::size_t i, double v);
+
+}  // namespace psched::rt

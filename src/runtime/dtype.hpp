@@ -1,0 +1,55 @@
+// Element types for managed device arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace psched::rt {
+
+enum class DType { F32, F64, I32, I64 };
+
+[[nodiscard]] constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F32: return 4;
+    case DType::F64: return 8;
+    case DType::I32: return 4;
+    case DType::I64: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* to_string(DType t) {
+  switch (t) {
+    case DType::F32: return "float";
+    case DType::F64: return "double";
+    case DType::I32: return "int32";
+    case DType::I64: return "int64";
+  }
+  return "?";
+}
+
+template <typename T>
+struct dtype_of;
+template <>
+struct dtype_of<float> {
+  static constexpr DType value = DType::F32;
+};
+template <>
+struct dtype_of<double> {
+  static constexpr DType value = DType::F64;
+};
+template <>
+struct dtype_of<std::int32_t> {
+  static constexpr DType value = DType::I32;
+};
+template <>
+struct dtype_of<std::int64_t> {
+  static constexpr DType value = DType::I64;
+};
+
+template <typename T>
+inline constexpr DType dtype_of_v = dtype_of<T>::value;
+
+}  // namespace psched::rt

@@ -1,0 +1,14 @@
+#include "runtime/library_function.hpp"
+
+#include "runtime/execution_context.hpp"
+
+namespace psched::rt {
+
+void LibraryFunction::call(std::vector<Value> values) const {
+  if (ctx_ == nullptr) {
+    throw sim::ApiError("LibraryFunction: default-constructed");
+  }
+  ctx_->submit_library(def_, std::move(values));
+}
+
+}  // namespace psched::rt

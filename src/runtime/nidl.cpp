@@ -1,0 +1,127 @@
+#include "runtime/nidl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace psched::rt {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::vector<std::string> tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+const std::unordered_map<std::string, ParamType>& type_names() {
+  static const std::unordered_map<std::string, ParamType> kNames = {
+      {"pointer", ParamType::Pointer}, {"ptr", ParamType::Pointer},
+      {"sint32", ParamType::Sint32},   {"sint64", ParamType::Sint64},
+      {"uint32", ParamType::Uint32},   {"uint64", ParamType::Uint64},
+      {"float", ParamType::Float32},   {"float32", ParamType::Float32},
+      {"double", ParamType::Float64},  {"float64", ParamType::Float64},
+  };
+  return kNames;
+}
+
+}  // namespace
+
+const char* to_string(ParamType t) {
+  switch (t) {
+    case ParamType::Pointer: return "pointer";
+    case ParamType::Sint32: return "sint32";
+    case ParamType::Sint64: return "sint64";
+    case ParamType::Uint32: return "uint32";
+    case ParamType::Uint64: return "uint64";
+    case ParamType::Float32: return "float";
+    case ParamType::Float64: return "double";
+  }
+  return "?";
+}
+
+std::vector<ParamSpec> parse_nidl(const std::string& signature) {
+  std::vector<ParamSpec> out;
+  // An all-whitespace signature declares zero parameters.
+  if (tokens(signature).empty()) return out;
+
+  const auto params = split(signature, ',');
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto toks = tokens(params[i]);
+    if (toks.empty()) {
+      throw NidlError("NIDL: empty parameter " + std::to_string(i + 1) +
+                      " in \"" + signature + "\"");
+    }
+    ParamSpec spec;
+    bool read_only = false;
+    bool written = false;
+    // All tokens but the last are annotations; the last is the type.
+    for (std::size_t t = 0; t + 1 < toks.size(); ++t) {
+      const std::string& a = toks[t];
+      if (a == "const" || a == "in") {
+        read_only = true;
+      } else if (a == "out" || a == "inout") {
+        written = true;
+      } else {
+        throw NidlError("NIDL: unknown annotation '" + a + "' in parameter " +
+                        std::to_string(i + 1));
+      }
+    }
+    const std::string& ty = toks.back();
+    const auto it = type_names().find(ty);
+    if (it == type_names().end()) {
+      throw NidlError("NIDL: unknown type '" + ty + "' in parameter " +
+                      std::to_string(i + 1));
+    }
+    spec.type = it->second;
+    if (read_only && written) {
+      throw NidlError("NIDL: parameter " + std::to_string(i + 1) +
+                      " is annotated both read-only and written");
+    }
+    if (!spec.is_pointer() && (read_only || written)) {
+      throw NidlError("NIDL: scalar parameter " + std::to_string(i + 1) +
+                      " cannot carry access annotations");
+    }
+    spec.read_only = spec.is_pointer() && read_only;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::string to_signature(const std::vector<ParamSpec>& params) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    if (params[i].read_only) out << "const ";
+    out << to_string(params[i].type);
+  }
+  return out.str();
+}
+
+}  // namespace psched::rt

@@ -1,0 +1,54 @@
+// NIDL (Native Interface Definition Language) signature parsing.
+//
+// GrCUDA kernels declare their parameter list with a comma-separated
+// signature string such as "const pointer, pointer, sint32" (section IV-D).
+// Optional annotations (const / in / out / inout) mark pointers as read-only
+// or written; the scheduler uses read-only information to avoid spurious
+// dependencies. Unannotated pointers are conservatively treated as written,
+// which is always correct but may forfeit concurrency — exactly the paper's
+// contract.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace psched::rt {
+
+class NidlError : public sim::Error {
+ public:
+  using Error::Error;
+};
+
+enum class ParamType {
+  Pointer,
+  Sint32,
+  Sint64,
+  Uint32,
+  Uint64,
+  Float32,
+  Float64,
+};
+
+[[nodiscard]] const char* to_string(ParamType t);
+
+struct ParamSpec {
+  ParamType type = ParamType::Pointer;
+  /// Read-only annotation (const / in). Only meaningful for pointers;
+  /// scalars are passed by copy and never create dependencies.
+  bool read_only = false;
+
+  [[nodiscard]] bool is_pointer() const { return type == ParamType::Pointer; }
+
+  friend bool operator==(const ParamSpec&, const ParamSpec&) = default;
+};
+
+/// Parse a NIDL signature. Throws NidlError with a description of the
+/// offending parameter on malformed input.
+[[nodiscard]] std::vector<ParamSpec> parse_nidl(const std::string& signature);
+
+/// Render a parameter list back to its canonical signature string.
+[[nodiscard]] std::string to_signature(const std::vector<ParamSpec>& params);
+
+}  // namespace psched::rt

@@ -1,0 +1,39 @@
+// Scheduling policy knobs (section IV-C of the paper).
+#pragma once
+
+#include <string>
+
+namespace psched::rt {
+
+/// Serial = the original GrCUDA scheduler: every computation on the default
+/// stream, host blocks after each one, no dependency computation.
+/// Parallel = this paper's scheduler: dependency-driven asynchronous
+/// execution on multiple streams.
+enum class SchedulePolicy { Serial, Parallel };
+
+/// How the stream manager picks a stream for a new computation.
+enum class StreamPolicy {
+  /// Paper default: first child inherits the parent's stream; otherwise
+  /// reuse an idle stream (FIFO creation order); create only when none idle.
+  FifoReuse,
+  /// Always open a fresh stream unless inheriting from a parent.
+  AlwaysNew,
+  /// Everything on one non-default stream (the "simpler policy" of IV-C):
+  /// still asynchronous w.r.t. the host, but no device-side concurrency.
+  SingleStream,
+};
+
+[[nodiscard]] inline const char* to_string(SchedulePolicy p) {
+  return p == SchedulePolicy::Serial ? "serial" : "parallel";
+}
+
+[[nodiscard]] inline const char* to_string(StreamPolicy p) {
+  switch (p) {
+    case StreamPolicy::FifoReuse: return "fifo-reuse";
+    case StreamPolicy::AlwaysNew: return "always-new";
+    case StreamPolicy::SingleStream: return "single-stream";
+  }
+  return "?";
+}
+
+}  // namespace psched::rt

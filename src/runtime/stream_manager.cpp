@@ -1,0 +1,41 @@
+#include "runtime/stream_manager.hpp"
+
+namespace psched::rt {
+
+StreamManager::StreamManager(sim::GpuRuntime& gpu, StreamPolicy policy)
+    : gpu_(&gpu), policy_(policy) {}
+
+sim::StreamId StreamManager::inherit_from_parent(const Computation& c) const {
+  // "If a computation has multiple children, the first child is scheduled
+  // on the parent's stream to minimize synchronization events, while
+  // following children are scheduled on other streams."
+  for (const Computation* p : c.parents) {
+    if (p->stream == sim::kInvalidStream) continue;  // synchronous parent
+    if (!p->children.empty() && p->children.front() == &c) {
+      return p->stream;
+    }
+  }
+  return sim::kInvalidStream;
+}
+
+sim::StreamId StreamManager::acquire(Computation& c) {
+  if (policy_ == StreamPolicy::SingleStream) {
+    if (pool_.empty()) pool_.push_back(gpu_->create_stream());
+    return pool_.front();
+  }
+
+  if (const sim::StreamId inherited = inherit_from_parent(c);
+      inherited != sim::kInvalidStream) {
+    return inherited;
+  }
+
+  if (policy_ == StreamPolicy::FifoReuse) {
+    for (const sim::StreamId s : pool_) {
+      if (gpu_->stream_idle(s)) return s;
+    }
+  }
+  pool_.push_back(gpu_->create_stream());
+  return pool_.back();
+}
+
+}  // namespace psched::rt

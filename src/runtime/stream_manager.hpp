@@ -1,0 +1,40 @@
+// CUDA stream manager (section IV-C).
+//
+// Allocation and management of streams is transparent. With the paper's
+// default policy the first child of a computation inherits its parent's
+// stream (no synchronization event needed there); other computations reuse
+// an idle stream — streams are scanned in creation (FIFO) order — and a new
+// stream is created only when none is idle.
+#pragma once
+
+#include <vector>
+
+#include "runtime/computation.hpp"
+#include "runtime/policies.hpp"
+#include "sim/runtime.hpp"
+
+namespace psched::rt {
+
+class StreamManager {
+ public:
+  StreamManager(sim::GpuRuntime& gpu, StreamPolicy policy);
+
+  /// Pick (and possibly create) the execution stream for `c`. The
+  /// computation's parent links must already be wired.
+  [[nodiscard]] sim::StreamId acquire(Computation& c);
+
+  [[nodiscard]] StreamPolicy policy() const { return policy_; }
+  [[nodiscard]] std::size_t num_streams() const { return pool_.size(); }
+  [[nodiscard]] const std::vector<sim::StreamId>& streams() const {
+    return pool_;
+  }
+
+ private:
+  [[nodiscard]] sim::StreamId inherit_from_parent(const Computation& c) const;
+
+  sim::GpuRuntime* gpu_;
+  StreamPolicy policy_;
+  std::vector<sim::StreamId> pool_;  ///< streams created, in FIFO order
+};
+
+}  // namespace psched::rt

@@ -1,0 +1,80 @@
+// Argument values of a computational element: managed arrays or scalars.
+// Scalars are passed by copy and never participate in dependency inference
+// (Fig. 4: "scalar value passed by copy, ignored for dependencies").
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/device_array.hpp"
+
+namespace psched::rt {
+
+class Value {
+ public:
+  enum class Kind { Array, Int, Float };
+
+  static Value array(DeviceArray a) {
+    Value v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(a);
+    return v;
+  }
+  static Value integer(std::int64_t i) {
+    Value v;
+    v.kind_ = Kind::Int;
+    v.int_ = i;
+    return v;
+  }
+  static Value floating(double d) {
+    Value v;
+    v.kind_ = Kind::Float;
+    v.float_ = d;
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_scalar() const { return kind_ != Kind::Array; }
+
+  [[nodiscard]] const DeviceArray& as_array() const {
+    if (!is_array()) throw sim::ApiError("Value: not an array");
+    return array_;
+  }
+  [[nodiscard]] std::int64_t as_int() const {
+    switch (kind_) {
+      case Kind::Int: return int_;
+      case Kind::Float: return static_cast<std::int64_t>(float_);
+      default: throw sim::ApiError("Value: not a scalar");
+    }
+  }
+  [[nodiscard]] double as_float() const {
+    switch (kind_) {
+      case Kind::Float: return float_;
+      case Kind::Int: return static_cast<double>(int_);
+      default: throw sim::ApiError("Value: not a scalar");
+    }
+  }
+
+ private:
+  Kind kind_ = Kind::Int;
+  DeviceArray array_;
+  std::int64_t int_ = 0;
+  double float_ = 0;
+};
+
+// Uniform conversion used by the variadic kernel-invocation sugar.
+inline Value make_value(const DeviceArray& a) { return Value::array(a); }
+inline Value make_value(DeviceArray& a) { return Value::array(a); }
+template <typename T>
+  requires std::is_integral_v<std::decay_t<T>>
+Value make_value(T v) {
+  return Value::integer(static_cast<std::int64_t>(v));
+}
+template <typename T>
+  requires std::is_floating_point_v<std::decay_t<T>>
+Value make_value(T v) {
+  return Value::floating(static_cast<double>(v));
+}
+
+}  // namespace psched::rt

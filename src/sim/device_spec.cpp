@@ -1,0 +1,100 @@
+#include "sim/device_spec.hpp"
+
+namespace psched::sim {
+
+const char* to_string(Arch a) {
+  switch (a) {
+    case Arch::Maxwell: return "Maxwell";
+    case Arch::Pascal: return "Pascal";
+    case Arch::Turing: return "Turing";
+    case Arch::Volta: return "Volta";
+  }
+  return "?";
+}
+
+DeviceSpec DeviceSpec::gtx960() {
+  DeviceSpec d;
+  d.name = "GTX 960";
+  d.arch = Arch::Maxwell;
+  d.sm_count = 8;
+  d.clock_ghz = 1.178;
+  d.fp32_lanes_per_sm = 128;
+  d.fp64_ratio = 1.0 / 32.0;
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm_bytes = 96u << 10;  // Maxwell GM20x
+  d.dram_bw_gbps = 112.0;
+  d.l2_bw_gbps = 450.0;
+  d.l2_size_bytes = 1ull << 20;  // 1 MiB
+  d.memory_bytes = 2ull << 30;   // 2 GiB
+  d.pcie_bw_gbps = 12.0;
+  d.page_fault_um = false;  // Maxwell: no page-fault mechanism
+  d.fault_bw_gbps = 12.0;   // unused: transfers happen ahead of kernels
+  return d;
+}
+
+DeviceSpec DeviceSpec::gtx1660super() {
+  DeviceSpec d;
+  d.name = "GTX 1660 Super";
+  d.arch = Arch::Turing;
+  d.sm_count = 22;
+  d.clock_ghz = 1.785;
+  d.fp32_lanes_per_sm = 64;
+  d.fp64_ratio = 1.0 / 32.0;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 16;
+  d.shared_mem_per_sm_bytes = 64u << 10;  // Turing TU116
+  d.dram_bw_gbps = 336.0;
+  d.l2_bw_gbps = 1200.0;
+  d.l2_size_bytes = 1536ull << 10;  // 1.5 MiB
+  d.memory_bytes = 6ull << 30;      // 6 GiB
+  d.pcie_bw_gbps = 12.0;
+  d.page_fault_um = true;
+  d.fault_bw_gbps = 5.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::tesla_p100() {
+  DeviceSpec d;
+  d.name = "Tesla P100";
+  d.arch = Arch::Pascal;
+  d.sm_count = 56;
+  d.clock_ghz = 1.303;
+  d.fp32_lanes_per_sm = 64;
+  d.fp64_ratio = 1.0 / 2.0;  // 20x the FP64 throughput of consumer Turing
+  d.max_threads_per_sm = 2048;
+  d.max_blocks_per_sm = 32;
+  d.shared_mem_per_sm_bytes = 64u << 10;  // Pascal GP100
+  d.dram_bw_gbps = 732.0;  // HBM2
+  d.l2_bw_gbps = 2000.0;
+  d.l2_size_bytes = 4ull << 20;   // 4 MiB
+  d.memory_bytes = 12ull << 30;   // 12 GiB (PCIe variant)
+  d.pcie_bw_gbps = 12.0;
+  d.page_fault_um = true;
+  d.fault_bw_gbps = 5.0;
+  return d;
+}
+
+DeviceSpec DeviceSpec::test_device() {
+  DeviceSpec d;
+  d.name = "TestGPU";
+  d.arch = Arch::Turing;
+  d.sm_count = 4;
+  d.clock_ghz = 1.0;
+  d.fp32_lanes_per_sm = 64;  // 4 SMs * 64 lanes * 2 * 1GHz = 512 GFLOPS fp32
+  d.fp64_ratio = 0.5;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 16;
+  d.dram_bw_gbps = 100.0;  // 1e5 bytes/us
+  d.l2_bw_gbps = 400.0;
+  d.l2_size_bytes = 1ull << 20;
+  d.memory_bytes = 1ull << 30;  // 1 GiB
+  d.pcie_bw_gbps = 10.0;        // 1e4 bytes/us
+  d.page_fault_um = true;
+  d.fault_bw_gbps = 5.0;
+  d.kernel_launch_overhead_us = 0.0;  // keep test arithmetic exact
+  d.copy_setup_overhead_us = 0.0;
+  return d;
+}
+
+}  // namespace psched::sim

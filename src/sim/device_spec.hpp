@@ -1,0 +1,74 @@
+// GPU device models.
+//
+// A DeviceSpec captures the handful of architectural parameters the fluid
+// resource model needs: SM count and per-SM throughput, FP64 ratio, DRAM/L2
+// bandwidth, device memory size, the PCIe link, and the unified-memory
+// capabilities of the architecture generation.
+//
+// The three models used throughout the paper's evaluation (GTX 960,
+// GTX 1660 Super, Tesla P100) are provided as named constructors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+/// GPU architecture generation. Pre-Pascal architectures have no
+/// unified-memory page-fault mechanism: managed data must be migrated
+/// ahead of kernel execution and the CPU may not touch arrays in use.
+enum class Arch { Maxwell, Pascal, Turing, Volta };
+
+[[nodiscard]] const char* to_string(Arch a);
+
+struct DeviceSpec {
+  std::string name;
+  Arch arch = Arch::Turing;
+
+  // --- compute ---
+  int sm_count = 1;
+  double clock_ghz = 1.0;          ///< boost clock used for throughput
+  int fp32_lanes_per_sm = 64;      ///< CUDA cores per SM
+  double fp64_ratio = 1.0 / 32.0;  ///< FP64 throughput / FP32 throughput
+  int max_threads_per_sm = 1024;
+  int max_blocks_per_sm = 16;
+  std::size_t shared_mem_per_sm_bytes = 64u << 10;
+
+  // --- memory system ---
+  double dram_bw_gbps = 100.0;  ///< device memory bandwidth
+  double l2_bw_gbps = 400.0;    ///< L2 cache bandwidth (profiling only)
+  std::size_t l2_size_bytes = 1u << 20;
+  std::size_t memory_bytes = 2ull << 30;
+
+  // --- interconnect / unified memory ---
+  double pcie_bw_gbps = 12.0;   ///< per-direction host link bandwidth
+  bool page_fault_um = true;    ///< Pascal+ on-demand page migration
+  double fault_bw_gbps = 6.0;   ///< de-rated bandwidth of the fault path
+
+  // --- fixed overheads (microseconds) ---
+  double kernel_launch_overhead_us = 4.0;  ///< driver+device launch latency
+  double copy_setup_overhead_us = 2.0;     ///< DMA setup per transfer
+
+  /// Peak single-precision throughput in GFLOP/s (2 flops per FMA lane).
+  [[nodiscard]] double fp32_gflops() const {
+    return sm_count * fp32_lanes_per_sm * 2.0 * clock_ghz;
+  }
+  /// Peak double-precision throughput in GFLOP/s.
+  [[nodiscard]] double fp64_gflops() const { return fp32_gflops() * fp64_ratio; }
+
+  /// Bandwidths converted to bytes per microsecond (1 GB/s == 1e3 B/us).
+  [[nodiscard]] double dram_bytes_per_us() const { return dram_bw_gbps * 1e3; }
+  [[nodiscard]] double pcie_bytes_per_us() const { return pcie_bw_gbps * 1e3; }
+  [[nodiscard]] double fault_bytes_per_us() const { return fault_bw_gbps * 1e3; }
+
+  // The three GPUs of the paper's evaluation (section V-A).
+  static DeviceSpec gtx960();
+  static DeviceSpec gtx1660super();
+  static DeviceSpec tesla_p100();
+  /// A tiny deterministic device for unit tests.
+  static DeviceSpec test_device();
+};
+
+}  // namespace psched::sim

@@ -1,0 +1,440 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace psched::sim {
+
+namespace {
+constexpr double kWorkEps = 1e-9;
+
+/// True when a running op cannot measurably advance the clock any more.
+///
+/// Fluid-model progress accumulates rounding error of order
+/// rate * ulp(now) per rate interval, so an op can be left with a residue
+/// of work whose completion time increment underflows against `now`
+/// (now + remaining/rate == now). Work-relative tolerance alone cannot see
+/// this — the test must be in the time domain: sub-picosecond remaining
+/// *time* (scaled with ulp(now) for large clocks) counts as done.
+bool effectively_done(const Op& op, double rate, TimeUs now) {
+  if (op.remaining() <= kWorkEps * std::max(1.0, op.work)) return true;
+  if (rate <= 0) return false;
+  const TimeUs tol = std::max(1e-6, 1e-9 * now);
+  return op.remaining() / rate <= tol;
+}
+}
+
+Engine::Engine(DeviceSpec spec)
+    : spec_(std::move(spec)), model_(spec_) {
+  streams_.emplace_back();  // default stream 0
+}
+
+StreamId Engine::create_stream() {
+  streams_.emplace_back();
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+EventId Engine::create_event() {
+  events_.emplace_back();
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+OpId Engine::enqueue(Op op, TimeUs host_time) {
+  if (op.stream < 0 || static_cast<std::size_t>(op.stream) >= streams_.size()) {
+    throw ApiError("enqueue: invalid stream " + std::to_string(op.stream));
+  }
+  op.id = next_op_id_++;
+  op.enqueue_time = std::max(host_time, op.enqueue_time);
+  op.state = OpState::Queued;
+  const OpId id = op.id;
+  streams_[static_cast<std::size_t>(op.stream)].fifo.push_back(id);
+  ops_.emplace(id, std::move(op));
+  // The device may start this op as soon as the host clock allows; callers
+  // typically advance_to(host_time) right after.
+  return id;
+}
+
+void Engine::record_event(EventId event, StreamId stream, TimeUs host_time) {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError("record_event: invalid event");
+  }
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError("record_event: invalid stream");
+  }
+  EventState& ev = events_[static_cast<std::size_t>(event)];
+  ev.recorded = true;
+  const auto& fifo = streams_[static_cast<std::size_t>(stream)].fifo;
+  if (fifo.empty()) {
+    ev.gate = kInvalidOp;
+    ev.done_at = host_time;  // nothing pending: completes at record time
+  } else {
+    ev.gate = fifo.back();
+    ev.done_at = kTimeInfinity;  // set when the gate op completes
+  }
+}
+
+void Engine::set_on_complete(OpId op, std::function<void()> fn) {
+  auto it = ops_.find(op);
+  if (it == ops_.end()) throw ApiError("set_on_complete: unknown op");
+  if (it->second.state == OpState::Done) {
+    throw ApiError("set_on_complete: op already completed");
+  }
+  it->second.on_complete = std::move(fn);
+}
+
+void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError("wait_event: invalid event");
+  }
+  Op marker;
+  marker.kind = OpKind::Marker;
+  marker.stream = stream;
+  marker.name = "wait_event";
+  marker.work = 0;
+  marker.waits.push_back(event);
+  enqueue(std::move(marker), host_time);
+}
+
+bool Engine::stream_idle(StreamId stream) const {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError("stream_idle: invalid stream");
+  }
+  return streams_[static_cast<std::size_t>(stream)].fifo.empty();
+}
+
+bool Engine::op_done(OpId op) const {
+  auto it = ops_.find(op);
+  if (it == ops_.end()) throw ApiError("op_done: unknown op");
+  return it->second.state == OpState::Done;
+}
+
+bool Engine::event_done(EventId event) const {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError("event_done: invalid event");
+  }
+  const EventState& ev = events_[static_cast<std::size_t>(event)];
+  return ev.recorded && ev.done_at <= now_;
+}
+
+TimeUs Engine::event_done_time(EventId event) const {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError("event_done_time: invalid event");
+  }
+  return events_[static_cast<std::size_t>(event)].done_at;
+}
+
+const Op& Engine::op(OpId id) const {
+  auto it = ops_.find(id);
+  if (it == ops_.end()) throw ApiError("op: unknown op id");
+  return it->second;
+}
+
+bool Engine::all_idle() const {
+  for (const auto& s : streams_) {
+    if (!s.fifo.empty()) return false;
+  }
+  return true;
+}
+
+bool Engine::copy_engine_busy(OpKind dir) const {
+  for (OpId id : running_) {
+    if (ops_.at(id).kind == dir) return true;
+  }
+  return false;
+}
+
+bool Engine::op_can_start(const Op& op) const {
+  if (op.state != OpState::Queued) return false;
+  if (op.enqueue_time > now_ + kWorkEps) return false;
+  const auto& fifo = streams_[static_cast<std::size_t>(op.stream)].fifo;
+  if (fifo.empty() || fifo.front() != op.id) return false;
+  for (EventId e : op.waits) {
+    const EventState& ev = events_[static_cast<std::size_t>(e)];
+    if (!ev.recorded || ev.done_at > now_ + kWorkEps) return false;
+  }
+  // Explicit copies serialize on the per-direction DMA engine: one in
+  // flight at a time, grabbed in issue order as the engine frees up.
+  // (Fault-path migrations use the page-fault machinery instead and may
+  // proceed concurrently; the resource model de-rates them.)
+  if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
+      copy_engine_busy(op.kind)) {
+    return false;
+  }
+  return true;
+}
+
+void Engine::complete_op(Op& op) {
+  op.state = OpState::Done;
+  op.end_time = now_;
+  ++completed_count_;
+  auto& fifo = streams_[static_cast<std::size_t>(op.stream)].fifo;
+  if (!fifo.empty() && fifo.front() == op.id) fifo.pop_front();
+  std::erase(running_, op.id);
+  rates_dirty_ = true;
+
+  // Complete any event gated on this op.
+  for (EventState& ev : events_) {
+    if (ev.recorded && ev.gate == op.id && ev.done_at == kTimeInfinity) {
+      ev.done_at = now_;
+    }
+  }
+
+  if (op.kind != OpKind::Marker) {
+    TimelineEntry e;
+    e.op = op.id;
+    e.kind = op.kind;
+    e.stream = op.stream;
+    e.name = op.name;
+    e.start = op.start_time;
+    e.end = op.end_time;
+    e.bytes = op.bytes;
+    e.prof = op.prof;
+    timeline_.record(e);
+  }
+  if (op.on_complete) {
+    // Move out so re-entrant engine use from the callback cannot re-fire it.
+    auto fn = std::move(op.on_complete);
+    op.on_complete = nullptr;
+    fn();
+  }
+}
+
+void Engine::start_ready_ops() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Index-based: completion callbacks may create streams re-entrantly.
+    for (std::size_t si = 0; si < streams_.size(); ++si) {
+      auto& stream = streams_[si];
+      if (stream.fifo.empty()) continue;
+      auto it = ops_.find(stream.fifo.front());
+      Op& op = it->second;
+      if (!op_can_start(op)) continue;
+      op.state = OpState::Running;
+      op.start_time = now_;
+      if (op.remaining() <= kWorkEps) {
+        complete_op(op);  // zero-duration markers finish instantly
+      } else {
+        running_.push_back(op.id);
+        rates_dirty_ = true;
+      }
+      changed = true;
+    }
+  }
+}
+
+void Engine::recompute_rates() {
+  if (!rates_dirty_) return;
+  std::vector<const Op*> running;
+  running.reserve(running_.size());
+  for (OpId id : running_) running.push_back(&ops_.at(id));
+  rates_ = model_.solve(running);
+  rates_dirty_ = false;
+  ++solve_count_;
+}
+
+TimeUs Engine::earliest_queued_candidate() const {
+  TimeUs best = kTimeInfinity;
+  for (const auto& stream : streams_) {
+    if (stream.fifo.empty()) continue;
+    const Op& op = ops_.at(stream.fifo.front());
+    if (op.state != OpState::Queued) continue;
+    TimeUs cand = op.enqueue_time;
+    bool possible = true;
+    for (EventId e : op.waits) {
+      const EventState& ev = events_[static_cast<std::size_t>(e)];
+      if (!ev.recorded || ev.done_at == kTimeInfinity) {
+        // The event either isn't recorded yet or waits on a running op;
+        // a future completion or host call may unblock it.
+        possible = false;
+        break;
+      }
+      cand = std::max(cand, ev.done_at);
+    }
+    // A copy blocked on a busy DMA engine is unblocked by that copy's
+    // completion, which the engine already schedules; reporting a past
+    // candidate time here would move the clock backwards.
+    if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
+        copy_engine_busy(op.kind)) {
+      possible = false;
+    }
+    if (possible) best = std::min(best, cand);
+  }
+  return best;
+}
+
+void Engine::note_progress(bool advanced) {
+  if (advanced) {
+    stall_steps_ = 0;
+    return;
+  }
+  if (++stall_steps_ < kStallLimit) return;
+  std::ostringstream msg;
+  msg << "engine stalled at t=" << now_ << "us after " << kStallLimit
+      << " steps without progress; running:";
+  for (OpId id : running_) {
+    const Op& op = ops_.at(id);
+    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+    msg << " [op " << id << " '" << op.name << "' remaining "
+        << op.remaining() << " rate " << rate << "]";
+  }
+  msg << "; queued heads:";
+  for (const auto& stream : streams_) {
+    if (stream.fifo.empty()) continue;
+    const Op& op = ops_.at(stream.fifo.front());
+    if (op.state != OpState::Queued) continue;
+    msg << " [stream " << op.stream << " op " << op.id << " '" << op.name
+        << "' enqueue_t " << op.enqueue_time << " waits " << op.waits.size()
+        << "]";
+  }
+  throw Error(msg.str());
+}
+
+bool Engine::step(TimeUs target) {
+  const TimeUs entry_now = now_;
+  const long entry_completed = completed_count_;
+  start_ready_ops();
+  recompute_rates();
+
+  // Earliest completion among running ops.
+  TimeUs t_next = kTimeInfinity;
+  for (OpId id : running_) {
+    const Op& op = ops_.at(id);
+    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+    if (rate <= 0) continue;
+    t_next = std::min(t_next, now_ + op.remaining() / rate);
+  }
+  // Earliest future start of a queued head op.
+  t_next = std::min(t_next, earliest_queued_candidate());
+
+  if (t_next >= target) {
+    if (!std::isfinite(target)) {
+      // Nothing schedulable before an infinite horizon. With running ops
+      // present this means every rate is zero — callers will retry, so
+      // count it against the stall watchdog instead of spinning forever.
+      if (!running_.empty()) note_progress(false);
+      return false;
+    }
+    // Advance progress to target and stop.
+    const TimeUs dt = target - now_;
+    if (dt > 0) {
+      for (OpId id : running_) {
+        Op& op = ops_.at(id);
+        const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+        op.done = std::min(op.work, op.done + rate * dt);
+      }
+      now_ = target;
+    }
+    // Complete anything that finished exactly at target.
+    std::vector<OpId> finished;
+    for (OpId id : running_) {
+      const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+      if (effectively_done(ops_.at(id), rate, now_)) finished.push_back(id);
+    }
+    std::sort(finished.begin(), finished.end());
+    for (OpId id : finished) complete_op(ops_.at(id));
+    if (!finished.empty()) start_ready_ops();
+    note_progress(now_ != entry_now || completed_count_ != entry_completed);
+    return !finished.empty();
+  }
+
+  // Advance to the next discrete event.
+  const TimeUs dt = t_next - now_;
+  for (OpId id : running_) {
+    Op& op = ops_.at(id);
+    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+    op.done = std::min(op.work, op.done + rate * dt);
+  }
+  now_ = t_next;
+
+  std::vector<OpId> finished;
+  for (OpId id : running_) {
+    const Op& op = ops_.at(id);
+    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
+    if (effectively_done(op, rate, now_)) finished.push_back(id);
+  }
+  std::sort(finished.begin(), finished.end());  // deterministic tie-breaking
+  for (OpId id : finished) complete_op(ops_.at(id));
+  start_ready_ops();
+  note_progress(now_ != entry_now || completed_count_ != entry_completed);
+  return true;
+}
+
+void Engine::advance_to(TimeUs t) {
+  if (t <= now_) {
+    start_ready_ops();
+    return;
+  }
+  while (now_ < t) {
+    if (!step(t)) break;
+  }
+  start_ready_ops();
+}
+
+void Engine::check_deadlock() const {
+  if (!running_.empty()) return;
+  // No running ops: if any queued head could still start in the future
+  // (pending enqueue time or a completed-gate event), we are fine; if every
+  // queued op waits on something that can never complete, it's a deadlock.
+  bool any_queued = false;
+  for (const auto& stream : streams_) {
+    if (!stream.fifo.empty()) any_queued = true;
+  }
+  if (!any_queued) return;
+  if (earliest_queued_candidate() < kTimeInfinity) return;
+
+  std::ostringstream msg;
+  msg << "engine deadlock at t=" << now_ << "us; blocked ops:";
+  for (const auto& stream : streams_) {
+    if (stream.fifo.empty()) continue;
+    const Op& op = ops_.at(stream.fifo.front());
+    msg << " [stream " << op.stream << " op " << op.id << " '" << op.name
+        << "']";
+  }
+  throw Error(msg.str());
+}
+
+TimeUs Engine::run_until_op_done(OpId op_id) {
+  while (!op_done(op_id)) {
+    check_deadlock();
+    if (!step(kTimeInfinity)) check_deadlock();
+  }
+  return ops_.at(op_id).end_time;
+}
+
+TimeUs Engine::run_until_event(EventId event) {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError("run_until_event: invalid event");
+  }
+  const EventState& ev = events_[static_cast<std::size_t>(event)];
+  if (!ev.recorded) {
+    throw ApiError("run_until_event: event was never recorded");
+  }
+  if (ev.gate == kInvalidOp) {
+    advance_to(std::max(now_, ev.done_at));
+    return ev.done_at;
+  }
+  return run_until_op_done(ev.gate);
+}
+
+TimeUs Engine::run_until_stream_idle(StreamId stream) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError("run_until_stream_idle: invalid stream");
+  }
+  while (!streams_[static_cast<std::size_t>(stream)].fifo.empty()) {
+    check_deadlock();
+    step(kTimeInfinity);
+  }
+  return now_;
+}
+
+TimeUs Engine::run_all() {
+  while (!all_idle()) {
+    check_deadlock();
+    step(kTimeInfinity);
+  }
+  return now_;
+}
+
+}  // namespace psched::sim

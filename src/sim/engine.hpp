@@ -1,0 +1,134 @@
+// Discrete-event execution engine.
+//
+// The engine owns the virtual device: streams (FIFO queues of ops), events,
+// the set of currently running ops, and the clock. Host code enqueues ops
+// with a host timestamp; the engine advances virtual time, re-solving the
+// fluid resource model whenever the running set changes, and fires
+// completion callbacks in virtual-time order (which is what makes optional
+// functional kernel execution respect all data dependencies).
+//
+// CUDA semantics implemented here:
+//   * ops on one stream execute in issue order;
+//   * an event records the completion of all work issued to a stream before
+//     the record call; re-recording resets the event;
+//   * stream_wait_event inserts a barrier: later ops on the stream wait for
+//     the event without blocking the host.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/op.hpp"
+#include "sim/resource_model.hpp"
+#include "sim/timeline.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+class Engine {
+ public:
+  explicit Engine(DeviceSpec spec);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- topology ---
+  /// Streams are created lazily; stream 0 (default) always exists.
+  StreamId create_stream();
+  EventId create_event();
+  [[nodiscard]] std::size_t num_streams() const { return streams_.size(); }
+
+  // --- host-side API (host_time is the caller's current virtual time) ---
+  /// Enqueue an op on `op.stream`; returns its id.
+  OpId enqueue(Op op, TimeUs host_time);
+  /// Record `event` on `stream`: the event completes when all work issued
+  /// to the stream before this call has completed.
+  void record_event(EventId event, StreamId stream, TimeUs host_time);
+  /// Make future ops on `stream` wait for `event` (non-blocking for host).
+  void wait_event(StreamId stream, EventId event, TimeUs host_time);
+  /// Attach/replace the completion callback of a not-yet-completed op.
+  void set_on_complete(OpId op, std::function<void()> fn);
+
+  // --- time control ---
+  /// Process device activity up to virtual time `t` (never goes backward).
+  void advance_to(TimeUs t);
+  /// Advance until `op` completes; returns its completion time.
+  TimeUs run_until_op_done(OpId op);
+  /// Advance until `event` completes; returns its completion time.
+  TimeUs run_until_event(EventId event);
+  /// Advance until `stream` has no queued or running ops.
+  TimeUs run_until_stream_idle(StreamId stream);
+  /// Drain everything; throws Error on deadlock (op waiting on an event
+  /// that can never complete).
+  TimeUs run_all();
+
+  // --- queries ---
+  [[nodiscard]] TimeUs now() const { return now_; }
+  [[nodiscard]] bool stream_idle(StreamId stream) const;
+  [[nodiscard]] bool op_done(OpId op) const;
+  [[nodiscard]] bool event_done(EventId event) const;
+  [[nodiscard]] TimeUs event_done_time(EventId event) const;
+  [[nodiscard]] const Op& op(OpId id) const;
+  [[nodiscard]] bool all_idle() const;
+
+  [[nodiscard]] Timeline& timeline() { return timeline_; }
+  [[nodiscard]] const Timeline& timeline() const { return timeline_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const ResourceModel& model() const { return model_; }
+
+  /// Number of rate re-solves performed (introspection for tests).
+  [[nodiscard]] long solve_count() const { return solve_count_; }
+
+ private:
+  struct StreamState {
+    std::deque<OpId> fifo;  ///< queued + running ops, in issue order
+  };
+  struct EventState {
+    bool recorded = false;
+    OpId gate = kInvalidOp;       ///< op whose completion triggers the event
+    TimeUs done_at = kTimeInfinity;
+  };
+
+  /// Start every op whose start condition holds at `now_`; completes
+  /// zero-work ops (markers) immediately. Loops until a fixpoint.
+  void start_ready_ops();
+  [[nodiscard]] bool op_can_start(const Op& op) const;
+  /// True while an explicit copy in direction `dir` occupies the DMA engine.
+  [[nodiscard]] bool copy_engine_busy(OpKind dir) const;
+  /// Earliest future time at which a queued head op could start, if any.
+  [[nodiscard]] TimeUs earliest_queued_candidate() const;
+  void complete_op(Op& op);
+  void recompute_rates();
+  /// Advance by a single event step, not beyond `target`.
+  /// Returns false when now_ reached `target` with nothing left to process.
+  bool step(TimeUs target);
+  void check_deadlock() const;
+  /// Stall watchdog: throws with a state dump after kStallLimit consecutive
+  /// steps that neither advance the clock nor complete an op.
+  void note_progress(bool advanced);
+
+  DeviceSpec spec_;
+  ResourceModel model_;
+  Timeline timeline_;
+
+  TimeUs now_ = 0;
+  OpId next_op_id_ = 1;
+  EventId next_event_id_ = 1;
+
+  std::vector<StreamState> streams_;
+  std::unordered_map<OpId, Op> ops_;
+  std::vector<EventState> events_;
+  std::vector<OpId> running_;
+  std::unordered_map<OpId, double> rates_;
+  bool rates_dirty_ = true;
+  long solve_count_ = 0;
+  long completed_count_ = 0;
+  long stall_steps_ = 0;
+  static constexpr long kStallLimit = 100'000;
+};
+
+}  // namespace psched::sim

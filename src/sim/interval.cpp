@@ -1,0 +1,92 @@
+#include "sim/interval.hpp"
+
+namespace psched::sim {
+
+void IntervalSet::assign(std::vector<Interval> raw) {
+  ivs_.clear();
+  std::erase_if(raw, [](const Interval& iv) { return iv.empty(); });
+  std::sort(raw.begin(), raw.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  for (const Interval& iv : raw) {
+    if (!ivs_.empty() && iv.begin <= ivs_.back().end) {
+      ivs_.back().end = std::max(ivs_.back().end, iv.end);
+    } else {
+      ivs_.push_back(iv);
+    }
+  }
+}
+
+void IntervalSet::add(Interval iv) {
+  if (iv.empty()) return;
+  // Find insertion point and merge with overlapping neighbours.
+  auto first = std::lower_bound(
+      ivs_.begin(), ivs_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end < b.begin; });
+  auto last = first;
+  while (last != ivs_.end() && last->begin <= iv.end) {
+    iv.begin = std::min(iv.begin, last->begin);
+    iv.end = std::max(iv.end, last->end);
+    ++last;
+  }
+  first = ivs_.erase(first, last);
+  ivs_.insert(first, iv);
+}
+
+TimeUs IntervalSet::measure() const {
+  TimeUs total = 0;
+  for (const Interval& iv : ivs_) total += iv.length();
+  return total;
+}
+
+TimeUs IntervalSet::intersection_measure(Interval iv) const {
+  if (iv.empty()) return 0;
+  TimeUs total = 0;
+  // Skip intervals entirely before iv.
+  auto it = std::lower_bound(
+      ivs_.begin(), ivs_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.end <= b.begin; });
+  for (; it != ivs_.end() && it->begin < iv.end; ++it) {
+    const TimeUs lo = std::max(it->begin, iv.begin);
+    const TimeUs hi = std::min(it->end, iv.end);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  auto a = ivs_.begin();
+  auto b = other.ivs_.begin();
+  while (a != ivs_.end() && b != other.ivs_.end()) {
+    const TimeUs lo = std::max(a->begin, b->begin);
+    const TimeUs hi = std::min(a->end, b->end);
+    if (hi > lo) out.push_back({lo, hi});
+    if (a->end < b->end) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  IntervalSet r;
+  r.ivs_ = std::move(out);  // already sorted and disjoint
+  return r;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<Interval> all = ivs_;
+  all.insert(all.end(), other.ivs_.begin(), other.ivs_.end());
+  IntervalSet r;
+  r.assign(std::move(all));
+  return r;
+}
+
+bool IntervalSet::contains_point(TimeUs t) const {
+  auto it = std::upper_bound(
+      ivs_.begin(), ivs_.end(), t,
+      [](TimeUs v, const Interval& iv) { return v < iv.begin; });
+  if (it == ivs_.begin()) return false;
+  --it;
+  return t >= it->begin && t < it->end;
+}
+
+}  // namespace psched::sim

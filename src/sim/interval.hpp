@@ -1,0 +1,58 @@
+// Closed-open time interval algebra used by the overlap metrics (Fig. 11).
+//
+// An IntervalSet is a normalized (sorted, disjoint, non-empty) list of
+// [begin, end) intervals supporting union, intersection and total measure.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+struct Interval {
+  TimeUs begin = 0;
+  TimeUs end = 0;
+
+  [[nodiscard]] TimeUs length() const { return end > begin ? end - begin : 0; }
+  [[nodiscard]] bool empty() const { return end <= begin; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Normalized union of disjoint intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  explicit IntervalSet(std::vector<Interval> raw) { assign(std::move(raw)); }
+
+  /// Replace contents with the normalized union of `raw`.
+  void assign(std::vector<Interval> raw);
+
+  /// Insert one interval, keeping the set normalized.
+  void add(Interval iv);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return ivs_; }
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ivs_.size(); }
+
+  /// Total covered time.
+  [[nodiscard]] TimeUs measure() const;
+
+  /// Measure of the intersection between `iv` and this set.
+  [[nodiscard]] TimeUs intersection_measure(Interval iv) const;
+
+  /// Set-intersection with another interval set.
+  [[nodiscard]] IntervalSet intersect(const IntervalSet& other) const;
+
+  /// Set-union with another interval set.
+  [[nodiscard]] IntervalSet unite(const IntervalSet& other) const;
+
+  [[nodiscard]] bool contains_point(TimeUs t) const;
+
+ private:
+  std::vector<Interval> ivs_;  // sorted by begin, pairwise disjoint
+};
+
+}  // namespace psched::sim

@@ -1,0 +1,67 @@
+#include "sim/memory.hpp"
+
+namespace psched::sim {
+
+ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
+  if (bytes == 0) throw ApiError("alloc: zero-byte allocation");
+  if (used_ + bytes > capacity_) {
+    throw OutOfMemoryError("device out of memory: requested " +
+                           std::to_string(bytes) + " bytes, used " +
+                           std::to_string(used_) + " of " +
+                           std::to_string(capacity_));
+  }
+  ArrayInfo info;
+  info.id = next_id_++;
+  info.name = std::move(name);
+  info.bytes = bytes;
+  used_ += bytes;
+  const ArrayId id = info.id;
+  arrays_.emplace(id, std::move(info));
+  return id;
+}
+
+void MemoryManager::free_array(ArrayId id) {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end() || it->second.freed) {
+    throw ApiError("free_array: invalid or double free");
+  }
+  if (it->second.has_pending()) {
+    throw ApiError("free_array: array '" + it->second.name +
+                   "' still in use by device operations");
+  }
+  it->second.freed = true;
+  used_ -= it->second.bytes;
+}
+
+ArrayInfo& MemoryManager::info(ArrayId id) {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) throw ApiError("info: unknown array");
+  if (it->second.freed) {
+    throw ApiError("info: use after free of array '" + it->second.name + "'");
+  }
+  return it->second;
+}
+
+const ArrayInfo& MemoryManager::info(ArrayId id) const {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) throw ApiError("info: unknown array");
+  if (it->second.freed) {
+    throw ApiError("info: use after free of array '" + it->second.name + "'");
+  }
+  return it->second;
+}
+
+bool MemoryManager::valid(ArrayId id) const {
+  auto it = arrays_.find(id);
+  return it != arrays_.end() && !it->second.freed;
+}
+
+std::size_t MemoryManager::num_live_arrays() const {
+  std::size_t n = 0;
+  for (const auto& [id, a] : arrays_) {
+    if (!a.freed) ++n;
+  }
+  return n;
+}
+
+}  // namespace psched::sim

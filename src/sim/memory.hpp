@@ -1,0 +1,87 @@
+// Device memory allocator and unified-memory residency tracking.
+//
+// Every managed allocation ("array") has a logical size and a residency
+// state at whole-array granularity:
+//   * host_dirty  — the host copy is newer: kernels must migrate H2D first;
+//   * device_dirty — the device copy is newer: host reads must migrate D2H.
+// Fresh allocations are host-resident (host_dirty). The Runtime facade
+// performs the transitions; this class only does the accounting and raises
+// OutOfMemoryError when the device capacity is exceeded.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+struct ArrayInfo {
+  ArrayId id = kInvalidArray;
+  std::string name;
+  std::size_t bytes = 0;
+
+  bool on_device = false;    ///< a device copy exists (possibly stale)
+  bool host_dirty = true;    ///< host copy newer than device copy
+  bool device_dirty = false; ///< device copy newer than host copy
+  /// Managed pages materialize on first touch: an array the host never
+  /// wrote has no host data to migrate, so the first device use of a fresh
+  /// allocation (e.g. a kernel output buffer) transfers nothing.
+  bool host_touched = false;
+
+  /// Pre-Pascal visibility restriction: the stream this array is attached
+  /// to (kInvalidStream = visible everywhere).
+  StreamId attached_stream = kInvalidStream;
+
+  /// Event completing when the latest H2D migration of this array is done;
+  /// later launches on other streams must wait on it.
+  EventId ready_event = kInvalidEvent;
+
+  /// Device ops currently reading / writing this array (hazard detection).
+  /// Migrations count as reads: they permit concurrent host reads but not
+  /// host writes.
+  std::unordered_set<OpId> pending_reads;
+  std::unordered_set<OpId> pending_writes;
+
+  bool freed = false;
+
+  /// True if a kernel launch needs to migrate this array to the device.
+  [[nodiscard]] bool needs_h2d() const {
+    return host_touched && (!on_device || host_dirty);
+  }
+  [[nodiscard]] bool has_pending() const {
+    return !pending_reads.empty() || !pending_writes.empty();
+  }
+  void erase_pending(OpId op) {
+    pending_reads.erase(op);
+    pending_writes.erase(op);
+  }
+};
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(const DeviceSpec& spec) : capacity_(spec.memory_bytes) {}
+
+  ArrayId alloc(std::size_t bytes, std::string name);
+  void free_array(ArrayId id);
+
+  [[nodiscard]] ArrayInfo& info(ArrayId id);
+  [[nodiscard]] const ArrayInfo& info(ArrayId id) const;
+  [[nodiscard]] bool valid(ArrayId id) const;
+
+  [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t num_live_arrays() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  ArrayId next_id_ = 1;
+  std::unordered_map<ArrayId, ArrayInfo> arrays_;
+};
+
+}  // namespace psched::sim

@@ -1,0 +1,35 @@
+// Hardware-utilization metrics (Fig. 12).
+//
+// The paper collects device-memory throughput, L2 throughput, IPC and
+// GFLOPS with nvprof/ncu and combines them with the execution timeline.
+// Here the same quantities are computed from the kernel cost descriptors
+// recorded in the timeline: per-kernel counters are contention-independent
+// ("the amount of bytes read/written ... mostly depends on the kernel
+// itself", V-F), so throughput differences between serial and parallel
+// scheduling come purely from the kernel-busy time in the denominator —
+// space-sharing compresses it, transfer-only overlap leaves it unchanged.
+#pragma once
+
+#include "sim/device_spec.hpp"
+#include "sim/timeline.hpp"
+
+namespace psched::sim {
+
+struct HwMetrics {
+  double dram_gbps = 0;   ///< device memory throughput
+  double l2_gbps = 0;     ///< L2 cache throughput
+  double ipc = 0;         ///< device-wide instructions per clock cycle
+  double gflops = 0;      ///< single+double precision FLOP rate
+  TimeUs makespan_us = 0;
+  /// Union of kernel-active intervals; the denominator of every rate above.
+  TimeUs kernel_busy_us = 0;
+};
+
+class Profiler {
+ public:
+  /// Aggregate counters over the run recorded in `timeline`.
+  [[nodiscard]] static HwMetrics compute(const Timeline& timeline,
+                                         const DeviceSpec& spec);
+};
+
+}  // namespace psched::sim

@@ -1,0 +1,181 @@
+#include "sim/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psched::sim {
+
+double ResourceModel::utilization(double warp_fill) {
+  if (warp_fill <= 0) return 0;
+  const double w = std::min(warp_fill, 1.0);
+  return (1.0 + kLatencyHiding) * w / (w + kLatencyHiding);
+}
+
+int ResourceModel::blocks_per_sm(const LaunchConfig& cfg) const {
+  const long tpb = std::max<long>(1, cfg.threads_per_block());
+  const long by_threads = std::max<long>(1, spec_->max_threads_per_sm / tpb);
+  long limit = std::min<long>(spec_->max_blocks_per_sm, by_threads);
+  if (cfg.shared_mem_per_block > 0) {
+    const long by_smem =
+        std::max<long>(1, static_cast<long>(spec_->shared_mem_per_sm_bytes) /
+                              cfg.shared_mem_per_block);
+    limit = std::min(limit, by_smem);
+  }
+  return static_cast<int>(limit);
+}
+
+KernelDemand ResourceModel::kernel_demand(const LaunchConfig& cfg,
+                                          const KernelProfile& prof) const {
+  KernelDemand d;
+  const long blocks = std::max<long>(1, cfg.blocks());
+  const int bpsm = blocks_per_sm(cfg);
+  const long sms_needed = (blocks + bpsm - 1) / bpsm;
+  d.sm_demand = static_cast<double>(
+      std::min<long>(sms_needed, spec_->sm_count));
+
+  // Occupancy of the SMs the kernel actually occupies.
+  const long resident_blocks =
+      std::min<long>(bpsm, (blocks + static_cast<long>(d.sm_demand) - 1) /
+                               std::max<long>(1, static_cast<long>(d.sm_demand)));
+  d.occupancy = std::min(
+      1.0, static_cast<double>(resident_blocks * cfg.threads_per_block()) /
+               spec_->max_threads_per_sm);
+  // Fold the kernel's issue-slot duty cycle into its effective occupancy:
+  // a latency-bound kernel keeps fewer of its resident warps busy, so it
+  // fills less of the device and co-scheduling can reclaim the slack.
+  d.occupancy *= std::clamp(prof.duty, 0.01, 1.0);
+  d.warp_fill = (d.sm_demand / spec_->sm_count) * d.occupancy;
+
+  // Compute time: peak throughput scaled by the latency-hiding curve at the
+  // kernel's own device fill. GFLOP/s == 1e3 flops/us.
+  const double u = utilization(d.warp_fill);
+  const double fp32_rate = spec_->fp32_gflops() * 1e3 * u;  // flops/us
+  const double fp64_rate = spec_->fp64_gflops() * 1e3 * u;
+  double compute_us = 0;
+  if (prof.flops_sp > 0) compute_us += prof.flops_sp / fp32_rate;
+  if (prof.flops_dp > 0) compute_us += prof.flops_dp / fp64_rate;
+
+  // Memory time: DRAM bandwidth reachable with this kernel's parallelism.
+  // Outstanding memory requests scale with the *effective* device fill
+  // (resident warps times duty), so an under-filling or latency-bound
+  // kernel cannot saturate DRAM alone — the headroom space-sharing taps.
+  const double bw_cap =
+      spec_->dram_bytes_per_us() *
+      std::min(1.0, d.warp_fill / kBwSaturationFill);
+  const double mem_us = prof.dram_bytes > 0 && bw_cap > 0
+                            ? prof.dram_bytes / bw_cap
+                            : 0;
+
+  d.solo_us = std::max(compute_us, mem_us) + spec_->kernel_launch_overhead_us;
+  d.solo_us = std::max(d.solo_us, 0.5);  // floor: no zero-length kernels
+  d.bw_need = prof.dram_bytes > 0 ? prof.dram_bytes / d.solo_us : 0;
+  return d;
+}
+
+std::vector<double> ResourceModel::max_min_fair(
+    const std::vector<double>& demands, double capacity) {
+  std::vector<double> alloc(demands.size(), 0);
+  std::vector<std::size_t> unsat;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0) unsat.push_back(i);
+  }
+  double remaining = capacity;
+  while (!unsat.empty() && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(unsat.size());
+    bool any_satisfied = false;
+    std::vector<std::size_t> next;
+    for (std::size_t i : unsat) {
+      const double want = demands[i] - alloc[i];
+      if (want <= share + 1e-15) {
+        alloc[i] = demands[i];
+        remaining -= want;
+        any_satisfied = true;
+      } else {
+        next.push_back(i);
+      }
+    }
+    if (!any_satisfied) {
+      // Everyone wants more than the equal share: split equally and stop.
+      for (std::size_t i : next) alloc[i] += share;
+      remaining = 0;
+      next.clear();
+    }
+    unsat = std::move(next);
+  }
+  return alloc;
+}
+
+std::unordered_map<OpId, double> ResourceModel::solve(
+    const std::vector<const Op*>& running) const {
+  std::unordered_map<OpId, double> rates;
+  rates.reserve(running.size());
+
+  // --- kernels: share warp slots, then DRAM bandwidth ---
+  std::vector<const Op*> kernels;
+  double total_fill = 0;
+  for (const Op* op : running) {
+    if (op->kind == OpKind::Kernel) {
+      kernels.push_back(op);
+      total_fill += (op->sm_demand / spec_->sm_count) * op->occupancy;
+    }
+  }
+  if (!kernels.empty()) {
+    const double device_u = utilization(total_fill);
+    std::vector<double> compute_rate(kernels.size());
+    std::vector<double> bw_demand(kernels.size());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const Op* op = kernels[i];
+      const double fill = (op->sm_demand / spec_->sm_count) * op->occupancy;
+      const double solo_u = utilization(fill);
+      // Device throughput at the combined fill, split proportionally to each
+      // kernel's fill, relative to the throughput the kernel had solo.
+      double r = 1.0;
+      if (total_fill > 0 && solo_u > 0) {
+        r = device_u * (fill / total_fill) / solo_u;
+      }
+      r = std::min(r, 1.0);  // a kernel never runs faster than solo
+      compute_rate[i] = r;
+      bw_demand[i] = op->bw_need * r;
+    }
+    const std::vector<double> bw_alloc =
+        max_min_fair(bw_demand, spec_->dram_bytes_per_us());
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      double r = compute_rate[i];
+      if (kernels[i]->bw_need > 0 && bw_demand[i] > 0) {
+        r = std::min(r, bw_alloc[i] / kernels[i]->bw_need);
+      }
+      rates[kernels[i]->id] = std::max(r, 1e-9);
+    }
+  }
+
+  // --- PCIe transfers: equal share per direction ---
+  for (OpKind dir : {OpKind::CopyH2D, OpKind::CopyD2H}) {
+    std::vector<const Op*> copies;
+    for (const Op* op : running) {
+      if (op->kind == dir) copies.push_back(op);
+    }
+    if (copies.empty()) continue;
+    const double share =
+        spec_->pcie_bytes_per_us() / static_cast<double>(copies.size());
+    for (const Op* op : copies) rates[op->id] = share;
+  }
+
+  // --- unified-memory faults: de-rated, contended path ---
+  {
+    std::vector<const Op*> faults;
+    for (const Op* op : running) {
+      if (op->kind == OpKind::Fault) faults.push_back(op);
+    }
+    if (!faults.empty()) {
+      const auto n = static_cast<double>(faults.size());
+      const double capacity =
+          spec_->fault_bytes_per_us() /
+          (1.0 + kFaultContentionPenalty * (n - 1.0));
+      for (const Op* op : faults) rates[op->id] = capacity / n;
+    }
+  }
+
+  return rates;
+}
+
+}  // namespace psched::sim

@@ -1,0 +1,76 @@
+// Fluid (processor-sharing) resource model.
+//
+// Whenever the set of concurrently running operations changes, the engine
+// asks this model for a fresh progress rate for every running op:
+//
+//   * Kernels progress in "solo time" units: rate 1.0 means the kernel runs
+//     exactly as fast as it would alone on an idle device. Concurrent
+//     kernels share the device's warp slots (space-sharing) and DRAM
+//     bandwidth. Latency hiding means two half-occupancy kernels together
+//     run *better* than serially (the paper's block-size observation in
+//     section V-C), while kernels that already saturate the device neither
+//     gain nor lose from co-scheduling.
+//   * Transfers progress in bytes: PCIe bandwidth is shared per direction
+//     (max-min fair, which degenerates to an equal split); unified-memory
+//     fault migrations use a de-rated fault path whose efficiency degrades
+//     with the number of concurrently faulting ops (the paper's "page fault
+//     controller becomes the main bottleneck" effect, section V-C).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/op.hpp"
+
+namespace psched::sim {
+
+/// Static (contention-independent) demand parameters of one kernel launch.
+struct KernelDemand {
+  double sm_demand = 0;   ///< SMs required to run at full rate (<= sm_count)
+  double occupancy = 0;   ///< per-SM thread occupancy in [0, 1]
+  double warp_fill = 0;   ///< device-wide fill fraction: sm share * occupancy
+  double solo_us = 0;     ///< execution time alone on an idle device
+  double bw_need = 0;     ///< DRAM bytes/us consumed when running at rate 1
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const DeviceSpec& spec) : spec_(&spec) {}
+
+  /// Latency-hiding utilization curve: fraction of peak throughput achieved
+  /// at device fill `w` (in [0, inf), capped at 1.0 for w >= 1).
+  [[nodiscard]] static double utilization(double warp_fill);
+
+  /// Per-SM blocks limit for a block size (threads and block-slot limits).
+  [[nodiscard]] int blocks_per_sm(const LaunchConfig& cfg) const;
+
+  /// Compute the static demand of one kernel launch.
+  [[nodiscard]] KernelDemand kernel_demand(const LaunchConfig& cfg,
+                                           const KernelProfile& prof) const;
+
+  /// Solve instantaneous rates for the set of running ops.
+  /// Kernels get a dimensionless rate (progress in solo-us per us);
+  /// transfers get bytes/us. Markers/host ops are ignored.
+  [[nodiscard]] std::unordered_map<OpId, double> solve(
+      const std::vector<const Op*>& running) const;
+
+  /// Max-min fair ("water-filling") allocation of `capacity` among demands.
+  [[nodiscard]] static std::vector<double> max_min_fair(
+      const std::vector<double>& demands, double capacity);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return *spec_; }
+
+ private:
+  const DeviceSpec* spec_;
+
+  /// Latency-hiding shape parameter: u(w) = (1+c) * w / (w + c), u(1) = 1.
+  static constexpr double kLatencyHiding = 0.18;
+  /// Device fill needed (as fraction of all SMs at full occupancy) to
+  /// saturate DRAM bandwidth.
+  static constexpr double kBwSaturationFill = 0.5;
+  /// Per-extra-op degradation of the page-fault path.
+  static constexpr double kFaultContentionPenalty = 0.30;
+};
+
+}  // namespace psched::sim

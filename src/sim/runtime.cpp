@@ -1,0 +1,279 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+
+#include "sim/graph.hpp"
+
+namespace psched::sim {
+
+GpuRuntime::GpuRuntime(DeviceSpec spec)
+    : engine_(std::move(spec)), memory_(engine_.spec()) {}
+
+GpuRuntime::~GpuRuntime() = default;
+
+void GpuRuntime::host_advance(TimeUs dt) {
+  if (dt < 0) throw ApiError("host_advance: negative time");
+  host_now_ += dt;
+  engine_.advance_to(host_now_);
+}
+
+StreamId GpuRuntime::create_stream() { return engine_.create_stream(); }
+
+EventId GpuRuntime::create_event() { return engine_.create_event(); }
+
+void GpuRuntime::record_event(EventId event, StreamId stream) {
+  if (capture_ != nullptr) {
+    capture_->on_captured_record_event(event, stream);
+    return;
+  }
+  host_now_ += kLaunchCpuOverheadUs;
+  engine_.advance_to(host_now_);
+  engine_.record_event(event, stream, host_now_);
+}
+
+void GpuRuntime::stream_wait_event(StreamId stream, EventId event) {
+  if (capture_ != nullptr) {
+    capture_->on_captured_wait_event(stream, event);
+    return;
+  }
+  host_now_ += kLaunchCpuOverheadUs;
+  engine_.advance_to(host_now_);
+  engine_.wait_event(stream, event, host_now_);
+}
+
+bool GpuRuntime::stream_idle(StreamId stream) {
+  engine_.advance_to(host_now_);
+  return engine_.stream_idle(stream);
+}
+
+void GpuRuntime::synchronize_stream(StreamId stream) {
+  engine_.advance_to(host_now_);
+  const TimeUs t = engine_.run_until_stream_idle(stream);
+  host_now_ = std::max(host_now_, t);
+}
+
+void GpuRuntime::synchronize_event(EventId event) {
+  engine_.advance_to(host_now_);
+  const TimeUs t = engine_.run_until_event(event);
+  host_now_ = std::max(host_now_, t);
+}
+
+void GpuRuntime::synchronize_device() {
+  engine_.advance_to(host_now_);
+  const TimeUs t = engine_.run_all();
+  host_now_ = std::max(host_now_, t);
+}
+
+bool GpuRuntime::event_done(EventId event) {
+  engine_.advance_to(host_now_);
+  return engine_.event_done(event);
+}
+
+ArrayId GpuRuntime::alloc(std::size_t bytes, const std::string& name) {
+  return memory_.alloc(bytes, name);
+}
+
+void GpuRuntime::free_array(ArrayId id) {
+  engine_.advance_to(host_now_);
+  memory_.free_array(id);
+}
+
+void GpuRuntime::stage_h2d(ArrayId id, StreamId stream, OpKind kind,
+                           double /*bw_hint*/) {
+  ArrayInfo& a = memory_.info(id);
+  if (!a.needs_h2d()) {
+    // Fresh on device, but a migration issued by another stream may still
+    // be in flight: order behind it.
+    if (a.ready_event != kInvalidEvent && !engine_.event_done(a.ready_event)) {
+      engine_.wait_event(stream, a.ready_event, host_now_);
+    }
+    return;
+  }
+  Op op;
+  op.kind = kind;
+  op.stream = stream;
+  op.name = std::string(kind == OpKind::Fault ? "fault:" : "h2d:") + a.name;
+  op.bytes = static_cast<double>(a.bytes);
+  op.work = op.bytes;
+  const ArrayId aid = id;
+  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
+  a.pending_reads.insert(op_id);  // migration reads the host copy
+  engine_.set_on_complete(op_id, [this, aid, op_id]() {
+    if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+  });
+
+  a.on_device = true;
+  a.host_dirty = false;
+  EventId ev = engine_.create_event();
+  engine_.record_event(ev, stream, host_now_);
+  a.ready_event = ev;
+
+  if (kind == OpKind::Fault) {
+    bytes_faulted_ += static_cast<double>(a.bytes);
+  } else {
+    bytes_h2d_ += static_cast<double>(a.bytes);
+  }
+  engine_.advance_to(host_now_);
+}
+
+OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
+  if (capture_ != nullptr) {
+    capture_->on_captured_prefetch(stream, id);
+    return kInvalidOp;
+  }
+  host_now_ += kLaunchCpuOverheadUs;
+  engine_.advance_to(host_now_);
+  ArrayInfo& a = memory_.info(id);
+  if (!a.needs_h2d()) return kInvalidOp;
+  stage_h2d(id, stream, OpKind::CopyH2D, 0);
+  // The staged op is the newest op on `stream`.
+  return kInvalidOp;  // callers use the array's ready_event for ordering
+}
+
+OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
+  if (capture_ != nullptr) {
+    capture_->on_captured_h2d(stream, id, memory_.info(id).name);
+    return kInvalidOp;
+  }
+  host_now_ += kLaunchCpuOverheadUs;
+  engine_.advance_to(host_now_);
+  ArrayInfo& a = memory_.info(id);
+  if (!a.needs_h2d()) return kInvalidOp;
+  stage_h2d(id, stream, OpKind::CopyH2D, 0);
+  return kInvalidOp;
+}
+
+void GpuRuntime::attach_array(ArrayId id, StreamId stream) {
+  memory_.info(id).attached_stream = stream;
+}
+
+void GpuRuntime::note_host_access(ArrayId id, bool for_write) {
+  engine_.advance_to(host_now_);
+  ArrayInfo& a = memory_.info(id);
+  // A host read may proceed concurrently with device *reads* on page-fault
+  // architectures; pre-Pascal GPUs forbid any CPU access to managed arrays
+  // the device is using. A host write conflicts with everything.
+  const bool conflict =
+      for_write ? a.has_pending()
+                : (!a.pending_writes.empty() ||
+                   (!engine_.spec().page_fault_um && a.has_pending()));
+  if (conflict) {
+    ++hazards_;
+    if (strict_hazards_) {
+      throw ApiError("host access hazard: array '" + a.name +
+                     "' has pending device operations "
+                     "(missing synchronization)");
+    }
+    // Non-strict: block until the conflicting ops drain to preserve
+    // functional correctness.
+    auto drain = [this](std::unordered_set<OpId>& setref) {
+      while (!setref.empty()) {
+        const OpId pending = *setref.begin();
+        const TimeUs t = engine_.run_until_op_done(pending);
+        host_now_ = std::max(host_now_, t);
+      }
+    };
+    drain(a.pending_writes);
+    if (for_write || !engine_.spec().page_fault_um) drain(a.pending_reads);
+  }
+}
+
+void GpuRuntime::host_read(ArrayId id) {
+  note_host_access(id, /*for_write=*/false);
+  ArrayInfo& a = memory_.info(id);
+  if (!a.device_dirty) return;
+  // Migrate back to the host over PCIe; blocks the host.
+  Op op;
+  op.kind = OpKind::CopyD2H;
+  op.stream = kDefaultStream;
+  op.name = "d2h:" + a.name;
+  op.bytes = static_cast<double>(a.bytes);
+  op.work = op.bytes;
+  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
+  const TimeUs t = engine_.run_until_op_done(op_id);
+  host_now_ = std::max(host_now_, t);
+  bytes_d2h_ += static_cast<double>(a.bytes);
+  a.device_dirty = false;
+}
+
+void GpuRuntime::host_write(ArrayId id) {
+  note_host_access(id, /*for_write=*/true);
+  ArrayInfo& a = memory_.info(id);
+  a.host_touched = true;
+  a.host_dirty = true;
+  a.device_dirty = false;
+  a.attached_stream = kInvalidStream;
+}
+
+OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
+  if (capture_ != nullptr) {
+    capture_->on_captured_launch(stream, spec);
+    return kInvalidOp;
+  }
+  host_now_ += kLaunchCpuOverheadUs;
+  engine_.advance_to(host_now_);
+
+  // Stage unified-memory migrations for stale argument arrays. Without an
+  // explicit prefetch this is the on-demand fault path on Pascal+, and an
+  // ahead-of-time full-bandwidth copy on pre-Pascal (no fault mechanism).
+  const OpKind migration_kind =
+      spec_page_fault() ? OpKind::Fault : OpKind::CopyH2D;
+  for (const ArrayUse& use : spec.arrays) {
+    stage_h2d(use.id, stream, migration_kind, 0);
+  }
+
+  const KernelDemand demand =
+      engine_.model().kernel_demand(spec.config, spec.profile);
+
+  Op op;
+  op.kind = OpKind::Kernel;
+  op.stream = stream;
+  op.name = spec.name;
+  op.cfg = spec.config;
+  op.prof = spec.profile;
+  op.sm_demand = demand.sm_demand;
+  op.occupancy = demand.occupancy;
+  op.bw_need = demand.bw_need;
+  op.work = demand.solo_us;
+
+  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
+
+  std::vector<ArrayId> used;
+  used.reserve(spec.arrays.size());
+  for (const ArrayUse& use : spec.arrays) {
+    ArrayInfo& a = memory_.info(use.id);
+    if (use.write) {
+      a.pending_writes.insert(op_id);
+      a.device_dirty = true;
+      a.on_device = true;  // the kernel materializes the array on device
+    } else {
+      a.pending_reads.insert(op_id);
+    }
+    used.push_back(use.id);
+  }
+  auto fn = spec.functional;
+  engine_.set_on_complete(
+      op_id, [this, used = std::move(used), op_id, fn = std::move(fn)]() {
+        for (ArrayId aid : used) {
+          if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+        }
+        if (fn) fn();
+      });
+
+  engine_.advance_to(host_now_);
+  return op_id;
+}
+
+void GpuRuntime::begin_capture(TaskGraph& graph) {
+  if (capture_ != nullptr) throw ApiError("begin_capture: already capturing");
+  capture_ = &graph;
+}
+
+void GpuRuntime::end_capture() {
+  if (capture_ == nullptr) throw ApiError("end_capture: not capturing");
+  capture_ = nullptr;
+}
+
+bool GpuRuntime::spec_page_fault() const { return engine_.spec().page_fault_um; }
+
+}  // namespace psched::sim

@@ -1,0 +1,141 @@
+// GpuRuntime — the CUDA-like host API facade over the engine.
+//
+// This is the layer the paper's scheduler (and the hand-tuned baselines)
+// program against: streams, events, managed allocations, async copies and
+// prefetches, kernel launches, and blocking synchronization. It maintains
+// the virtual *host* clock: non-blocking calls cost a small fixed overhead,
+// blocking synchronization advances the host clock to the completion time.
+//
+// Unified-memory behaviour at kernel launch:
+//   * If an argument array needs migration and nothing was prefetched, an
+//     implicit migration op is inserted before the kernel on its stream —
+//     over the de-rated page-fault path on Pascal+ (on-demand migration),
+//     or the full PCIe link on pre-Pascal (migration ahead of execution,
+//     there is no fault mechanism).
+//   * Explicit mem_prefetch_async / memcpy_h2d_async move data at full PCIe
+//     bandwidth and can overlap other streams' kernels.
+//   * Cross-stream uses of an in-flight migration wait on its ready event.
+//
+// Host accesses (host_read / host_write) perform hazard detection: accessing
+// an array while device ops on it are still pending means the caller failed
+// to synchronize — a correctness bug in the scheduler under test.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/engine.hpp"
+#include "sim/memory.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+/// How a kernel launch uses one array argument.
+struct ArrayUse {
+  ArrayId id = kInvalidArray;
+  bool write = false;
+};
+
+/// Full description of a kernel launch (shared with the graph API).
+struct LaunchSpec {
+  std::string name;
+  LaunchConfig config;
+  KernelProfile profile;
+  std::vector<ArrayUse> arrays;
+  std::function<void()> functional;  ///< optional host execution at completion
+};
+
+class TaskGraph;  // graph.hpp
+
+class GpuRuntime {
+ public:
+  explicit GpuRuntime(DeviceSpec spec);
+  ~GpuRuntime();
+
+  GpuRuntime(const GpuRuntime&) = delete;
+  GpuRuntime& operator=(const GpuRuntime&) = delete;
+
+  // --- host clock ---
+  [[nodiscard]] TimeUs now() const { return host_now_; }
+  /// Model host-side computation taking `dt` microseconds.
+  void host_advance(TimeUs dt);
+
+  // --- streams and events ---
+  StreamId create_stream();
+  EventId create_event();
+  void record_event(EventId event, StreamId stream);
+  void stream_wait_event(StreamId stream, EventId event);
+  [[nodiscard]] bool stream_idle(StreamId stream);
+  void synchronize_stream(StreamId stream);
+  void synchronize_event(EventId event);
+  void synchronize_device();
+  [[nodiscard]] bool event_done(EventId event);
+
+  // --- managed memory ---
+  ArrayId alloc(std::size_t bytes, const std::string& name);
+  void free_array(ArrayId id);
+  [[nodiscard]] MemoryManager& memory() { return memory_; }
+  [[nodiscard]] const MemoryManager& memory() const { return memory_; }
+
+  // --- data movement ---
+  /// UM prefetch: H2D migration at full PCIe bandwidth if the device copy is
+  /// stale; returns the op id or kInvalidOp if nothing to move.
+  OpId mem_prefetch_async(ArrayId id, StreamId stream);
+  /// Explicit ahead-of-time copy (identical timing; used by pre-Pascal code
+  /// paths and hand-tuned baselines).
+  OpId memcpy_h2d_async(ArrayId id, StreamId stream);
+  /// Pre-Pascal visibility restriction bookkeeping.
+  void attach_array(ArrayId id, StreamId stream);
+
+  // --- host access (caller must have synchronized; we check) ---
+  /// Blocking read: migrates D2H if the device copy is newer.
+  void host_read(ArrayId id);
+  /// Blocking write: marks the host copy as the newest version.
+  void host_write(ArrayId id);
+
+  // --- kernel launch ---
+  OpId launch(StreamId stream, const LaunchSpec& spec);
+
+  // --- capture (CUDA-Graphs stream capture; see graph.hpp) ---
+  void begin_capture(TaskGraph& graph);
+  void end_capture();
+  [[nodiscard]] bool capturing() const { return capture_ != nullptr; }
+
+  // --- introspection ---
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] Timeline& timeline() { return engine_.timeline(); }
+  [[nodiscard]] const DeviceSpec& spec() const { return engine_.spec(); }
+  [[nodiscard]] int hazard_count() const { return hazards_; }
+  /// Throw ApiError on host-access hazards instead of counting (default on).
+  void set_strict_hazards(bool strict) { strict_hazards_ = strict; }
+  /// Total bytes moved per category (accounting for tests/reporting).
+  [[nodiscard]] double bytes_h2d() const { return bytes_h2d_; }
+  [[nodiscard]] double bytes_d2h() const { return bytes_d2h_; }
+  [[nodiscard]] double bytes_faulted() const { return bytes_faulted_; }
+
+  /// Fixed host-side cost of issuing any async operation (microseconds).
+  static constexpr TimeUs kLaunchCpuOverheadUs = 2.0;
+
+ private:
+  /// Ensure the array is (or will be) device-resident on `stream`; creates
+  /// a migration op if needed, returns the event later launches must wait on.
+  void stage_h2d(ArrayId id, StreamId stream, OpKind kind, double bw_hint);
+  void note_host_access(ArrayId id, bool for_write);
+  [[nodiscard]] bool spec_page_fault() const;
+
+  Engine engine_;
+  MemoryManager memory_;
+  TimeUs host_now_ = 0;
+  int hazards_ = 0;
+  bool strict_hazards_ = true;
+  double bytes_h2d_ = 0;
+  double bytes_d2h_ = 0;
+  double bytes_faulted_ = 0;
+  TaskGraph* capture_ = nullptr;
+};
+
+}  // namespace psched::sim

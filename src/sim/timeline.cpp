@@ -1,0 +1,174 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace psched::sim {
+
+namespace {
+
+bool counts_for_makespan(const TimelineEntry& e) {
+  return e.kind != OpKind::Marker && e.kind != OpKind::Host;
+}
+
+}  // namespace
+
+TimeUs Timeline::begin_time() const {
+  TimeUs t = kTimeInfinity;
+  for (const auto& e : entries_) {
+    if (counts_for_makespan(e)) t = std::min(t, e.start);
+  }
+  return std::isfinite(t) ? t : 0;
+}
+
+TimeUs Timeline::end_time() const {
+  TimeUs t = 0;
+  for (const auto& e : entries_) {
+    if (counts_for_makespan(e)) t = std::max(t, e.end);
+  }
+  return t;
+}
+
+TimeUs Timeline::makespan() const {
+  if (entries_.empty()) return 0;
+  const TimeUs b = begin_time();
+  const TimeUs e = end_time();
+  return e > b ? e - b : 0;
+}
+
+TimeUs Timeline::total_kernel_time() const {
+  TimeUs t = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == OpKind::Kernel) t += e.duration();
+  }
+  return t;
+}
+
+TimeUs Timeline::total_transfer_time() const {
+  TimeUs t = 0;
+  for (const auto& e : entries_) {
+    if (is_transfer(e.kind)) t += e.duration();
+  }
+  return t;
+}
+
+IntervalSet Timeline::cover(OpKind kind) const {
+  std::vector<Interval> ivs;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) ivs.push_back(e.interval());
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+IntervalSet Timeline::kernel_cover() const { return cover(OpKind::Kernel); }
+
+IntervalSet Timeline::transfer_cover() const {
+  std::vector<Interval> ivs;
+  for (const auto& e : entries_) {
+    if (is_transfer(e.kind)) ivs.push_back(e.interval());
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+OverlapMetrics Timeline::overlap_metrics() const {
+  OverlapMetrics m;
+  const IntervalSet kernels = kernel_cover();
+  const IntervalSet transfers = transfer_cover();
+
+  TimeUs kernel_total = 0, kernel_ct = 0, kernel_cc = 0;
+  TimeUs transfer_total = 0, transfer_tc = 0;
+  TimeUs any_total = 0, any_overlap = 0;
+
+  for (const auto& e : entries_) {
+    if (!counts_for_makespan(e)) continue;
+    const Interval iv = e.interval();
+    if (e.kind == OpKind::Kernel) {
+      kernel_total += iv.length();
+      kernel_ct += transfers.intersection_measure(iv);
+      // CC: overlap with *other* kernels. Remove this entry's own interval
+      // by building the union of all other kernel intervals.
+      std::vector<Interval> others;
+      for (const auto& o : entries_) {
+        if (&o != &e && o.kind == OpKind::Kernel) others.push_back(o.interval());
+      }
+      kernel_cc += IntervalSet(std::move(others)).intersection_measure(iv);
+    } else if (is_transfer(e.kind)) {
+      transfer_total += iv.length();
+      transfer_tc += kernels.intersection_measure(iv);
+    }
+    // TOT: overlap with the union of all other ops (counted once).
+    std::vector<Interval> others;
+    for (const auto& o : entries_) {
+      if (&o != &e && counts_for_makespan(o)) others.push_back(o.interval());
+    }
+    any_total += iv.length();
+    any_overlap += IntervalSet(std::move(others)).intersection_measure(iv);
+  }
+
+  m.ct = kernel_total > 0 ? kernel_ct / kernel_total : 0;
+  m.tc = transfer_total > 0 ? transfer_tc / transfer_total : 0;
+  m.cc = kernel_total > 0 ? kernel_cc / kernel_total : 0;
+  m.tot = any_total > 0 ? any_overlap / any_total : 0;
+  return m;
+}
+
+KernelProfile Timeline::total_kernel_profile() const {
+  KernelProfile p;
+  for (const auto& e : entries_) {
+    if (e.kind == OpKind::Kernel) p += e.prof;
+  }
+  return p;
+}
+
+std::string Timeline::render_ascii(int width) const {
+  std::ostringstream out;
+  const TimeUs t0 = begin_time();
+  const TimeUs t1 = end_time();
+  const TimeUs span = std::max<TimeUs>(t1 - t0, 1e-9);
+
+  std::map<StreamId, std::vector<const TimelineEntry*>> by_stream;
+  for (const auto& e : entries_) {
+    if (!counts_for_makespan(e)) continue;
+    by_stream[e.stream].push_back(&e);
+  }
+
+  out << "timeline: " << t0 << " .. " << t1 << " us (makespan "
+      << makespan() << " us)\n";
+  for (auto& [stream, ops] : by_stream) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    std::sort(ops.begin(), ops.end(),
+              [](const TimelineEntry* a, const TimelineEntry* b) {
+                return a->start < b->start;
+              });
+    for (const TimelineEntry* e : ops) {
+      int lo = static_cast<int>((e->start - t0) / span * width);
+      int hi = static_cast<int>((e->end - t0) / span * width);
+      lo = std::clamp(lo, 0, width - 1);
+      hi = std::clamp(hi, lo + 1, width);
+      char c = '?';
+      switch (e->kind) {
+        case OpKind::Kernel: c = e->name.empty() ? 'K' : e->name[0]; break;
+        case OpKind::CopyH2D: c = '>'; break;
+        case OpKind::CopyD2H: c = '<'; break;
+        case OpKind::Fault: c = 'f'; break;
+        default: c = '.'; break;
+      }
+      for (int i = lo; i < hi; ++i) row[static_cast<std::size_t>(i)] = c;
+    }
+    out << "S" << stream << " |" << row << "|\n";
+  }
+  // Legend of kernels per stream.
+  for (auto& [stream, ops] : by_stream) {
+    for (const TimelineEntry* e : ops) {
+      if (e->kind == OpKind::Kernel) {
+        out << "  S" << stream << " " << e->name << " [" << e->start << ", "
+            << e->end << ") us\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace psched::sim

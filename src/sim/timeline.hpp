@@ -1,0 +1,84 @@
+// Execution timeline: the record of every completed device operation.
+//
+// The timeline is the primary measurement artifact of a simulation run. It
+// provides the paper's headline quantities:
+//   * makespan — "total time spent by GPU execution, from the first kernel
+//     scheduling until the end of execution" (section V-A);
+//   * the four overlap metrics CT / TC / CC / TOT of section V-F (Fig. 11);
+//   * an ASCII rendering of the per-stream schedule (Fig. 10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/interval.hpp"
+#include "sim/op.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+/// One completed operation.
+struct TimelineEntry {
+  OpId op = kInvalidOp;
+  OpKind kind = OpKind::Marker;
+  StreamId stream = kInvalidStream;
+  std::string name;
+  TimeUs start = 0;
+  TimeUs end = 0;
+  double bytes = 0;         ///< transfer size (transfers only)
+  KernelProfile prof;       ///< kernel counters (kernels only)
+
+  [[nodiscard]] TimeUs duration() const { return end - start; }
+  [[nodiscard]] Interval interval() const { return {start, end}; }
+};
+
+/// Overlap metrics as defined in section V-F of the paper.
+struct OverlapMetrics {
+  double ct = 0;   ///< fraction of kernel time overlapped with any transfer
+  double tc = 0;   ///< fraction of transfer time overlapped with any kernel
+  double cc = 0;   ///< fraction of kernel time overlapped with other kernels
+  double tot = 0;  ///< fraction of op time overlapped with any other op
+};
+
+class Timeline {
+ public:
+  void clear() { entries_.clear(); }
+  void record(const TimelineEntry& e) { entries_.push_back(e); }
+
+  [[nodiscard]] const std::vector<TimelineEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// First op start (markers and host spans excluded).
+  [[nodiscard]] TimeUs begin_time() const;
+  /// Last op end (markers and host spans excluded).
+  [[nodiscard]] TimeUs end_time() const;
+  /// GPU execution time: end_time() - begin_time().
+  [[nodiscard]] TimeUs makespan() const;
+
+  /// Sum of kernel durations (no overlap accounting).
+  [[nodiscard]] TimeUs total_kernel_time() const;
+  /// Sum of transfer durations (copies + faults).
+  [[nodiscard]] TimeUs total_transfer_time() const;
+
+  /// Compute the CT/TC/CC/TOT overlap fractions (section V-F).
+  [[nodiscard]] OverlapMetrics overlap_metrics() const;
+
+  /// Union of busy intervals of a given category.
+  [[nodiscard]] IntervalSet cover(OpKind kind) const;
+  [[nodiscard]] IntervalSet kernel_cover() const;
+  [[nodiscard]] IntervalSet transfer_cover() const;
+
+  /// Render an ASCII per-stream timeline (Fig. 10 style). `width` is the
+  /// number of character columns used for the time axis.
+  [[nodiscard]] std::string render_ascii(int width = 100) const;
+
+  /// Aggregate kernel counters over the whole run.
+  [[nodiscard]] KernelProfile total_kernel_profile() const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+};
+
+}  // namespace psched::sim

@@ -1,0 +1,120 @@
+// Core identifier and value types shared across the vgpu simulator.
+//
+// The simulator models virtual time in microseconds with double precision.
+// All entity identifiers are strongly-typed-by-convention 64/32-bit integers;
+// negative values mean "invalid"/"none".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace psched::sim {
+
+/// Virtual time, in microseconds since simulation start.
+using TimeUs = double;
+
+/// Device operation identifier (kernel launch, copy, marker, ...).
+using OpId = std::int64_t;
+/// CUDA-like stream identifier. Stream 0 is the default stream.
+using StreamId = std::int32_t;
+/// CUDA-like event identifier.
+using EventId = std::int64_t;
+/// Managed (unified-memory) allocation identifier.
+using ArrayId = std::int64_t;
+
+inline constexpr OpId kInvalidOp = -1;
+inline constexpr StreamId kInvalidStream = -1;
+inline constexpr StreamId kDefaultStream = 0;
+inline constexpr EventId kInvalidEvent = -1;
+inline constexpr ArrayId kInvalidArray = -1;
+inline constexpr TimeUs kTimeInfinity = std::numeric_limits<TimeUs>::infinity();
+
+/// Base class for every error raised by the simulator or the runtime.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a device allocation exceeds the available device memory.
+class OutOfMemoryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Raised on misuse of the simulated CUDA API (bad stream, bad event, ...).
+class ApiError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// CUDA-like 3D extent for grids and blocks.
+struct Dim3 {
+  long x = 1;
+  long y = 1;
+  long z = 1;
+
+  [[nodiscard]] constexpr long total() const { return x * y * z; }
+
+  friend constexpr bool operator==(const Dim3&, const Dim3&) = default;
+};
+
+/// Kernel launch geometry.
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  /// Dynamic + static shared memory per block, in bytes. Together with the
+  /// device's per-SM shared memory this limits resident blocks per SM and
+  /// therefore occupancy — the "kernels that leave a large amount of shared
+  /// memory unused" effect behind the IMG speedup (section V-F).
+  long shared_mem_per_block = 0;
+
+  [[nodiscard]] constexpr long blocks() const { return grid.total(); }
+  [[nodiscard]] constexpr long threads_per_block() const { return block.total(); }
+  [[nodiscard]] constexpr long total_threads() const {
+    return blocks() * threads_per_block();
+  }
+
+  static constexpr LaunchConfig linear(long num_blocks, long num_threads) {
+    return LaunchConfig{{num_blocks, 1, 1}, {num_threads, 1, 1}, 0};
+  }
+
+  [[nodiscard]] constexpr LaunchConfig with_shared_mem(long bytes) const {
+    LaunchConfig c = *this;
+    c.shared_mem_per_block = bytes;
+    return c;
+  }
+};
+
+/// Direction of a PCIe transfer.
+enum class CopyDir { HostToDevice, DeviceToHost };
+
+/// Kind of device operation tracked by the engine and the timeline.
+enum class OpKind {
+  Kernel,    ///< GPU kernel execution
+  CopyH2D,   ///< explicit or prefetch host-to-device transfer
+  CopyD2H,   ///< device-to-host transfer
+  Fault,     ///< on-demand unified-memory migration (page-fault path)
+  Marker,    ///< zero-duration stream marker (event waits)
+  Host,      ///< host-side span recorded for timeline visualization
+};
+
+[[nodiscard]] inline const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::Kernel: return "kernel";
+    case OpKind::CopyH2D: return "h2d";
+    case OpKind::CopyD2H: return "d2h";
+    case OpKind::Fault: return "fault";
+    case OpKind::Marker: return "marker";
+    case OpKind::Host: return "host";
+  }
+  return "?";
+}
+
+/// True if the op kind moves data over the interconnect.
+[[nodiscard]] inline bool is_transfer(OpKind k) {
+  return k == OpKind::CopyH2D || k == OpKind::CopyD2H || k == OpKind::Fault;
+}
+
+}  // namespace psched::sim

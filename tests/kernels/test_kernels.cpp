@@ -1,0 +1,459 @@
+// Numeric verification of every benchmark kernel against straightforward
+// host references, plus sanity checks of the cost descriptors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "kernels/common.hpp"
+#include "kernels/registry.hpp"
+
+namespace psched::kernels {
+namespace {
+
+class KernelFixture : public ::testing::Test {
+ protected:
+  KernelFixture()
+      : gpu_(sim::DeviceSpec::test_device()), ctx_(gpu_, default_options()) {}
+
+  rt::DeviceArray farray(std::size_t n, const std::string& name) {
+    return ctx_.array<float>(n, name);
+  }
+  rt::DeviceArray darray(std::size_t n, const std::string& name) {
+    return ctx_.array<double>(n, name);
+  }
+
+  sim::GpuRuntime gpu_;
+  rt::Context ctx_;
+};
+
+TEST_F(KernelFixture, RegistryHasAllKernels) {
+  const auto names = registry().names();
+  EXPECT_GE(names.size(), 25u);
+  for (const char* k :
+       {"square", "reduce_sum_diff", "black_scholes", "gaussian_blur",
+        "sobel", "maximum_reduce", "minimum_reduce", "extend_levels",
+        "unsharpen", "combine", "normalize", "matmul", "add_bias", "row_max",
+        "exp_sub", "row_sum", "softmax_div", "argmax_combine", "spmv_csr",
+        "vector_sum", "vector_divide", "conv2d", "pool2d", "relu", "concat",
+        "dense", "copy", "memset"}) {
+    EXPECT_TRUE(registry().contains(k)) << k;
+  }
+}
+
+TEST_F(KernelFixture, Square) {
+  auto x = darray(64, "x");
+  for (std::size_t i = 0; i < 64; ++i) x.set(i, i * 0.5);
+  auto square = ctx_.build_kernel("square", "pointer, sint32");
+  square(2, 32)(x, 64L);
+  for (std::size_t i : {0ul, 5ul, 63ul}) {
+    EXPECT_DOUBLE_EQ(x.get(i), (i * 0.5) * (i * 0.5));
+  }
+}
+
+TEST_F(KernelFixture, ReduceSumDiff) {
+  auto x = darray(100, "x");
+  auto y = darray(100, "y");
+  auto z = darray(1, "z");
+  x.fill(3.0);
+  y.fill(1.25);
+  auto k = ctx_.build_kernel("reduce_sum_diff",
+                             "const pointer, const pointer, pointer, sint32");
+  k(2, 64)(x, y, z, 100L);
+  EXPECT_DOUBLE_EQ(z.get(0), 100 * (3.0 - 1.25));
+}
+
+TEST_F(KernelFixture, BlackScholesMatchesClosedForm) {
+  auto spot = darray(3, "spot");
+  auto out = darray(3, "out");
+  spot.set(0, 100.0);
+  spot.set(1, 80.0);
+  spot.set(2, 120.0);
+  auto bs = ctx_.build_kernel(
+      "black_scholes",
+      "const pointer, pointer, sint32, double, double, double, double");
+  const double strike = 100, rate = 0.05, vol = 0.2, t = 1.0;
+  bs(1, 32)(spot, out, 3L, strike, rate, vol, t);
+
+  auto ref = [&](double s) {
+    const double d1 =
+        (std::log(s / strike) + (rate + 0.5 * vol * vol) * t) /
+        (vol * std::sqrt(t));
+    const double d2 = d1 - vol * std::sqrt(t);
+    auto cdf = [](double v) { return 0.5 * std::erfc(-v / std::sqrt(2.0)); };
+    return s * cdf(d1) - strike * std::exp(-rate * t) * cdf(d2);
+  };
+  EXPECT_NEAR(out.get(0), ref(100.0), 1e-9);
+  EXPECT_NEAR(out.get(1), ref(80.0), 1e-9);
+  EXPECT_NEAR(out.get(2), ref(120.0), 1e-9);
+  // At-the-money call with these parameters is worth ~10.45.
+  EXPECT_NEAR(out.get(0), 10.4506, 1e-3);
+}
+
+TEST_F(KernelFixture, GaussianBlurPreservesConstantImage) {
+  const long h = 16, w = 16;
+  auto in = farray(h * w, "in");
+  auto out = farray(h * w, "out");
+  in.fill(0.75);
+  auto blur = ctx_.build_kernel(
+      "gaussian_blur", "const pointer, pointer, sint32, sint32, sint32");
+  blur(4, 64)(in, out, h, w, 5L);
+  for (std::size_t i : {0ul, 17ul, 255ul}) {
+    EXPECT_NEAR(out.get(i), 0.75, 1e-5);  // normalized weights
+  }
+}
+
+TEST_F(KernelFixture, GaussianBlurSmoothsImpulse) {
+  const long h = 9, w = 9;
+  auto in = farray(h * w, "in");
+  auto out = farray(h * w, "out");
+  in.set(4 * w + 4, 1.0);  // center impulse
+  auto blur = ctx_.build_kernel(
+      "gaussian_blur", "const pointer, pointer, sint32, sint32, sint32");
+  blur(4, 64)(in, out, h, w, 3L);
+  EXPECT_GT(out.get(4 * w + 4), out.get(3 * w + 4));  // peak at center
+  EXPECT_GT(out.get(3 * w + 4), 0.0);                 // spread to neighbours
+  EXPECT_DOUBLE_EQ(out.get(0), 0.0);                  // far away untouched
+}
+
+TEST_F(KernelFixture, SobelFlatImageIsZero) {
+  const long h = 8, w = 8;
+  auto in = farray(h * w, "in");
+  auto out = farray(h * w, "out");
+  in.fill(0.5);
+  auto sobel =
+      ctx_.build_kernel("sobel", "const pointer, pointer, sint32, sint32");
+  sobel(4, 64)(in, out, h, w);
+  EXPECT_DOUBLE_EQ(out.get(3 * w + 3), 0.0);
+}
+
+TEST_F(KernelFixture, SobelDetectsVerticalEdge) {
+  const long h = 8, w = 8;
+  auto in = farray(h * w, "in");
+  auto out = farray(h * w, "out");
+  for (long y = 0; y < h; ++y) {
+    for (long x = 0; x < w; ++x) {
+      in.set(static_cast<std::size_t>(y * w + x), x < 4 ? 0.0 : 1.0);
+    }
+  }
+  auto sobel =
+      ctx_.build_kernel("sobel", "const pointer, pointer, sint32, sint32");
+  sobel(4, 64)(in, out, h, w);
+  EXPECT_GT(out.get(4 * w + 4), 1.0);  // strong response on the edge
+  EXPECT_DOUBLE_EQ(out.get(4 * w + 1), 0.0);  // flat region
+}
+
+TEST_F(KernelFixture, MinMaxReduce) {
+  auto in = farray(50, "in");
+  auto mx = farray(1, "mx");
+  auto mn = farray(1, "mn");
+  for (std::size_t i = 0; i < 50; ++i) in.set(i, std::sin(0.3 * i));
+  auto kmax = ctx_.build_kernel("maximum_reduce",
+                                "const pointer, pointer, sint32");
+  auto kmin = ctx_.build_kernel("minimum_reduce",
+                                "const pointer, pointer, sint32");
+  kmax(1, 32)(in, mx, 50L);
+  kmin(1, 32)(in, mn, 50L);
+  float expect_max = -10, expect_min = 10;
+  for (std::size_t i = 0; i < 50; ++i) {
+    expect_max = std::max(expect_max, static_cast<float>(std::sin(0.3 * i)));
+    expect_min = std::min(expect_min, static_cast<float>(std::sin(0.3 * i)));
+  }
+  EXPECT_FLOAT_EQ(static_cast<float>(mx.get(0)), expect_max);
+  EXPECT_FLOAT_EQ(static_cast<float>(mn.get(0)), expect_min);
+}
+
+TEST_F(KernelFixture, ExtendLevelsStretchesAndClamps) {
+  auto img = farray(4, "img");
+  auto lo = farray(1, "lo");
+  auto hi = farray(1, "hi");
+  img.set(0, 0.2);
+  img.set(1, 0.4);
+  img.set(2, 0.3);
+  img.set(3, 1.0);
+  lo.set(0, 0.2);
+  hi.set(0, 1.0);
+  auto k = ctx_.build_kernel(
+      "extend_levels", "pointer, const pointer, const pointer, sint32");
+  k(1, 32)(img, lo, hi, 4L);
+  EXPECT_NEAR(img.get(0), 0.0, 1e-6);
+  EXPECT_NEAR(img.get(1), 0.25 * 5.0 / 1.0 > 1 ? 1.0 : 0.25 * 5.0, 1e-5);
+  EXPECT_NEAR(img.get(3), 1.0, 1e-6);  // clamped
+}
+
+TEST_F(KernelFixture, UnsharpenSharpens) {
+  auto img = farray(4, "img");
+  auto blur = farray(4, "blur");
+  auto out = farray(4, "out");
+  img.fill(0.6);
+  blur.fill(0.5);
+  auto k = ctx_.build_kernel(
+      "unsharpen", "const pointer, const pointer, pointer, sint32, float");
+  k(1, 32)(img, blur, out, 4L, 0.5);
+  // 0.6*1.5 - 0.5*0.5 = 0.65
+  EXPECT_NEAR(out.get(0), 0.65, 1e-6);
+}
+
+TEST_F(KernelFixture, CombineBlendsByMask) {
+  auto x = farray(3, "x");
+  auto y = farray(3, "y");
+  auto m = farray(3, "m");
+  auto out = farray(3, "out");
+  x.fill(1.0);
+  y.fill(0.0);
+  m.set(0, 0.0);
+  m.set(1, 0.5);
+  m.set(2, 1.0);
+  auto k = ctx_.build_kernel(
+      "combine",
+      "const pointer, const pointer, const pointer, pointer, sint32");
+  k(1, 32)(x, y, m, out, 3L);
+  EXPECT_NEAR(out.get(0), 0.0, 1e-6);
+  EXPECT_NEAR(out.get(1), 0.5, 1e-6);
+  EXPECT_NEAR(out.get(2), 1.0, 1e-6);
+}
+
+TEST_F(KernelFixture, NormalizeUsesMeanAndStd) {
+  const long rows = 3, cols = 2;
+  auto x = farray(rows * cols, "x");
+  auto mean = farray(cols, "mean");
+  auto stdev = farray(cols, "std");
+  auto out = farray(rows * cols, "out");
+  for (std::size_t i = 0; i < 6; ++i) x.set(i, static_cast<double>(i));
+  mean.set(0, 2.0);
+  mean.set(1, 3.0);
+  stdev.set(0, 2.0);
+  stdev.set(1, 1.0);
+  auto k = ctx_.build_kernel(
+      "normalize",
+      "const pointer, const pointer, const pointer, pointer, sint32, sint32");
+  k(1, 32)(x, mean, stdev, out, rows, cols);
+  EXPECT_NEAR(out.get(0), (0 - 2.0) / 2.0, 1e-6);
+  EXPECT_NEAR(out.get(1), (1 - 3.0) / 1.0, 1e-6);
+  EXPECT_NEAR(out.get(5), (5 - 3.0) / 1.0, 1e-6);
+}
+
+TEST_F(KernelFixture, MatmulSmall) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  auto x = farray(4, "x");
+  auto w = farray(4, "w");
+  auto out = farray(4, "out");
+  const float xv[] = {1, 2, 3, 4}, wv[] = {5, 6, 7, 8};
+  for (int i = 0; i < 4; ++i) {
+    x.set(static_cast<std::size_t>(i), xv[i]);
+    w.set(static_cast<std::size_t>(i), wv[i]);
+  }
+  auto k = ctx_.build_kernel(
+      "matmul", "const pointer, const pointer, pointer, sint32, sint32, sint32");
+  k(1, 32)(x, w, out, 2L, 2L, 2L);
+  EXPECT_NEAR(out.get(0), 19, 1e-5);
+  EXPECT_NEAR(out.get(1), 22, 1e-5);
+  EXPECT_NEAR(out.get(2), 43, 1e-5);
+  EXPECT_NEAR(out.get(3), 50, 1e-5);
+}
+
+TEST_F(KernelFixture, SoftmaxPipelineRowsSumToOne) {
+  const long rows = 4, cols = 8;
+  auto mat = farray(rows * cols, "mat");
+  auto rmax = farray(rows, "rmax");
+  auto rsum = farray(rows, "rsum");
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<float> dist(-3, 3);
+  for (std::size_t i = 0; i < rows * cols; ++i) mat.set(i, dist(rng));
+
+  auto kmax =
+      ctx_.build_kernel("row_max", "const pointer, pointer, sint32, sint32");
+  auto kexp = ctx_.build_kernel("exp_sub",
+                                "pointer, const pointer, sint32, sint32");
+  auto ksum =
+      ctx_.build_kernel("row_sum", "const pointer, pointer, sint32, sint32");
+  auto kdiv = ctx_.build_kernel("softmax_div",
+                                "pointer, const pointer, sint32, sint32");
+  kmax(1, 32)(mat, rmax, rows, cols);
+  kexp(1, 32)(mat, rmax, rows, cols);
+  ksum(1, 32)(mat, rsum, rows, cols);
+  kdiv(1, 32)(mat, rsum, rows, cols);
+  for (long r = 0; r < rows; ++r) {
+    double total = 0;
+    for (long c = 0; c < cols; ++c) {
+      const double v = mat.get(static_cast<std::size_t>(r * cols + c));
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST_F(KernelFixture, AddBiasAndArgmax) {
+  const long rows = 2, cols = 3;
+  auto r1 = farray(rows * cols, "r1");
+  auto r2 = farray(rows * cols, "r2");
+  auto bias = farray(cols, "bias");
+  auto out = ctx_.array<std::int32_t>(rows, "out");
+  r1.fill(0.0);
+  r2.fill(0.0);
+  r1.set(1, 1.0);  // row 0 prefers class 1
+  r2.set(5, 2.0);  // row 1 prefers class 2
+  bias.set(0, 0.1);
+  auto kbias =
+      ctx_.build_kernel("add_bias", "pointer, const pointer, sint32, sint32");
+  kbias(1, 32)(r1, bias, rows, cols);
+  auto kargmax = ctx_.build_kernel(
+      "argmax_combine",
+      "const pointer, const pointer, pointer, sint32, sint32");
+  kargmax(1, 32)(r1, r2, out, rows, cols);
+  EXPECT_EQ(static_cast<int>(out.get(0)), 1);
+  EXPECT_EQ(static_cast<int>(out.get(1)), 2);
+}
+
+TEST_F(KernelFixture, SpmvIdentityAndScaling) {
+  // 3x3 diagonal matrix diag(2, 3, 4) in CSR.
+  auto rowptr = ctx_.array<std::int32_t>(4, "rowptr");
+  auto colidx = ctx_.array<std::int32_t>(3, "colidx");
+  auto vals = farray(3, "vals");
+  auto x = farray(3, "x");
+  auto y = farray(3, "y");
+  for (int i = 0; i < 4; ++i) rowptr.set(static_cast<std::size_t>(i), i);
+  for (int i = 0; i < 3; ++i) colidx.set(static_cast<std::size_t>(i), i);
+  vals.set(0, 2);
+  vals.set(1, 3);
+  vals.set(2, 4);
+  x.set(0, 1);
+  x.set(1, 10);
+  x.set(2, 100);
+  auto k = ctx_.build_kernel(
+      "spmv_csr",
+      "const pointer, const pointer, const pointer, const pointer, pointer, "
+      "sint32");
+  k(1, 32)(rowptr, colidx, vals, x, y, 3L);
+  EXPECT_NEAR(y.get(0), 2, 1e-6);
+  EXPECT_NEAR(y.get(1), 30, 1e-6);
+  EXPECT_NEAR(y.get(2), 400, 1e-6);
+}
+
+TEST_F(KernelFixture, VectorSumAndDivide) {
+  auto x = farray(10, "x");
+  auto s = farray(1, "s");
+  x.fill(2.0);
+  auto ksum =
+      ctx_.build_kernel("vector_sum", "const pointer, pointer, sint32");
+  auto kdiv =
+      ctx_.build_kernel("vector_divide", "pointer, const pointer, sint32");
+  ksum(1, 32)(x, s, 10L);
+  kdiv(1, 32)(x, s, 10L);
+  EXPECT_NEAR(s.get(0), 20.0, 1e-6);
+  EXPECT_NEAR(x.get(3), 0.1, 1e-6);  // normalized: 2/20
+}
+
+TEST_F(KernelFixture, Conv2dIdentityKernel) {
+  const long h = 6, w = 6;
+  auto in = farray(h * w, "in");
+  auto wgt = farray(9, "wgt");
+  auto out = farray(h * w, "out");
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<float> dist(0, 1);
+  for (std::size_t i = 0; i < h * w; ++i) in.set(i, dist(rng));
+  wgt.set(4, 1.0);  // center tap only: identity
+  auto k = ctx_.build_kernel(
+      "conv2d",
+      "const pointer, const pointer, pointer, sint32, sint32, sint32");
+  k(1, 32)(in, wgt, out, h, w, 3L);
+  for (std::size_t i : {0ul, 7ul, 35ul}) {
+    EXPECT_NEAR(out.get(i), in.get(i), 1e-6);
+  }
+}
+
+TEST_F(KernelFixture, Pool2dTakesMax) {
+  const long h = 4, w = 4;
+  auto in = farray(h * w, "in");
+  auto out = farray(4, "out");
+  for (std::size_t i = 0; i < 16; ++i) in.set(i, static_cast<double>(i));
+  auto k =
+      ctx_.build_kernel("pool2d", "const pointer, pointer, sint32, sint32");
+  k(1, 32)(in, out, h, w);
+  EXPECT_NEAR(out.get(0), 5, 1e-6);    // max of {0,1,4,5}
+  EXPECT_NEAR(out.get(3), 15, 1e-6);   // max of {10,11,14,15}
+}
+
+TEST_F(KernelFixture, ReluClampsNegatives) {
+  auto x = farray(4, "x");
+  x.set(0, -1.0);
+  x.set(1, 2.0);
+  x.set(2, -0.5);
+  x.set(3, 0.0);
+  auto k = ctx_.build_kernel("relu", "pointer, sint32");
+  k(1, 32)(x, 4L);
+  EXPECT_DOUBLE_EQ(x.get(0), 0.0);
+  EXPECT_DOUBLE_EQ(x.get(1), 2.0);
+  EXPECT_DOUBLE_EQ(x.get(2), 0.0);
+}
+
+TEST_F(KernelFixture, ConcatAndDense) {
+  auto a = farray(2, "a");
+  auto b = farray(2, "b");
+  auto c = farray(4, "c");
+  a.set(0, 1);
+  a.set(1, 2);
+  b.set(0, 3);
+  b.set(1, 4);
+  auto kcat = ctx_.build_kernel(
+      "concat", "const pointer, const pointer, pointer, sint32, sint32");
+  kcat(1, 32)(a, b, c, 2L, 2L);
+  EXPECT_NEAR(c.get(2), 3, 1e-6);
+
+  auto wgt = farray(8, "w");
+  auto out = farray(2, "out");
+  for (std::size_t i = 0; i < 8; ++i) wgt.set(i, 0.5);
+  auto kdense = ctx_.build_kernel(
+      "dense", "const pointer, const pointer, pointer, sint32, sint32");
+  kdense(1, 32)(c, wgt, out, 4L, 2L);
+  EXPECT_NEAR(out.get(0), 0.5 * (1 + 2 + 3 + 4), 1e-6);
+  EXPECT_NEAR(out.get(1), 5.0, 1e-6);
+}
+
+TEST_F(KernelFixture, CopyAndMemset) {
+  auto a = farray(8, "a");
+  auto b = farray(8, "b");
+  auto kmemset = ctx_.build_kernel("memset", "pointer, sint32, float");
+  auto kcopy = ctx_.build_kernel("copy", "const pointer, pointer, sint32");
+  kmemset(1, 32)(a, 8L, 4.25);
+  kcopy(1, 32)(a, b, 8L);
+  EXPECT_DOUBLE_EQ(b.get(7), 4.25);
+}
+
+// --- cost model sanity: positive, monotone in problem size ---
+
+class CostModelSize : public ::testing::TestWithParam<long> {};
+
+TEST_P(CostModelSize, ElementwiseCostsScaleLinearly) {
+  const double n = static_cast<double>(GetParam());
+  const auto small = elementwise_cost(n, 1, 1, 2);
+  const auto big = elementwise_cost(2 * n, 1, 1, 2);
+  EXPECT_GT(small.flops_sp, 0);
+  EXPECT_GT(small.dram_bytes, 0);
+  EXPECT_NEAR(big.flops_sp / small.flops_sp, 2.0, 1e-9);
+  EXPECT_NEAR(big.dram_bytes / small.dram_bytes, 2.0, 1e-9);
+  EXPECT_NEAR(big.instructions / small.instructions, 2.0, 1e-9);
+}
+
+TEST_P(CostModelSize, MatmulComputeGrowsFasterThanTraffic) {
+  const double n = static_cast<double>(GetParam());
+  const auto c1 = matmul_cost(n, 64, 16);
+  const auto c2 = matmul_cost(4 * n, 64, 16);
+  EXPECT_NEAR(c2.flops_sp / c1.flops_sp, 4.0, 1e-9);
+  EXPECT_GT(c1.flops_sp / c1.dram_bytes, 1.0);  // compute-intensive
+}
+
+TEST_P(CostModelSize, SpmvIsMemoryBound) {
+  const double nnz = static_cast<double>(GetParam()) * 8;
+  const auto c = spmv_cost(nnz, static_cast<double>(GetParam()));
+  EXPECT_LT(c.flops_sp / c.dram_bytes, 1.0);  // bytes dominate flops
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CostModelSize,
+                         ::testing::Values(1000, 10000, 100000, 1000000));
+
+}  // namespace
+}  // namespace psched::kernels

@@ -1,0 +1,108 @@
+// Shared helpers for runtime-layer tests: a miniature kernel registry with
+// order-sensitive functional kernels, useful to verify that any legal
+// schedule produces exactly the serial program's results.
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "runtime/execution_context.hpp"
+#include "sim/runtime.hpp"
+
+namespace psched::rt::test {
+
+/// Cost model helper: n elements, a few flops each, streaming DRAM traffic.
+inline sim::KernelProfile linear_cost(std::size_t n, double flops_per_elem,
+                                      double bytes_per_elem) {
+  sim::KernelProfile p;
+  p.flops_sp = static_cast<double>(n) * flops_per_elem;
+  p.dram_bytes = static_cast<double>(n) * bytes_per_elem;
+  p.l2_bytes = p.dram_bytes * 1.5;
+  p.instructions = static_cast<double>(n) * (flops_per_elem + 2);
+  return p;
+}
+
+/// Registry used across runtime tests:
+///   init(out, n, v)            out[i] = v
+///   scale(out, n, k)           out[i] = out[i] * k + 1   (order-sensitive)
+///   add2(in const, in const, out, n)   out[i] = a[i] + b[i]
+///   affine(in const, out, n)   out[i] = 2*in[i] + out[i] (read-modify-write)
+///   sum(in const, out1, n)     out[0] = sum(in)
+///   slow(out, n)               heavy compute kernel for timing tests
+inline const KernelRegistry& test_registry() {
+  static const KernelRegistry reg = [] {
+    KernelRegistry r;
+    r.add({"init",
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             auto out = a.span<float>(0);
+             const float v = static_cast<float>(a.f64(2));
+             for (auto& x : out) x = v;
+           },
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(0), 1, 4);
+           }});
+    r.add({"scale",
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             auto out = a.span<float>(0);
+             const float k = static_cast<float>(a.f64(2));
+             for (auto& x : out) x = x * k + 1.0f;
+           },
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(0), 2, 8);
+           }});
+    r.add({"add2",
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             auto in1 = a.cspan<float>(0);
+             auto in2 = a.cspan<float>(1);
+             auto out = a.span<float>(2);
+             for (std::size_t i = 0; i < out.size(); ++i) {
+               out[i] = in1[i] + in2[i];
+             }
+           },
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(2), 1, 12);
+           }});
+    r.add({"affine",
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             auto in = a.cspan<float>(0);
+             auto out = a.span<float>(1);
+             for (std::size_t i = 0; i < out.size(); ++i) {
+               out[i] = 2.0f * in[i] + out[i];
+             }
+           },
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(1), 2, 12);
+           }});
+    r.add({"sum",
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             auto in = a.cspan<float>(0);
+             auto out = a.span<float>(1);
+             double acc = 0;
+             for (float x : in) acc += x;
+             out[0] = static_cast<float>(acc);
+           },
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(0), 1, 4);
+           }});
+    r.add({"slow",
+           [](const sim::LaunchConfig&, const ArgsView&) {},
+           [](const sim::LaunchConfig&, const ArgsView& a) {
+             return linear_cost(a.array_len(0), 2000, 4);
+           }});
+    return r;
+  }();
+  return reg;
+}
+
+struct Fixture {
+  explicit Fixture(Options opts = {},
+                   sim::DeviceSpec spec = sim::DeviceSpec::test_device())
+      : gpu(std::make_unique<sim::GpuRuntime>(std::move(spec))) {
+    opts.registry = &test_registry();
+    ctx = std::make_unique<Context>(*gpu, opts);
+  }
+  std::unique_ptr<sim::GpuRuntime> gpu;
+  std::unique_ptr<Context> ctx;
+};
+
+}  // namespace psched::rt::test

@@ -1,0 +1,230 @@
+// Unit tests for the dependency-set semantics of section IV-A / Fig. 3.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "runtime/dependency.hpp"
+
+namespace psched::rt {
+namespace {
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  ArrayState* make_array(const std::string& name) {
+    auto a = std::make_unique<ArrayState>();
+    a->name = name;
+    arrays_.push_back(std::move(a));
+    return arrays_.back().get();
+  }
+
+  Computation& make_comp(std::vector<Computation::Use> uses,
+                         const std::string& label = "k") {
+    auto c = std::make_unique<Computation>();
+    c->id = static_cast<long>(comps_.size());
+    c->label = label;
+    c->uses = std::move(uses);
+    c->state = Computation::State::Scheduled;  // active
+    comps_.push_back(std::move(c));
+    return *comps_.back();
+  }
+
+  static bool depends_on(const Computation& c, const Computation& parent) {
+    return std::find(c.parents.begin(), c.parents.end(), &parent) !=
+           c.parents.end();
+  }
+
+  std::vector<std::unique_ptr<ArrayState>> arrays_;
+  std::vector<std::unique_ptr<Computation>> comps_;
+};
+
+TEST_F(DependencyTest, FirstComputationHasNoDeps) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}});
+  EXPECT_TRUE(infer_dependencies(k1).empty());
+  EXPECT_EQ(x->last_writer, &k1);
+  EXPECT_TRUE(k1.dep_set.count(x));
+}
+
+TEST_F(DependencyTest, ReadAfterWrite) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  const auto deps = infer_dependencies(k2);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k1);
+  // Fig. 3-A/C: a read-only consumer does NOT update the writer's
+  // dependency set.
+  EXPECT_TRUE(k1.dep_set.count(x));
+}
+
+TEST_F(DependencyTest, Fig3CaseB_WriteAfterReadDependsOnReaderOnly) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");  // writes X
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, true}}, "K2");  // reads X
+  (void)infer_dependencies(k2);
+  Computation& k3 = make_comp({{x, false}}, "K3");  // writes X
+  const auto deps = infer_dependencies(k3);
+  // WAR on K2 only; K1 is covered transitively ("it will not, however,
+  // depend on both kernels").
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k2);
+  // "All dependency sets are updated."
+  EXPECT_FALSE(k1.dep_set.count(x));
+  EXPECT_FALSE(k2.dep_set.count(x));
+  EXPECT_EQ(x->last_writer, &k3);
+}
+
+TEST_F(DependencyTest, Fig3CaseC_SecondReaderDependsOnWriterOnly) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  (void)infer_dependencies(k2);
+  Computation& k3 = make_comp({{x, true}}, "K3");  // also read-only
+  const auto deps = infer_dependencies(k3);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k1);  // depends on the writer, not on K2
+  EXPECT_FALSE(depends_on(k3, k2));
+  EXPECT_TRUE(k1.dep_set.count(x));  // still not updated
+}
+
+TEST_F(DependencyTest, Fig3CaseC_ThenWriterDependsOnBothReaders) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  (void)infer_dependencies(k2);
+  Computation& k3 = make_comp({{x, true}}, "K3");
+  (void)infer_dependencies(k3);
+  Computation& k4 = make_comp({{x, false}}, "K4");
+  const auto deps = infer_dependencies(k4);
+  // "...otherwise it will depend on both K2 and K3."
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(depends_on(k4, k2));
+  EXPECT_TRUE(depends_on(k4, k3));
+  EXPECT_FALSE(depends_on(k4, k1));
+  EXPECT_FALSE(k1.dep_set.count(x));
+}
+
+TEST_F(DependencyTest, WriteAfterWrite) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, false}}, "K2");
+  const auto deps = infer_dependencies(k2);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k1);
+  EXPECT_FALSE(k1.dep_set.count(x));  // K1 retired from this argument
+  EXPECT_TRUE(k1.dep_set.empty());    // and from the frontier entirely
+}
+
+TEST_F(DependencyTest, TwoReadersOfSameInputRunConcurrently) {
+  // Fig. 4 VEC shape: no writer yet, two read-only consumers.
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, true}}, "K1");
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  EXPECT_TRUE(infer_dependencies(k1).empty());
+  EXPECT_TRUE(infer_dependencies(k2).empty());
+}
+
+TEST_F(DependencyTest, DisjointArraysIndependent) {
+  ArrayState* x = make_array("X");
+  ArrayState* y = make_array("Y");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  Computation& k2 = make_comp({{y, false}}, "K2");
+  (void)infer_dependencies(k1);
+  EXPECT_TRUE(infer_dependencies(k2).empty());
+}
+
+TEST_F(DependencyTest, MultiArgumentJoin) {
+  // VEC: K1 writes X; K2 writes Y; K3 reads both, writes Z.
+  ArrayState* x = make_array("X");
+  ArrayState* y = make_array("Y");
+  ArrayState* z = make_array("Z");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  Computation& k2 = make_comp({{y, false}}, "K2");
+  (void)infer_dependencies(k1);
+  (void)infer_dependencies(k2);
+  Computation& k3 = make_comp({{x, true}, {y, true}, {z, false}}, "K3");
+  const auto deps = infer_dependencies(k3);
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(depends_on(k3, k1));
+  EXPECT_TRUE(depends_on(k3, k2));
+  EXPECT_EQ(z->last_writer, &k3);
+}
+
+TEST_F(DependencyTest, FinishedComputationsNeverContribute) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  k1.state = Computation::State::Finished;  // CPU consumed the result
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  EXPECT_TRUE(infer_dependencies(k2).empty());
+}
+
+TEST_F(DependencyTest, DuplicateArgumentNoSelfDependency) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, true}, {x, false}}, "K1");  // K(X, X)
+  EXPECT_TRUE(infer_dependencies(k1).empty());
+  EXPECT_EQ(x->last_writer, &k1);  // the write use dominates
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  const auto deps = infer_dependencies(k2);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k1);
+}
+
+TEST_F(DependencyTest, DuplicateParentReportedOnce) {
+  ArrayState* x = make_array("X");
+  ArrayState* y = make_array("Y");
+  Computation& k1 = make_comp({{x, false}, {y, false}}, "K1");
+  (void)infer_dependencies(k1);
+  Computation& k2 = make_comp({{x, true}, {y, true}}, "K2");
+  const auto deps = infer_dependencies(k2);
+  ASSERT_EQ(deps.size(), 1u);  // one edge although two shared arrays
+  EXPECT_EQ(deps[0], &k1);
+}
+
+TEST_F(DependencyTest, IgnoreReadOnlyAblation) {
+  // honor_read_only = false: readers serialize like writers.
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, true}}, "K1");
+  (void)infer_dependencies(k1, /*honor_read_only=*/false);
+  Computation& k2 = make_comp({{x, true}}, "K2");
+  const auto deps = infer_dependencies(k2, /*honor_read_only=*/false);
+  ASSERT_EQ(deps.size(), 1u);
+  EXPECT_EQ(deps[0], &k1);
+}
+
+TEST_F(DependencyTest, EmptyDepSetLeavesFrontier) {
+  ArrayState* x = make_array("X");
+  Computation& k1 = make_comp({{x, false}}, "K1");
+  (void)infer_dependencies(k1);
+  EXPECT_TRUE(k1.can_create_deps());
+  Computation& k2 = make_comp({{x, false}}, "K2");
+  (void)infer_dependencies(k2);
+  EXPECT_FALSE(k1.can_create_deps());  // dep set emptied by K2's write
+  EXPECT_TRUE(k2.can_create_deps());
+}
+
+TEST_F(DependencyTest, ChainUpdatesFrontierIncrementally) {
+  ArrayState* x = make_array("X");
+  Computation* prev = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    Computation& k = make_comp({{x, false}}, "K" + std::to_string(i));
+    const auto deps = infer_dependencies(k);
+    if (prev == nullptr) {
+      EXPECT_TRUE(deps.empty());
+    } else {
+      ASSERT_EQ(deps.size(), 1u);
+      EXPECT_EQ(deps[0], prev);
+      EXPECT_FALSE(prev->can_create_deps());
+    }
+    prev = &k;
+  }
+}
+
+}  // namespace
+}  // namespace psched::rt

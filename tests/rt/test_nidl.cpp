@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "runtime/nidl.hpp"
+
+namespace psched::rt {
+namespace {
+
+TEST(Nidl, EmptySignature) {
+  EXPECT_TRUE(parse_nidl("").empty());
+  EXPECT_TRUE(parse_nidl("   ").empty());
+}
+
+TEST(Nidl, SingleScalar) {
+  const auto p = parse_nidl("sint32");
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].type, ParamType::Sint32);
+  EXPECT_FALSE(p[0].is_pointer());
+  EXPECT_FALSE(p[0].read_only);
+}
+
+TEST(Nidl, PaperVecSignature) {
+  // Fig. 4: "ptr, sint32" and "const ptr, const ptr, ptr, sint32".
+  const auto k1 = parse_nidl("ptr, sint32");
+  ASSERT_EQ(k1.size(), 2u);
+  EXPECT_TRUE(k1[0].is_pointer());
+  EXPECT_FALSE(k1[0].read_only);
+  EXPECT_EQ(k1[1].type, ParamType::Sint32);
+
+  const auto k2 = parse_nidl("const ptr, const ptr, ptr, sint32");
+  ASSERT_EQ(k2.size(), 4u);
+  EXPECT_TRUE(k2[0].read_only);
+  EXPECT_TRUE(k2[1].read_only);
+  EXPECT_FALSE(k2[2].read_only);
+}
+
+TEST(Nidl, PointerSpellings) {
+  EXPECT_EQ(parse_nidl("pointer")[0].type, ParamType::Pointer);
+  EXPECT_EQ(parse_nidl("ptr")[0].type, ParamType::Pointer);
+}
+
+TEST(Nidl, AllScalarTypes) {
+  const auto p = parse_nidl("sint32, sint64, uint32, uint64, float, double");
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[0].type, ParamType::Sint32);
+  EXPECT_EQ(p[1].type, ParamType::Sint64);
+  EXPECT_EQ(p[2].type, ParamType::Uint32);
+  EXPECT_EQ(p[3].type, ParamType::Uint64);
+  EXPECT_EQ(p[4].type, ParamType::Float32);
+  EXPECT_EQ(p[5].type, ParamType::Float64);
+}
+
+TEST(Nidl, Float32And64Aliases) {
+  EXPECT_EQ(parse_nidl("float32")[0].type, ParamType::Float32);
+  EXPECT_EQ(parse_nidl("float64")[0].type, ParamType::Float64);
+}
+
+TEST(Nidl, InOutAnnotations) {
+  const auto p = parse_nidl("in pointer, out pointer, inout pointer");
+  EXPECT_TRUE(p[0].read_only);
+  EXPECT_FALSE(p[1].read_only);
+  EXPECT_FALSE(p[2].read_only);
+}
+
+TEST(Nidl, CaseInsensitiveAndWhitespaceTolerant) {
+  const auto p = parse_nidl("  CONST   PTR ,Sint32 ");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p[0].read_only);
+  EXPECT_EQ(p[1].type, ParamType::Sint32);
+}
+
+TEST(Nidl, UnknownTypeThrows) {
+  EXPECT_THROW(parse_nidl("quux"), NidlError);
+  EXPECT_THROW(parse_nidl("ptr, float16"), NidlError);
+}
+
+TEST(Nidl, UnknownAnnotationThrows) {
+  EXPECT_THROW(parse_nidl("volatile ptr"), NidlError);
+}
+
+TEST(Nidl, EmptyParameterThrows) {
+  EXPECT_THROW(parse_nidl("ptr,,sint32"), NidlError);
+  EXPECT_THROW(parse_nidl("ptr,"), NidlError);
+  EXPECT_THROW(parse_nidl(",ptr"), NidlError);
+}
+
+TEST(Nidl, ConflictingAnnotationsThrow) {
+  EXPECT_THROW(parse_nidl("const out ptr"), NidlError);
+}
+
+TEST(Nidl, AnnotatedScalarThrows) {
+  EXPECT_THROW(parse_nidl("const sint32"), NidlError);
+  EXPECT_THROW(parse_nidl("out float"), NidlError);
+}
+
+TEST(Nidl, RoundTrip) {
+  const std::string sig = "const pointer, pointer, sint32, double";
+  EXPECT_EQ(to_signature(parse_nidl(sig)), sig);
+}
+
+}  // namespace
+}  // namespace psched::rt

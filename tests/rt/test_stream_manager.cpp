@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "rt_test_util.hpp"
+
+namespace psched::rt {
+namespace {
+
+using test::Fixture;
+
+// Arrays are sized so kernels (and their prefetches) are still in flight
+// when the next computation is registered — otherwise FIFO reuse correctly
+// recycles the idle stream and there is nothing to observe.
+constexpr std::size_t kN = 1 << 16;
+
+long launch_init(Context& ctx, DeviceArray& a, double v) {
+  auto init = ctx.build_kernel("init", "pointer, sint32, float");
+  init(4, 64)(a, static_cast<long>(a.size()), v);
+  return static_cast<long>(ctx.computations().size()) - 1;
+}
+
+TEST(StreamManager, FifoReuseCreatesOnlyWhenBusy) {
+  Fixture f;
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  auto c = ctx.array<float>(kN, "c");
+  launch_init(ctx, a, 1);
+  launch_init(ctx, b, 2);
+  launch_init(ctx, c, 3);
+  // Three concurrently active independent kernels: three streams.
+  EXPECT_EQ(ctx.stats().streams_created, 3);
+  ctx.synchronize();
+  // All idle now: the next computation reuses the first stream.
+  launch_init(ctx, a, 4);
+  EXPECT_EQ(ctx.stats().streams_created, 3);
+  EXPECT_EQ(ctx.computations().back()->stream,
+            ctx.computations().front()->stream);
+  ctx.synchronize();
+}
+
+TEST(StreamManager, AlwaysNewPolicyCreatesPerComputation) {
+  Options opts;
+  opts.stream_policy = StreamPolicy::AlwaysNew;
+  Fixture f(opts);
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  launch_init(ctx, a, 1);
+  ctx.synchronize();
+  launch_init(ctx, a, 2);
+  ctx.synchronize();
+  // Chain through `a`: the second launch is the first child of the first
+  // and still inherits; but after a sync the parent is finished, so a new
+  // stream is created. Independent work always gets a fresh stream.
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, b, 3);
+  EXPECT_GE(ctx.stats().streams_created, 2);
+  ctx.synchronize();
+}
+
+TEST(StreamManager, SingleStreamPolicySerializesOnDevice) {
+  Options opts;
+  opts.stream_policy = StreamPolicy::SingleStream;
+  Fixture f(opts);
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, a, 1);
+  launch_init(ctx, b, 2);
+  EXPECT_EQ(ctx.stats().streams_created, 1);
+  EXPECT_EQ(ctx.computations()[0]->stream, ctx.computations()[1]->stream);
+  EXPECT_EQ(ctx.stats().event_waits, 0);  // same stream: no events needed
+  ctx.synchronize();
+}
+
+TEST(StreamManager, FirstChildInheritsSecondChildMovesAway) {
+  // One parent, two children reading its output.
+  Fixture f;
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  auto r1 = ctx.array<float>(kN, "r1");
+  auto r2 = ctx.array<float>(kN, "r2");
+  launch_init(ctx, x, 1);
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  affine(4, 64)(x, r1, static_cast<long>(kN));
+  affine(4, 64)(x, r2, static_cast<long>(kN));
+  const auto& comps = ctx.computations();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[1]->stream, comps[0]->stream);  // first child inherits
+  EXPECT_NE(comps[2]->stream, comps[0]->stream);  // second child moves away
+  // Only the second child pays a synchronization event.
+  EXPECT_EQ(ctx.stats().event_waits, 1);
+  ctx.synchronize();
+}
+
+TEST(StreamManager, DiamondUsesTwoStreamsAndOneJoinWait) {
+  // K0 -> (K1, K2) -> K3, all through data dependencies.
+  Fixture f;
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  auto r1 = ctx.array<float>(kN, "r1");
+  auto r2 = ctx.array<float>(kN, "r2");
+  auto out = ctx.array<float>(kN, "out");
+  launch_init(ctx, x, 1);
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  auto add2 =
+      ctx.build_kernel("add2", "const pointer, const pointer, pointer, sint32");
+  affine(4, 64)(x, r1, static_cast<long>(kN));
+  affine(4, 64)(x, r2, static_cast<long>(kN));
+  add2(4, 64)(r1, r2, out, static_cast<long>(kN));
+  const auto& comps = ctx.computations();
+  // Join inherits the first branch's stream (it is r1's first consumer and
+  // the branch tail), and waits once for the other branch.
+  EXPECT_EQ(comps[3]->stream, comps[1]->stream);
+  EXPECT_EQ(ctx.stats().event_waits, 2);  // branch2 split + join wait
+  EXPECT_EQ(ctx.stats().streams_created, 2);
+  ctx.synchronize();
+}
+
+TEST(StreamManager, ChainNeverPaysEvents) {
+  Fixture f;
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  for (int i = 0; i < 6; ++i) launch_init(ctx, x, i);
+  EXPECT_EQ(ctx.stats().event_waits, 0);
+  EXPECT_EQ(ctx.stats().streams_created, 1);
+  ctx.synchronize();
+}
+
+}  // namespace
+}  // namespace psched::rt

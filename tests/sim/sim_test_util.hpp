@@ -1,0 +1,39 @@
+// Shared helpers for sim-layer tests.
+#pragma once
+
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/op.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim::test {
+
+/// A raw kernel op with explicit demand numbers (bypasses the cost model).
+inline Op raw_kernel(StreamId stream, double work_us, double sm_demand,
+                     double occupancy, double bw_need = 0,
+                     std::string name = "k") {
+  Op op;
+  op.kind = OpKind::Kernel;
+  op.stream = stream;
+  op.name = std::move(name);
+  op.work = work_us;
+  op.sm_demand = sm_demand;
+  op.occupancy = occupancy;
+  op.bw_need = bw_need;
+  return op;
+}
+
+/// A raw transfer op.
+inline Op raw_copy(StreamId stream, OpKind kind, double bytes,
+                   std::string name = "cp") {
+  Op op;
+  op.kind = kind;
+  op.stream = stream;
+  op.name = std::move(name);
+  op.bytes = bytes;
+  op.work = bytes;
+  return op;
+}
+
+}  // namespace psched::sim::test

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "sim/interval.hpp"
+
+namespace psched::sim {
+namespace {
+
+TEST(Interval, LengthAndEmpty) {
+  EXPECT_DOUBLE_EQ((Interval{2, 5}).length(), 3);
+  EXPECT_TRUE((Interval{5, 5}).empty());
+  EXPECT_TRUE((Interval{6, 5}).empty());
+  EXPECT_DOUBLE_EQ((Interval{6, 5}).length(), 0);
+}
+
+TEST(IntervalSet, AssignNormalizesOverlaps) {
+  IntervalSet s({{0, 2}, {1, 3}, {5, 6}});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 3}));
+  EXPECT_EQ(s.intervals()[1], (Interval{5, 6}));
+  EXPECT_DOUBLE_EQ(s.measure(), 4);
+}
+
+TEST(IntervalSet, AssignDropsEmpty) {
+  IntervalSet s({{3, 3}, {4, 2}});
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.measure(), 0);
+}
+
+TEST(IntervalSet, AssignMergesTouching) {
+  IntervalSet s({{0, 1}, {1, 2}});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 2}));
+}
+
+TEST(IntervalSet, AddMergesNeighbours) {
+  IntervalSet s;
+  s.add({0, 1});
+  s.add({2, 3});
+  s.add({0.5, 2.5});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], (Interval{0, 3}));
+}
+
+TEST(IntervalSet, AddDisjointKeepsOrder) {
+  IntervalSet s;
+  s.add({5, 6});
+  s.add({0, 1});
+  s.add({2, 3});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].begin, 0);
+  EXPECT_DOUBLE_EQ(s.intervals()[1].begin, 2);
+  EXPECT_DOUBLE_EQ(s.intervals()[2].begin, 5);
+}
+
+TEST(IntervalSet, IntersectionMeasure) {
+  IntervalSet s({{0, 10}, {20, 30}});
+  EXPECT_DOUBLE_EQ(s.intersection_measure({5, 25}), 10);   // 5 + 5
+  EXPECT_DOUBLE_EQ(s.intersection_measure({10, 20}), 0);   // gap
+  EXPECT_DOUBLE_EQ(s.intersection_measure({-5, 40}), 20);  // everything
+  EXPECT_DOUBLE_EQ(s.intersection_measure({3, 3}), 0);     // empty probe
+}
+
+TEST(IntervalSet, Intersect) {
+  IntervalSet a({{0, 10}, {20, 30}});
+  IntervalSet b({{5, 25}});
+  IntervalSet c = a.intersect(b);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.intervals()[0], (Interval{5, 10}));
+  EXPECT_EQ(c.intervals()[1], (Interval{20, 25}));
+}
+
+TEST(IntervalSet, IntersectEmpty) {
+  IntervalSet a({{0, 10}});
+  IntervalSet b;
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_TRUE(b.intersect(a).empty());
+}
+
+TEST(IntervalSet, Unite) {
+  IntervalSet a({{0, 2}, {8, 10}});
+  IntervalSet b({{1, 9}});
+  IntervalSet c = a.unite(b);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.intervals()[0], (Interval{0, 10}));
+}
+
+TEST(IntervalSet, ContainsPoint) {
+  IntervalSet s({{0, 1}, {2, 3}});
+  EXPECT_TRUE(s.contains_point(0));
+  EXPECT_TRUE(s.contains_point(0.5));
+  EXPECT_FALSE(s.contains_point(1));  // half-open
+  EXPECT_FALSE(s.contains_point(1.5));
+  EXPECT_TRUE(s.contains_point(2.9));
+  EXPECT_FALSE(s.contains_point(3));
+  EXPECT_FALSE(s.contains_point(-1));
+}
+
+}  // namespace
+}  // namespace psched::sim

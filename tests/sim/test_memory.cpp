@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/device_spec.hpp"
+#include "sim/memory.hpp"
+
+namespace psched::sim {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  DeviceSpec spec_ = DeviceSpec::test_device();  // 1 GiB
+  MemoryManager mem_{spec_};
+};
+
+TEST_F(MemoryTest, AllocTracksUsage) {
+  const ArrayId a = mem_.alloc(1000, "a");
+  const ArrayId b = mem_.alloc(2000, "b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mem_.used_bytes(), 3000u);
+  EXPECT_EQ(mem_.num_live_arrays(), 2u);
+}
+
+TEST_F(MemoryTest, FreshArrayIsUntouched) {
+  // First-touch semantics: a fresh allocation has no host data yet, so it
+  // needs no migration until the host actually writes it.
+  const ArrayId a = mem_.alloc(1000, "a");
+  const ArrayInfo& info = mem_.info(a);
+  EXPECT_FALSE(info.on_device);
+  EXPECT_FALSE(info.host_touched);
+  EXPECT_FALSE(info.needs_h2d());
+  EXPECT_EQ(info.attached_stream, kInvalidStream);
+}
+
+TEST_F(MemoryTest, FreeReleasesBytes) {
+  const ArrayId a = mem_.alloc(1000, "a");
+  mem_.free_array(a);
+  EXPECT_EQ(mem_.used_bytes(), 0u);
+  EXPECT_EQ(mem_.num_live_arrays(), 0u);
+}
+
+TEST_F(MemoryTest, OutOfMemoryThrows) {
+  mem_.alloc(spec_.memory_bytes - 100, "big");
+  EXPECT_THROW(mem_.alloc(200, "overflow"), OutOfMemoryError);
+  // A fitting allocation still succeeds.
+  EXPECT_NO_THROW(mem_.alloc(50, "small"));
+}
+
+TEST_F(MemoryTest, FreeingMakesRoom) {
+  const ArrayId a = mem_.alloc(spec_.memory_bytes, "all");
+  EXPECT_THROW(mem_.alloc(1, "no"), OutOfMemoryError);
+  mem_.free_array(a);
+  EXPECT_NO_THROW(mem_.alloc(spec_.memory_bytes, "again"));
+}
+
+TEST_F(MemoryTest, ZeroByteAllocThrows) {
+  EXPECT_THROW(mem_.alloc(0, "zero"), ApiError);
+}
+
+TEST_F(MemoryTest, DoubleFreeThrows) {
+  const ArrayId a = mem_.alloc(100, "a");
+  mem_.free_array(a);
+  EXPECT_THROW(mem_.free_array(a), ApiError);
+}
+
+TEST_F(MemoryTest, UseAfterFreeThrows) {
+  const ArrayId a = mem_.alloc(100, "a");
+  mem_.free_array(a);
+  EXPECT_THROW((void)mem_.info(a), ApiError);
+  EXPECT_FALSE(mem_.valid(a));
+}
+
+TEST_F(MemoryTest, UnknownArrayThrows) {
+  EXPECT_THROW((void)mem_.info(424242), ApiError);
+  EXPECT_FALSE(mem_.valid(424242));
+}
+
+TEST_F(MemoryTest, FreeWithPendingOpsThrows) {
+  const ArrayId a = mem_.alloc(100, "a");
+  mem_.info(a).pending_reads.insert(7);
+  EXPECT_THROW(mem_.free_array(a), ApiError);
+  mem_.info(a).erase_pending(7);
+  mem_.info(a).pending_writes.insert(9);
+  EXPECT_THROW(mem_.free_array(a), ApiError);
+  mem_.info(a).erase_pending(9);
+  EXPECT_NO_THROW(mem_.free_array(a));
+}
+
+TEST_F(MemoryTest, ResidencyFlagsRoundTrip) {
+  const ArrayId a = mem_.alloc(100, "a");
+  ArrayInfo& info = mem_.info(a);
+  info.host_touched = true;
+  info.on_device = true;
+  info.host_dirty = false;
+  EXPECT_FALSE(info.needs_h2d());
+  info.host_dirty = true;  // host wrote: device copy stale again
+  EXPECT_TRUE(info.needs_h2d());
+}
+
+}  // namespace
+}  // namespace psched::sim

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "sim/timeline.hpp"
+
+namespace psched::sim {
+namespace {
+
+TimelineEntry entry(OpKind kind, StreamId stream, TimeUs start, TimeUs end,
+                    const std::string& name = "op") {
+  TimelineEntry e;
+  e.kind = kind;
+  e.stream = stream;
+  e.start = start;
+  e.end = end;
+  e.name = name;
+  return e;
+}
+
+TEST(Timeline, EmptyDefaults) {
+  Timeline t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_DOUBLE_EQ(t.makespan(), 0);
+  EXPECT_DOUBLE_EQ(t.total_kernel_time(), 0);
+  const OverlapMetrics m = t.overlap_metrics();
+  EXPECT_DOUBLE_EQ(m.ct, 0);
+  EXPECT_DOUBLE_EQ(m.tot, 0);
+}
+
+TEST(Timeline, MakespanSpansFirstToLast) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 10, 20));
+  t.record(entry(OpKind::CopyH2D, 1, 5, 8));
+  t.record(entry(OpKind::Kernel, 1, 30, 45));
+  EXPECT_DOUBLE_EQ(t.begin_time(), 5);
+  EXPECT_DOUBLE_EQ(t.end_time(), 45);
+  EXPECT_DOUBLE_EQ(t.makespan(), 40);
+}
+
+TEST(Timeline, MarkersAndHostSpansExcludedFromMakespan) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 10, 20));
+  t.record(entry(OpKind::Host, 0, 0, 100));
+  t.record(entry(OpKind::Marker, 0, 0, 200));
+  EXPECT_DOUBLE_EQ(t.makespan(), 10);
+}
+
+TEST(Timeline, TotalsByCategory) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10));
+  t.record(entry(OpKind::Kernel, 1, 10, 15));
+  t.record(entry(OpKind::CopyH2D, 0, 0, 4));
+  t.record(entry(OpKind::Fault, 1, 4, 6));
+  EXPECT_DOUBLE_EQ(t.total_kernel_time(), 15);
+  EXPECT_DOUBLE_EQ(t.total_transfer_time(), 6);
+}
+
+TEST(Timeline, OverlapKernelWithTransfer) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10));
+  t.record(entry(OpKind::CopyH2D, 1, 5, 15));
+  const OverlapMetrics m = t.overlap_metrics();
+  EXPECT_DOUBLE_EQ(m.ct, 0.5);   // 5 of 10 kernel us under transfer
+  EXPECT_DOUBLE_EQ(m.tc, 0.5);   // 5 of 10 transfer us under kernel
+  EXPECT_DOUBLE_EQ(m.cc, 0.0);
+  EXPECT_DOUBLE_EQ(m.tot, 0.5);  // 10 of 20 op us overlapped
+}
+
+TEST(Timeline, OverlapTwoIdenticalKernels) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10));
+  t.record(entry(OpKind::Kernel, 1, 0, 10));
+  const OverlapMetrics m = t.overlap_metrics();
+  EXPECT_DOUBLE_EQ(m.cc, 1.0);
+  EXPECT_DOUBLE_EQ(m.ct, 0.0);
+  EXPECT_DOUBLE_EQ(m.tot, 1.0);
+}
+
+TEST(Timeline, OverlapSerialScheduleIsZero) {
+  Timeline t;
+  t.record(entry(OpKind::CopyH2D, 0, 0, 5));
+  t.record(entry(OpKind::Kernel, 0, 5, 15));
+  t.record(entry(OpKind::CopyD2H, 0, 15, 20));
+  const OverlapMetrics m = t.overlap_metrics();
+  EXPECT_DOUBLE_EQ(m.ct, 0);
+  EXPECT_DOUBLE_EQ(m.tc, 0);
+  EXPECT_DOUBLE_EQ(m.cc, 0);
+  EXPECT_DOUBLE_EQ(m.tot, 0);
+}
+
+TEST(Timeline, OverlapCountedOnceInTot) {
+  // One kernel overlapped by two transfers simultaneously: the union of
+  // overlap intervals counts once (section V-F).
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10));
+  t.record(entry(OpKind::CopyH2D, 1, 0, 10));
+  t.record(entry(OpKind::CopyH2D, 2, 0, 10));
+  const OverlapMetrics m = t.overlap_metrics();
+  EXPECT_DOUBLE_EQ(m.ct, 1.0);
+  EXPECT_DOUBLE_EQ(m.tot, 1.0);  // not > 1 despite double coverage
+}
+
+TEST(Timeline, MetricsBounded) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 7));
+  t.record(entry(OpKind::Kernel, 1, 3, 12));
+  t.record(entry(OpKind::Fault, 2, 1, 4));
+  t.record(entry(OpKind::CopyD2H, 0, 8, 14));
+  const OverlapMetrics m = t.overlap_metrics();
+  for (double v : {m.ct, m.tc, m.cc, m.tot}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // TOT is at least as large as each category's contribution share.
+  EXPECT_GE(m.tot, 0.0);
+}
+
+TEST(Timeline, KernelProfileAggregation) {
+  Timeline t;
+  TimelineEntry a = entry(OpKind::Kernel, 0, 0, 10);
+  a.prof.flops_sp = 100;
+  a.prof.dram_bytes = 50;
+  TimelineEntry b = entry(OpKind::Kernel, 0, 10, 20);
+  b.prof.flops_dp = 40;
+  b.prof.dram_bytes = 30;
+  b.prof.l2_bytes = 7;
+  b.prof.instructions = 9;
+  t.record(a);
+  t.record(b);
+  const KernelProfile p = t.total_kernel_profile();
+  EXPECT_DOUBLE_EQ(p.flops_sp, 100);
+  EXPECT_DOUBLE_EQ(p.flops_dp, 40);
+  EXPECT_DOUBLE_EQ(p.flops_total(), 140);
+  EXPECT_DOUBLE_EQ(p.dram_bytes, 80);
+  EXPECT_DOUBLE_EQ(p.l2_bytes, 7);
+  EXPECT_DOUBLE_EQ(p.instructions, 9);
+}
+
+TEST(Timeline, AsciiRenderContainsStreamsAndNames) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10, "matmul"));
+  t.record(entry(OpKind::CopyH2D, 1, 0, 5, "x"));
+  const std::string s = t.render_ascii(40);
+  EXPECT_NE(s.find("S0"), std::string::npos);
+  EXPECT_NE(s.find("S1"), std::string::npos);
+  EXPECT_NE(s.find("matmul"), std::string::npos);
+  EXPECT_NE(s.find('>'), std::string::npos);  // transfer glyph
+}
+
+TEST(Timeline, CoverMergesAdjacentOps) {
+  Timeline t;
+  t.record(entry(OpKind::Kernel, 0, 0, 10));
+  t.record(entry(OpKind::Kernel, 0, 10, 20));
+  const IntervalSet k = t.kernel_cover();
+  ASSERT_EQ(k.size(), 1u);
+  EXPECT_DOUBLE_EQ(k.measure(), 20);
+}
+
+}  // namespace
+}  // namespace psched::sim
