@@ -393,8 +393,11 @@ RunResult run_benchmark(const Benchmark& bench, Variant variant,
     r.critical_path_us =
         ctx.dag().critical_path_us(spec.pcie_bytes_per_us());
   }
+  r.engine_solves = gpu.engine().solve_count();
+  r.engine_solved_ops = gpu.engine().solved_ops();
   if (cfg.functional) r.checksum = compute_checksum(prog);
   if (run_opts.keep_timeline_ascii) r.timeline_ascii = tl.render_ascii();
+  if (run_opts.keep_timeline) r.timeline = tl.entries();
   return r;
 }
 

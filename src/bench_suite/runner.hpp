@@ -35,10 +35,15 @@ struct RunResult {
   double bytes_faulted = 0;
   double bytes_d2h = 0;
   std::string timeline_ascii;  ///< filled when requested
+  long engine_solves = 0;      ///< rate re-solve passes inside the engine
+  long engine_solved_ops = 0;  ///< per-op rate assignments across all solves
+  /// Full per-op execution record (filled when RunOptions::keep_timeline).
+  std::vector<sim::TimelineEntry> timeline;
 };
 
 struct RunOptions {
   bool keep_timeline_ascii = false;
+  bool keep_timeline = false;  ///< copy the timeline entries into the result
   bool prefetch = true;  ///< auto-prefetch for the GrCUDA parallel scheduler
   rt::StreamPolicy stream_policy = rt::StreamPolicy::FifoReuse;
   bool honor_read_only = true;

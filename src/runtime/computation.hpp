@@ -45,6 +45,9 @@ class Computation {
   std::unordered_set<ArrayState*> dep_set;
 
   State state = State::Created;
+  /// Id of the last computation whose dependency inference visited this
+  /// element (O(1) duplicate-parent test in infer_dependencies).
+  long dep_mark = -1;
   sim::StreamId stream = sim::kInvalidStream;
   sim::EventId event = sim::kInvalidEvent;
   sim::OpId op = sim::kInvalidOp;

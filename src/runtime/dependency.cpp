@@ -1,7 +1,6 @@
 #include "runtime/dependency.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace psched::rt {
 
@@ -9,6 +8,10 @@ namespace {
 
 /// Remove computations that can no longer create dependencies from a
 /// reader list (lazy pruning keeps the lists short on long-running apps).
+/// Stable single-pass compaction: readers were appended in registration
+/// (id) order, and the scheduler's first-child-inherits rule depends on
+/// the resulting parent order being deterministic — swap-and-pop would
+/// shuffle it and change stream assignments.
 void prune_inactive(std::vector<Computation*>& readers) {
   std::erase_if(readers, [](Computation* r) { return !r->is_active(); });
 }
@@ -32,20 +35,23 @@ std::vector<Computation*> infer_dependencies(Computation& c,
   }
 
   std::vector<Computation*> deps;
+  // Duplicate parents (a computation reachable through several arrays) are
+  // filtered with the dep_mark stamp: O(1) per candidate instead of a scan
+  // of the deps collected so far.
   auto add_dep = [&](Computation* d) {
     if (d == nullptr || d == &c || !d->is_active()) return;
-    if (std::find(deps.begin(), deps.end(), d) == deps.end()) {
-      deps.push_back(d);
-    }
+    if (d->dep_mark == c.id) return;  // already a parent of c
+    d->dep_mark = c.id;
+    deps.push_back(d);
   };
 
   for (auto& [array, writes] : combined) {
-    prune_inactive(array->readers);
     Computation* writer =
         (array->last_writer != nullptr && array->last_writer->is_active())
             ? array->last_writer
             : nullptr;
     if (writes) {
+      prune_inactive(array->readers);
       if (!array->readers.empty()) {
         // WAR: readers already transitively depend on the writer.
         for (Computation* r : array->readers) add_dep(r);
@@ -61,6 +67,12 @@ std::vector<Computation*> infer_dependencies(Computation& c,
       array->readers.clear();
     } else {
       add_dep(writer);  // the writer's dependency set is NOT updated
+      // Readers are only consulted when a writer shows up, so a read is a
+      // plain append — except at power-of-two sizes, where an amortized
+      // O(1) prune bounds the list for arrays that are never (re)written
+      // (a lookup table read by every kernel for the life of the app).
+      const std::size_t n = array->readers.size();
+      if (n >= 8 && (n & (n - 1)) == 0) prune_inactive(array->readers);
       array->readers.push_back(&c);
     }
     // The new computation can introduce dependencies through this argument.

@@ -3,7 +3,35 @@
 namespace psched::rt {
 
 StreamManager::StreamManager(sim::GpuRuntime& gpu, StreamPolicy policy)
-    : gpu_(&gpu), policy_(policy) {}
+    : gpu_(&gpu), policy_(policy) {
+  if (policy_ == StreamPolicy::FifoReuse) {
+    idle_observer_ = gpu_->engine().add_stream_idle_observer(
+        [this](sim::StreamId s) { note_idle(s); });
+  }
+}
+
+StreamManager::~StreamManager() {
+  if (idle_observer_ != 0) {
+    gpu_->engine().remove_stream_idle_observer(idle_observer_);
+  }
+}
+
+void StreamManager::note_idle(sim::StreamId s) {
+  if (static_cast<std::size_t>(s) < in_pool_.size() &&
+      in_pool_[static_cast<std::size_t>(s)]) {
+    idle_.push(s);
+  }
+}
+
+sim::StreamId StreamManager::create_pooled_stream() {
+  const sim::StreamId s = gpu_->create_stream();
+  pool_.push_back(s);
+  if (in_pool_.size() <= static_cast<std::size_t>(s)) {
+    in_pool_.resize(static_cast<std::size_t>(s) + 1, false);
+  }
+  in_pool_[static_cast<std::size_t>(s)] = true;
+  return s;
+}
 
 sim::StreamId StreamManager::inherit_from_parent(const Computation& c) const {
   // "If a computation has multiple children, the first child is scheduled
@@ -30,12 +58,17 @@ sim::StreamId StreamManager::acquire(Computation& c) {
   }
 
   if (policy_ == StreamPolicy::FifoReuse) {
-    for (const sim::StreamId s : pool_) {
+    // Let completions up to the host clock land so the free-list reflects
+    // the idleness the old full scan would have observed.
+    gpu_->poll();
+    while (!idle_.empty()) {
+      const sim::StreamId s = idle_.top();
+      idle_.pop();
       if (gpu_->stream_idle(s)) return s;
+      // Stale entry: the stream picked up new work after it drained.
     }
   }
-  pool_.push_back(gpu_->create_stream());
-  return pool_.back();
+  return create_pooled_stream();
 }
 
 }  // namespace psched::rt

@@ -3,10 +3,18 @@
 // Allocation and management of streams is transparent. With the paper's
 // default policy the first child of a computation inherits its parent's
 // stream (no synchronization event needed there); other computations reuse
-// an idle stream — streams are scanned in creation (FIFO) order — and a new
-// stream is created only when none is idle.
+// an idle stream — preferring the earliest-created one, as the paper's FIFO
+// scan does — and a new stream is created only when none is idle.
+//
+// Idle streams are tracked with a free-list fed by the engine's
+// stream-drained callback instead of rescanning the whole pool per acquire
+// (which made a run of n acquires O(pool^2)): the min-heap yields the
+// earliest-created candidate in O(log pool), and a candidate that became
+// busy again since it drained (a completion callback may re-enqueue work)
+// is lazily discarded on pop.
 #pragma once
 
+#include <queue>
 #include <vector>
 
 #include "runtime/computation.hpp"
@@ -17,7 +25,15 @@ namespace psched::rt {
 
 class StreamManager {
  public:
+  /// `gpu` must outlive this manager: construction registers a
+  /// stream-idle observer on its engine and destruction unregisters it
+  /// (the Context that owns a StreamManager already takes GpuRuntime& on
+  /// the same terms).
   StreamManager(sim::GpuRuntime& gpu, StreamPolicy policy);
+  ~StreamManager();
+
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
 
   /// Pick (and possibly create) the execution stream for `c`. The
   /// computation's parent links must already be wired.
@@ -31,10 +47,20 @@ class StreamManager {
 
  private:
   [[nodiscard]] sim::StreamId inherit_from_parent(const Computation& c) const;
+  /// Engine callback: stream `s` drained; remember it if it is ours.
+  void note_idle(sim::StreamId s);
+  sim::StreamId create_pooled_stream();
 
   sim::GpuRuntime* gpu_;
   StreamPolicy policy_;
   std::vector<sim::StreamId> pool_;  ///< streams created, in FIFO order
+  /// Idle candidates, earliest-created first. May hold stale entries
+  /// (stream busy again) and duplicates; acquire() revalidates on pop.
+  std::priority_queue<sim::StreamId, std::vector<sim::StreamId>,
+                      std::greater<>>
+      idle_;
+  std::vector<bool> in_pool_;  ///< indexed by stream id
+  int idle_observer_ = 0;      ///< engine observer token (0 = none)
 };
 
 }  // namespace psched::rt

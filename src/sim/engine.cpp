@@ -9,24 +9,27 @@ namespace psched::sim {
 namespace {
 constexpr double kWorkEps = 1e-9;
 
-/// True when a running op cannot measurably advance the clock any more.
+/// Completion-time tolerance at clock value `now`.
 ///
 /// Fluid-model progress accumulates rounding error of order
 /// rate * ulp(now) per rate interval, so an op can be left with a residue
 /// of work whose completion time increment underflows against `now`
 /// (now + remaining/rate == now). Work-relative tolerance alone cannot see
 /// this — the test must be in the time domain: sub-picosecond remaining
-/// *time* (scaled with ulp(now) for large clocks) counts as done.
-bool effectively_done(const Op& op, double rate, TimeUs now) {
-  if (op.remaining() <= kWorkEps * std::max(1.0, op.work)) return true;
-  if (rate <= 0) return false;
-  const TimeUs tol = std::max(1e-6, 1e-9 * now);
-  return op.remaining() / rate <= tol;
-}
-}
+/// *time* (scaled with ulp(now) for large clocks) counts as done. A
+/// predicted completion within this tolerance of the clock is due, which is
+/// exactly the seed engine's `effectively_done` test expressed on predicted
+/// times (remaining / rate == predicted_t - now).
+TimeUs completion_tol(TimeUs now) { return std::max(1e-6, 1e-9 * now); }
 
-Engine::Engine(DeviceSpec spec)
-    : spec_(std::move(spec)), model_(spec_) {
+/// Work-domain completion test (rate-independent half of the seed's
+/// `effectively_done`): a residue below the relative work epsilon is done.
+bool work_done(const Op& op) {
+  return op.remaining() <= kWorkEps * std::max(1.0, op.work);
+}
+}  // namespace
+
+Engine::Engine(DeviceSpec spec) : spec_(std::move(spec)), model_(spec_) {
   streams_.emplace_back();  // default stream 0
 }
 
@@ -40,6 +43,19 @@ EventId Engine::create_event() {
   return static_cast<EventId>(events_.size() - 1);
 }
 
+
+const Engine::OpRecord& Engine::record_of(OpId id, const char* who) const {
+  if (id < 1 || id >= next_op_id_) {
+    throw ApiError(std::string(who) + ": unknown op");
+  }
+  return records_[static_cast<std::size_t>(id - 1)];
+}
+
+Op& Engine::live_op(OpId id) {
+  const OpRecord& rec = records_[static_cast<std::size_t>(id - 1)];
+  return slab_[static_cast<std::size_t>(rec.slot)];
+}
+
 OpId Engine::enqueue(Op op, TimeUs host_time) {
   if (op.stream < 0 || static_cast<std::size_t>(op.stream) >= streams_.size()) {
     throw ApiError("enqueue: invalid stream " + std::to_string(op.stream));
@@ -47,11 +63,34 @@ OpId Engine::enqueue(Op op, TimeUs host_time) {
   op.id = next_op_id_++;
   op.enqueue_time = std::max(host_time, op.enqueue_time);
   op.state = OpState::Queued;
+  op.rate = 0;
+  op.rate_since = 0;
+  op.class_pos = -1;
+  op.gated_events.clear();
+
   const OpId id = op.id;
-  streams_[static_cast<std::size_t>(op.stream)].fifo.push_back(id);
-  ops_.emplace(id, std::move(op));
-  // The device may start this op as soon as the host clock allows; callers
-  // typically advance_to(host_time) right after.
+  const StreamId stream = op.stream;
+  const OpKind kind = op.kind;
+
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slab_[static_cast<std::size_t>(slot)] = std::move(op);
+  } else {
+    slot = static_cast<std::int32_t>(slab_.size());
+    slab_.push_back(std::move(op));
+  }
+  records_.push_back({slot, kind, stream, -1, -1});
+  ++live_ops_;
+  peak_resident_ = std::max(peak_resident_, live_ops_);
+
+  auto& fifo = streams_[static_cast<std::size_t>(stream)].fifo;
+  const bool new_head = fifo.empty();
+  fifo.push_back(id);
+  // Only a fresh head can change a stream's startability; callers advance
+  // the clock right after, which drains the ready worklist.
+  if (new_head) mark_pending(stream);
   return id;
 }
 
@@ -71,16 +110,18 @@ void Engine::record_event(EventId event, StreamId stream, TimeUs host_time) {
   } else {
     ev.gate = fifo.back();
     ev.done_at = kTimeInfinity;  // set when the gate op completes
+    live_op(ev.gate).gated_events.push_back(event);
   }
+  // Re-recording changes what waiting heads observe: re-examine them.
+  wake_event_waiters(ev);
 }
 
 void Engine::set_on_complete(OpId op, std::function<void()> fn) {
-  auto it = ops_.find(op);
-  if (it == ops_.end()) throw ApiError("set_on_complete: unknown op");
-  if (it->second.state == OpState::Done) {
+  const OpRecord& rec = record_of(op, "set_on_complete");
+  if (rec.slot < 0) {
     throw ApiError("set_on_complete: op already completed");
   }
-  it->second.on_complete = std::move(fn);
+  slab_[static_cast<std::size_t>(rec.slot)].on_complete = std::move(fn);
 }
 
 void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
@@ -104,9 +145,7 @@ bool Engine::stream_idle(StreamId stream) const {
 }
 
 bool Engine::op_done(OpId op) const {
-  auto it = ops_.find(op);
-  if (it == ops_.end()) throw ApiError("op_done: unknown op");
-  return it->second.state == OpState::Done;
+  return record_of(op, "op_done").slot < 0;
 }
 
 bool Engine::event_done(EventId event) const {
@@ -124,59 +163,88 @@ TimeUs Engine::event_done_time(EventId event) const {
   return events_[static_cast<std::size_t>(event)].done_at;
 }
 
-const Op& Engine::op(OpId id) const {
-  auto it = ops_.find(id);
-  if (it == ops_.end()) throw ApiError("op: unknown op id");
-  return it->second;
-}
-
-bool Engine::all_idle() const {
-  for (const auto& s : streams_) {
-    if (!s.fifo.empty()) return false;
+Op Engine::op(OpId id) const {
+  const OpRecord& rec = record_of(id, "op");
+  if (rec.slot >= 0) {
+    // Live: fold lazily-accrued fluid progress so `done` reflects now().
+    Op& live = const_cast<Engine*>(this)->slab_[
+        static_cast<std::size_t>(rec.slot)];
+    if (live.state == OpState::Running) fold_progress(live);
+    return live;
   }
-  return true;
+  // Retired: reconstruct the compact completion record.
+  Op done;
+  done.id = id;
+  done.kind = rec.kind;
+  done.stream = rec.stream;
+  done.state = OpState::Done;
+  done.start_time = rec.start;
+  done.end_time = rec.end;
+  return done;
 }
 
 bool Engine::copy_engine_busy(OpKind dir) const {
-  for (OpId id : running_) {
-    if (ops_.at(id).kind == dir) return true;
-  }
-  return false;
+  return !class_members_[dir == OpKind::CopyH2D ? kClassH2D : kClassD2H]
+              .empty();
 }
 
-bool Engine::op_can_start(const Op& op) const {
-  if (op.state != OpState::Queued) return false;
-  if (op.enqueue_time > now_ + kWorkEps) return false;
-  const auto& fifo = streams_[static_cast<std::size_t>(op.stream)].fifo;
-  if (fifo.empty() || fifo.front() != op.id) return false;
-  for (EventId e : op.waits) {
-    const EventState& ev = events_[static_cast<std::size_t>(e)];
-    if (!ev.recorded || ev.done_at > now_ + kWorkEps) return false;
+void Engine::mark_pending(StreamId stream) {
+  StreamState& st = streams_[static_cast<std::size_t>(stream)];
+  if (st.pending) return;
+  st.pending = true;
+  ready_.push_back(stream);
+}
+
+void Engine::wake_event_waiters(EventState& ev) {
+  for (StreamId s : ev.waiters) mark_pending(s);
+  ev.waiters.clear();
+}
+
+void Engine::fold_progress(Op& op) const {
+  if (op.rate > 0 && now_ > op.rate_since) {
+    op.done = std::min(op.work, op.done + op.rate * (now_ - op.rate_since));
   }
-  // Explicit copies serialize on the per-direction DMA engine: one in
-  // flight at a time, grabbed in issue order as the engine frees up.
-  // (Fault-path migrations use the page-fault machinery instead and may
-  // proceed concurrently; the resource model de-rates them.)
-  if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
-      copy_engine_busy(op.kind)) {
-    return false;
-  }
-  return true;
+  op.rate_since = now_;
 }
 
 void Engine::complete_op(Op& op) {
   op.state = OpState::Done;
   op.end_time = now_;
   ++completed_count_;
+
+  OpRecord& rec = records_[static_cast<std::size_t>(op.id - 1)];
+  rec.start = op.start_time;
+  rec.end = now_;
+
   auto& fifo = streams_[static_cast<std::size_t>(op.stream)].fifo;
   if (!fifo.empty() && fifo.front() == op.id) fifo.pop_front();
-  std::erase(running_, op.id);
-  rates_dirty_ = true;
 
-  // Complete any event gated on this op.
-  for (EventState& ev : events_) {
+  // Leave the running set: swap-and-pop out of the resource class, dirty
+  // it, and hand a freed DMA engine to the blocked copies of its direction.
+  --running_;
+  if (op.class_pos >= 0) {
+    const int cls = class_of(op.kind);
+    auto& members = class_members_[cls];
+    const std::int32_t last = members.back();
+    members[static_cast<std::size_t>(op.class_pos)] = last;
+    slab_[static_cast<std::size_t>(last)].class_pos = op.class_pos;
+    members.pop_back();
+    op.class_pos = -1;
+    class_dirty_[cls] = true;
+    if (cls == kClassH2D || cls == kClassD2H) {
+      auto& waiters = copy_waiters_[cls == kClassH2D ? 0 : 1];
+      for (StreamId s : waiters) mark_pending(s);
+      waiters.clear();
+    }
+  }
+
+  // Complete any event gated on this op (reverse index; re-records against
+  // a newer gate are skipped by the gate check).
+  for (EventId eid : op.gated_events) {
+    EventState& ev = events_[static_cast<std::size_t>(eid)];
     if (ev.recorded && ev.gate == op.id && ev.done_at == kTimeInfinity) {
       ev.done_at = now_;
+      wake_event_waiters(ev);
     }
   }
 
@@ -192,76 +260,238 @@ void Engine::complete_op(Op& op) {
     e.prof = op.prof;
     timeline_.record(e);
   }
-  if (op.on_complete) {
-    // Move out so re-entrant engine use from the callback cannot re-fire it.
-    auto fn = std::move(op.on_complete);
-    op.on_complete = nullptr;
-    fn();
+
+  const StreamId stream = op.stream;
+  const bool stream_drained = fifo.empty();
+  if (!stream_drained) mark_pending(stream);
+
+  // Retire: move the callback out, release the slab slot (drops the op's
+  // strings/vectors/closures — live memory stays bounded by concurrency),
+  // then fire the callbacks. `op` must not be touched past this point: the
+  // callbacks may re-enter the engine and reuse the slot.
+  auto fn = std::move(op.on_complete);
+  const std::int32_t slot = rec.slot;
+  rec.slot = -1;
+  --live_ops_;
+  slab_[static_cast<std::size_t>(slot)] = Op{};
+  free_slots_.push_back(slot);
+  if (fn) fn();
+  // After on_complete: the callback may have enqueued fresh work, in which
+  // case the observer's idle record is stale — observers revalidate.
+  if (stream_drained && !stream_idle_observers_.empty()) {
+    // Dispatch against a full snapshot (local: dispatch itself may recur
+    // through a re-entrant callback): an observer may (un)register
+    // observers, which can reallocate or overwrite the member vector —
+    // the snapshot's copied std::functions keep the executing callback
+    // alive. An observer removed mid-dispatch is skipped; one added
+    // mid-dispatch first sees the next drain.
+    const auto snapshot = stream_idle_observers_;
+    for (const auto& [token, fn] : snapshot) {
+      const bool alive = std::any_of(
+          stream_idle_observers_.begin(), stream_idle_observers_.end(),
+          [token](const auto& o) { return o.first == token; });
+      if (alive) fn(stream);
+    }
   }
 }
 
-void Engine::start_ready_ops() {
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    // Index-based: completion callbacks may create streams re-entrantly.
-    for (std::size_t si = 0; si < streams_.size(); ++si) {
-      auto& stream = streams_[si];
-      if (stream.fifo.empty()) continue;
-      auto it = ops_.find(stream.fifo.front());
-      Op& op = it->second;
-      if (!op_can_start(op)) continue;
-      op.state = OpState::Running;
-      op.start_time = now_;
-      if (op.remaining() <= kWorkEps) {
-        complete_op(op);  // zero-duration markers finish instantly
-      } else {
-        running_.push_back(op.id);
-        rates_dirty_ = true;
-      }
-      changed = true;
+int Engine::add_stream_idle_observer(std::function<void(StreamId)> fn) {
+  const int token = next_observer_token_++;
+  stream_idle_observers_.emplace_back(token, std::move(fn));
+  return token;
+}
+
+void Engine::remove_stream_idle_observer(int token) {
+  std::erase_if(stream_idle_observers_,
+                [token](const auto& o) { return o.first == token; });
+}
+
+void Engine::check_stream_head(StreamId stream) {
+  auto& fifo = streams_[static_cast<std::size_t>(stream)].fifo;
+  if (fifo.empty()) return;
+  const OpId id = fifo.front();
+  OpRecord& rec = records_[static_cast<std::size_t>(id - 1)];
+  Op& op = slab_[static_cast<std::size_t>(rec.slot)];
+  if (op.state != OpState::Queued) return;
+
+  // Earliest possible start among enqueue time and event completions. A
+  // head blocked on something with no known time registers on that
+  // blocker's waiter list; a head blocked only by the clock goes into the
+  // start heap at its known start time.
+  TimeUs at = op.enqueue_time;
+  for (EventId e : op.waits) {
+    EventState& ev = events_[static_cast<std::size_t>(e)];
+    if (!ev.recorded || ev.done_at == kTimeInfinity) {
+      // Unknown completion time: woken by the gate op or a re-record.
+      ev.waiters.push_back(stream);
+      return;
+    }
+    at = std::max(at, ev.done_at);
+  }
+  if (at > now_ + kWorkEps) {
+    start_heap_.push({at, id});
+    // A re-record may move an awaited event earlier than `at`: stay on the
+    // waiter lists so the change triggers a fresh examination.
+    for (EventId e : op.waits) {
+      EventState& ev = events_[static_cast<std::size_t>(e)];
+      if (ev.done_at > now_ + kWorkEps) ev.waiters.push_back(stream);
+    }
+    return;
+  }
+  // Explicit copies serialize on the per-direction DMA engine: one in
+  // flight at a time, grabbed in issue order as the engine frees up.
+  // (Fault-path migrations use the page-fault machinery instead and may
+  // proceed concurrently; the resource model de-rates them.)
+  if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
+      copy_engine_busy(op.kind)) {
+    copy_waiters_[op.kind == OpKind::CopyH2D ? 0 : 1].push_back(stream);
+    return;
+  }
+
+  op.state = OpState::Running;
+  op.start_time = now_;
+  op.rate = 0;
+  op.rate_since = now_;
+  ++running_;
+  const int cls = class_of(op.kind);
+  if (cls != kClassNone) {
+    op.class_pos = static_cast<std::int32_t>(class_members_[cls].size());
+    class_members_[cls].push_back(rec.slot);
+    class_dirty_[cls] = true;
+  }
+  if (op.remaining() <= kWorkEps) {
+    complete_op(op);  // zero-duration markers finish instantly
+    // No references may be used past complete_op: the callback can grow
+    // streams_/records_/slab_ re-entrantly.
+  }
+}
+
+void Engine::drain_ready() {
+  // Rounds of ascending-stream-id sweeps over the pending set, mirroring
+  // the seed engine's full-scan fixpoint order (which decides copy-engine
+  // handover among same-instant candidates) without visiting idle streams.
+  //
+  // The batch is moved out of the scratch member for the duration of the
+  // sweep: a completion callback may re-enter the engine (advance_to,
+  // run_until_*) and recurse into drain_ready, which must not clobber the
+  // batch we are iterating. The inner call sees an empty scratch and
+  // allocates its own; capacities are donated back on the way out.
+  std::vector<StreamId> batch = std::move(batch_);
+  while (!ready_.empty()) {
+    batch.clear();
+    batch.swap(ready_);
+    std::sort(batch.begin(), batch.end());
+    for (const StreamId s : batch) {
+      streams_[static_cast<std::size_t>(s)].pending = false;
+      check_stream_head(s);
     }
   }
+  batch_ = std::move(batch);
 }
 
 void Engine::recompute_rates() {
-  if (!rates_dirty_) return;
-  std::vector<const Op*> running;
-  running.reserve(running_.size());
-  for (OpId id : running_) running.push_back(&ops_.at(id));
-  rates_ = model_.solve(running);
-  rates_dirty_ = false;
-  ++solve_count_;
+  // class_of and kClassKind are a forward/inverse pair; a class added to
+  // one without the other would misprice every op in it.
+  static_assert(class_of(kClassKind[kClassKernel]) == kClassKernel);
+  static_assert(class_of(kClassKind[kClassH2D]) == kClassH2D);
+  static_assert(class_of(kClassKind[kClassD2H]) == kClassD2H);
+  static_assert(class_of(kClassKind[kClassFault]) == kClassFault);
+
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (!class_dirty_[cls]) continue;
+    class_dirty_[cls] = false;
+    class_next_[cls] = kTimeInfinity;
+    auto& members = class_members_[cls];
+    if (members.empty()) continue;
+    ++solve_count_;
+    solved_ops_ += static_cast<long>(members.size());
+
+    solve_members_.clear();
+    for (const std::int32_t slot : members) {
+      Op& op = slab_[static_cast<std::size_t>(slot)];
+      fold_progress(op);  // progress so far accrued at the old rate
+      solve_members_.push_back(&op);
+    }
+    model_.solve_class(kClassKind[cls], solve_members_, solve_rates_);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      Op& op = slab_[static_cast<std::size_t>(members[i])];
+      op.rate = solve_rates_[i];
+      op.rate_since = now_;
+      if (work_done(op)) {
+        op.pred_end = now_;  // residue below the work epsilon: due now
+      } else if (op.rate > 0) {
+        op.pred_end = now_ + op.remaining() / op.rate;
+      } else {
+        op.pred_end = kTimeInfinity;  // the stall watchdog is the net
+      }
+      class_next_[cls] = std::min(class_next_[cls], op.pred_end);
+    }
+  }
 }
 
-TimeUs Engine::earliest_queued_candidate() const {
-  TimeUs best = kTimeInfinity;
-  for (const auto& stream : streams_) {
-    if (stream.fifo.empty()) continue;
-    const Op& op = ops_.at(stream.fifo.front());
-    if (op.state != OpState::Queued) continue;
-    TimeUs cand = op.enqueue_time;
-    bool possible = true;
-    for (EventId e : op.waits) {
-      const EventState& ev = events_[static_cast<std::size_t>(e)];
-      if (!ev.recorded || ev.done_at == kTimeInfinity) {
-        // The event either isn't recorded yet or waits on a running op;
-        // a future completion or host call may unblock it.
-        possible = false;
-        break;
+TimeUs Engine::earliest_completion() const {
+  return std::min(std::min(class_next_[0], class_next_[1]),
+                  std::min(class_next_[2], class_next_[3]));
+}
+
+TimeUs Engine::earliest_queued_candidate() {
+  while (!start_heap_.empty()) {
+    const HeapEntry& e = start_heap_.top();
+    const OpRecord& rec = records_[static_cast<std::size_t>(e.id - 1)];
+    if (rec.slot >= 0) {
+      const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
+      if (op.state == OpState::Queued &&
+          streams_[static_cast<std::size_t>(op.stream)].fifo.front() == e.id) {
+        return e.t;
       }
-      cand = std::max(cand, ev.done_at);
     }
-    // A copy blocked on a busy DMA engine is unblocked by that copy's
-    // completion, which the engine already schedules; reporting a past
-    // candidate time here would move the clock backwards.
-    if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
-        copy_engine_busy(op.kind)) {
-      possible = false;
-    }
-    if (possible) best = std::min(best, cand);
+    start_heap_.pop();  // stale: op started, retired, or no longer head
   }
-  return best;
+  return kTimeInfinity;
+}
+
+void Engine::release_due_starts() {
+  while (!start_heap_.empty() && start_heap_.top().t <= now_ + kWorkEps) {
+    const HeapEntry e = start_heap_.top();
+    start_heap_.pop();
+    const OpRecord& rec = records_[static_cast<std::size_t>(e.id - 1)];
+    if (rec.slot < 0) continue;
+    const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
+    if (op.state == OpState::Queued &&
+        streams_[static_cast<std::size_t>(op.stream)].fifo.front() == e.id) {
+      mark_pending(op.stream);
+    }
+  }
+}
+
+bool Engine::complete_due_ops() {
+  const TimeUs tol = completion_tol(now_);
+  // Moved out of the scratch member: completion callbacks may re-enter the
+  // engine and recurse into this function (see drain_ready).
+  std::vector<OpId> due = std::move(due_);
+  due.clear();
+  for (int cls = 0; cls < kNumClasses; ++cls) {
+    if (class_next_[cls] > now_ + tol) continue;
+    // The class's re-solve after these completions rescans it anyway; one
+    // extra pass to collect the due members costs a compare per op.
+    for (const std::int32_t slot : class_members_[cls]) {
+      const Op& op = slab_[static_cast<std::size_t>(slot)];
+      if (op.pred_end <= now_ + tol) due.push_back(op.id);
+    }
+  }
+  if (due.empty()) {
+    due_ = std::move(due);
+    return false;
+  }
+  std::sort(due.begin(), due.end());  // deterministic tie-breaking
+  for (const OpId id : due) {
+    const OpRecord& rec = records_[static_cast<std::size_t>(id - 1)];
+    if (rec.slot < 0) continue;
+    Op& op = slab_[static_cast<std::size_t>(rec.slot)];
+    if (op.state == OpState::Running) complete_op(op);
+  }
+  due_ = std::move(due);
+  return true;
 }
 
 void Engine::note_progress(bool advanced) {
@@ -273,16 +503,17 @@ void Engine::note_progress(bool advanced) {
   std::ostringstream msg;
   msg << "engine stalled at t=" << now_ << "us after " << kStallLimit
       << " steps without progress; running:";
-  for (OpId id : running_) {
-    const Op& op = ops_.at(id);
-    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-    msg << " [op " << id << " '" << op.name << "' remaining "
-        << op.remaining() << " rate " << rate << "]";
+  for (const Op& op : slab_) {
+    if (op.state != OpState::Running) continue;
+    msg << " [op " << op.id << " '" << op.name << "' remaining "
+        << op.remaining() << " rate " << op.rate << "]";
   }
   msg << "; queued heads:";
   for (const auto& stream : streams_) {
     if (stream.fifo.empty()) continue;
-    const Op& op = ops_.at(stream.fifo.front());
+    const OpRecord& rec =
+        records_[static_cast<std::size_t>(stream.fifo.front() - 1)];
+    const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
     if (op.state != OpState::Queued) continue;
     msg << " [stream " << op.stream << " op " << op.id << " '" << op.name
         << "' enqueue_t " << op.enqueue_time << " waits " << op.waits.size()
@@ -294,101 +525,69 @@ void Engine::note_progress(bool advanced) {
 bool Engine::step(TimeUs target) {
   const TimeUs entry_now = now_;
   const long entry_completed = completed_count_;
-  start_ready_ops();
+  drain_ready();
   recompute_rates();
 
-  // Earliest completion among running ops.
-  TimeUs t_next = kTimeInfinity;
-  for (OpId id : running_) {
-    const Op& op = ops_.at(id);
-    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-    if (rate <= 0) continue;
-    t_next = std::min(t_next, now_ + op.remaining() / rate);
-  }
-  // Earliest future start of a queued head op.
-  t_next = std::min(t_next, earliest_queued_candidate());
+  const TimeUs t_next =
+      std::min(earliest_completion(), earliest_queued_candidate());
 
   if (t_next >= target) {
     if (!std::isfinite(target)) {
       // Nothing schedulable before an infinite horizon. With running ops
       // present this means every rate is zero — callers will retry, so
       // count it against the stall watchdog instead of spinning forever.
-      if (!running_.empty()) note_progress(false);
+      if (running_ > 0) note_progress(false);
       return false;
     }
-    // Advance progress to target and stop.
-    const TimeUs dt = target - now_;
-    if (dt > 0) {
-      for (OpId id : running_) {
-        Op& op = ops_.at(id);
-        const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-        op.done = std::min(op.work, op.done + rate * dt);
-      }
-      now_ = target;
-    }
-    // Complete anything that finished exactly at target.
-    std::vector<OpId> finished;
-    for (OpId id : running_) {
-      const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-      if (effectively_done(ops_.at(id), rate, now_)) finished.push_back(id);
-    }
-    std::sort(finished.begin(), finished.end());
-    for (OpId id : finished) complete_op(ops_.at(id));
-    if (!finished.empty()) start_ready_ops();
+    // Advance to target and stop; complete/start anything due exactly there.
+    if (target > now_) now_ = target;
+    release_due_starts();
+    const bool finished = complete_due_ops();
+    drain_ready();
     note_progress(now_ != entry_now || completed_count_ != entry_completed);
-    return !finished.empty();
+    return finished;
   }
 
-  // Advance to the next discrete event.
-  const TimeUs dt = t_next - now_;
-  for (OpId id : running_) {
-    Op& op = ops_.at(id);
-    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-    op.done = std::min(op.work, op.done + rate * dt);
-  }
+  // Advance to the next discrete event. Running ops' progress is folded
+  // lazily at their next rate change or query — not per step.
   now_ = t_next;
-
-  std::vector<OpId> finished;
-  for (OpId id : running_) {
-    const Op& op = ops_.at(id);
-    const double rate = rates_.count(id) ? rates_.at(id) : 0.0;
-    if (effectively_done(op, rate, now_)) finished.push_back(id);
-  }
-  std::sort(finished.begin(), finished.end());  // deterministic tie-breaking
-  for (OpId id : finished) complete_op(ops_.at(id));
-  start_ready_ops();
+  release_due_starts();
+  complete_due_ops();
+  drain_ready();
   note_progress(now_ != entry_now || completed_count_ != entry_completed);
   return true;
 }
 
 void Engine::advance_to(TimeUs t) {
   if (t <= now_) {
-    start_ready_ops();
+    release_due_starts();
+    drain_ready();
     return;
   }
   while (now_ < t) {
     if (!step(t)) break;
   }
-  start_ready_ops();
+  release_due_starts();
+  drain_ready();
 }
 
-void Engine::check_deadlock() const {
-  if (!running_.empty()) return;
+void Engine::check_deadlock() {
+  if (running_ > 0) return;
+  if (live_ops_ == 0) return;
+  // Pending head checks may still start something; step() drains them.
+  if (!ready_.empty()) return;
   // No running ops: if any queued head could still start in the future
   // (pending enqueue time or a completed-gate event), we are fine; if every
   // queued op waits on something that can never complete, it's a deadlock.
-  bool any_queued = false;
-  for (const auto& stream : streams_) {
-    if (!stream.fifo.empty()) any_queued = true;
-  }
-  if (!any_queued) return;
   if (earliest_queued_candidate() < kTimeInfinity) return;
 
   std::ostringstream msg;
   msg << "engine deadlock at t=" << now_ << "us; blocked ops:";
   for (const auto& stream : streams_) {
     if (stream.fifo.empty()) continue;
-    const Op& op = ops_.at(stream.fifo.front());
+    const OpRecord& rec =
+        records_[static_cast<std::size_t>(stream.fifo.front() - 1)];
+    const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
     msg << " [stream " << op.stream << " op " << op.id << " '" << op.name
         << "']";
   }
@@ -400,7 +599,7 @@ TimeUs Engine::run_until_op_done(OpId op_id) {
     check_deadlock();
     if (!step(kTimeInfinity)) check_deadlock();
   }
-  return ops_.at(op_id).end_time;
+  return records_[static_cast<std::size_t>(op_id - 1)].end;
 }
 
 TimeUs Engine::run_until_event(EventId event) {

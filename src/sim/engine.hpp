@@ -13,12 +13,28 @@
 //     the record call; re-recording resets the event;
 //   * stream_wait_event inserts a barrier: later ops on the stream wait for
 //     the event without blocking the host.
+//
+// Engine core (see docs/engine-internals.md for the full design):
+//   * op storage is a contiguous slab with a free list; completed ops retire
+//     to a compact per-id record (start/end/kind/stream) so live memory is
+//     bounded by the number of concurrently in-flight ops;
+//   * each running op carries its predicted completion time, refreshed by
+//     its class's rate re-solve (which iterates the class anyway); the
+//     engine keeps the per-class minimum, so finding the next completion is
+//     a 4-way min and completing it is one scan of the due class;
+//   * queued head ops that can only start at a known future time sit in a
+//     second min-heap; heads blocked on events or the copy engine register
+//     on waiter lists and are re-examined only when the blocker changes —
+//     stepping never scans all streams;
+//   * rates are re-solved per resource class (kernels / H2D / D2H / faults),
+//     only for classes whose membership changed.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/device_spec.hpp"
@@ -52,6 +68,12 @@ class Engine {
   void wait_event(StreamId stream, EventId event, TimeUs host_time);
   /// Attach/replace the completion callback of a not-yet-completed op.
   void set_on_complete(OpId op, std::function<void()> fn);
+  /// Register an observer fired whenever a stream's FIFO drains; returns a
+  /// token for remove_stream_idle_observer. The runtime's stream manager
+  /// maintains its idle free-list with this instead of rescanning the
+  /// stream pool. Multiple observers may coexist (each sees every drain).
+  int add_stream_idle_observer(std::function<void(StreamId)> fn);
+  void remove_stream_idle_observer(int token);
 
   // --- time control ---
   /// Process device activity up to virtual time `t` (never goes backward).
@@ -72,41 +94,123 @@ class Engine {
   [[nodiscard]] bool op_done(OpId op) const;
   [[nodiscard]] bool event_done(EventId event) const;
   [[nodiscard]] TimeUs event_done_time(EventId event) const;
-  [[nodiscard]] const Op& op(OpId id) const;
-  [[nodiscard]] bool all_idle() const;
+  /// Snapshot an op's state (by value: live ops move through a recycled
+  /// slab, retired ops only persist as compact completion records, so no
+  /// stable reference exists). Live ops are returned in full with progress
+  /// folded to now(); retired ops carry id/kind/stream/start_time/end_time
+  /// and state only.
+  [[nodiscard]] Op op(OpId id) const;
+  [[nodiscard]] bool all_idle() const { return live_ops_ == 0; }
 
   [[nodiscard]] Timeline& timeline() { return timeline_; }
   [[nodiscard]] const Timeline& timeline() const { return timeline_; }
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] const ResourceModel& model() const { return model_; }
 
-  /// Number of rate re-solves performed (introspection for tests).
+  /// Number of per-class rate re-solve passes (introspection for tests).
   [[nodiscard]] long solve_count() const { return solve_count_; }
+  /// Total per-op rate assignments across all re-solves: the actual work
+  /// the fluid model performed (introspection for perf-regression tests).
+  [[nodiscard]] long solved_ops() const { return solved_ops_; }
+  /// High-water mark of concurrently live (queued + running) ops — the
+  /// slab's peak occupancy.
+  [[nodiscard]] long peak_resident_ops() const { return peak_resident_; }
 
  private:
+  /// Resource classes rates are solved for independently. Membership of one
+  /// class never affects another class's rates, so a completion only dirties
+  /// its own class.
+  enum RateClass : int { kClassKernel = 0, kClassH2D, kClassD2H, kClassFault };
+  static constexpr int kNumClasses = 4;
+  static constexpr int kClassNone = -1;  ///< markers/host spans: no rate
+  /// The op kind each class solves for — the inverse of class_of(); keep
+  /// the two in sync (static_asserts in engine.cpp check the round trip).
+  static constexpr OpKind kClassKind[kNumClasses] = {
+      OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H, OpKind::Fault};
+
   struct StreamState {
     std::deque<OpId> fifo;  ///< queued + running ops, in issue order
+    bool pending = false;   ///< queued for a head ready-check
   };
   struct EventState {
     bool recorded = false;
     OpId gate = kInvalidOp;       ///< op whose completion triggers the event
     TimeUs done_at = kTimeInfinity;
+    /// Streams whose head waits on this event; woken (and cleared) when the
+    /// event fires or is re-recorded.
+    std::vector<StreamId> waiters;
   };
+  /// Compact per-id op record: slab slot while live, completion times after
+  /// retirement. Indexed by OpId - 1 (ids are dense).
+  struct OpRecord {
+    std::int32_t slot = -1;  ///< slab slot; -1 once retired
+    OpKind kind = OpKind::Marker;
+    StreamId stream = kInvalidStream;
+    TimeUs start = -1;
+    TimeUs end = -1;
+  };
+  /// Lazily-invalidated start-heap entry: a queued head's known future
+  /// start time. Stale entries (op started, retired, or displaced) are
+  /// discarded as they surface.
+  struct HeapEntry {
+    TimeUs t = 0;
+    OpId id = kInvalidOp;
+    /// Min-heap on (t, id): ties release in op-id order, matching the seed
+    /// engine's deterministic tie-breaking.
+    [[nodiscard]] bool operator>(const HeapEntry& o) const {
+      return t != o.t ? t > o.t : id > o.id;
+    }
+  };
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
-  /// Start every op whose start condition holds at `now_`; completes
-  /// zero-work ops (markers) immediately. Loops until a fixpoint.
-  void start_ready_ops();
-  [[nodiscard]] bool op_can_start(const Op& op) const;
-  /// True while an explicit copy in direction `dir` occupies the DMA engine.
+  [[nodiscard]] static constexpr int class_of(OpKind kind) {
+    switch (kind) {
+      case OpKind::Kernel: return kClassKernel;
+      case OpKind::CopyH2D: return kClassH2D;
+      case OpKind::CopyD2H: return kClassD2H;
+      case OpKind::Fault: return kClassFault;
+      default: return kClassNone;  // markers/host spans carry no rate
+    }
+  }
+
+  [[nodiscard]] Op& live_op(OpId id);
+  [[nodiscard]] const OpRecord& record_of(OpId id, const char* who) const;
+
+  /// Queue `stream` for a head ready-check (idempotent).
+  void mark_pending(StreamId stream);
+  /// Wake every stream registered on `ev` (event fired or re-recorded).
+  void wake_event_waiters(EventState& ev);
+  /// Examine `stream`'s head; start it if its start condition holds at
+  /// now_, otherwise register it exactly where its wake signal will occur
+  /// (start heap for known future times, event / copy-engine waiter lists
+  /// otherwise). Completes zero-work ops (markers) immediately.
+  void check_stream_head(StreamId stream);
+  /// Drain the pending-stream worklist to a fixpoint. Streams are processed
+  /// in ascending id per round, mirroring the seed engine's sweep order
+  /// (which decides copy-engine handover among same-instant candidates).
+  void drain_ready();
   [[nodiscard]] bool copy_engine_busy(OpKind dir) const;
-  /// Earliest future time at which a queued head op could start, if any.
-  [[nodiscard]] TimeUs earliest_queued_candidate() const;
+  /// Fold fluid progress accumulated at `op`'s current rate into op.done.
+  void fold_progress(Op& op) const;
   void complete_op(Op& op);
+  /// Re-solve rates for every dirty resource class, refreshing each
+  /// member's predicted completion and the class minimum.
   void recompute_rates();
+  /// Earliest valid future head start (start heap top), discarding stale
+  /// entries.
+  [[nodiscard]] TimeUs earliest_queued_candidate();
+  /// Earliest predicted completion across the four class minima.
+  [[nodiscard]] TimeUs earliest_completion() const;
+  /// Complete every op whose predicted completion is due at now_ (within
+  /// the clock-scaled tolerance), in op-id order: one scan per due class.
+  bool complete_due_ops();
+  /// Move start-heap entries that became due at now_ onto the worklist.
+  void release_due_starts();
   /// Advance by a single event step, not beyond `target`.
   /// Returns false when now_ reached `target` with nothing left to process.
   bool step(TimeUs target);
-  void check_deadlock() const;
+  void check_deadlock();
   /// Stall watchdog: throws with a state dump after kStallLimit consecutive
   /// steps that neither advance the clock nor complete an op.
   void note_progress(bool advanced);
@@ -114,18 +218,46 @@ class Engine {
   DeviceSpec spec_;
   ResourceModel model_;
   Timeline timeline_;
+  std::vector<std::pair<int, std::function<void(StreamId)>>>
+      stream_idle_observers_;
+  int next_observer_token_ = 1;
 
   TimeUs now_ = 0;
   OpId next_op_id_ = 1;
-  EventId next_event_id_ = 1;
 
   std::vector<StreamState> streams_;
-  std::unordered_map<OpId, Op> ops_;
   std::vector<EventState> events_;
-  std::vector<OpId> running_;
-  std::unordered_map<OpId, double> rates_;
-  bool rates_dirty_ = true;
+
+  // --- slab op storage ---
+  std::vector<Op> slab_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<OpRecord> records_;  ///< per-id, dense, compact
+  long live_ops_ = 0;              ///< queued + running (slab occupancy)
+  long peak_resident_ = 0;
+
+  // --- scheduling state ---
+  std::vector<StreamId> ready_;  ///< streams needing a head check
+  MinHeap start_heap_;
+  std::vector<std::int32_t> class_members_[kNumClasses];  ///< slab slots
+  /// Minimum pred_end over each class's members (infinity when empty);
+  /// valid for clean classes, refreshed by recompute_rates() for dirty
+  /// ones.
+  TimeUs class_next_[kNumClasses] = {kTimeInfinity, kTimeInfinity,
+                                     kTimeInfinity, kTimeInfinity};
+  bool class_dirty_[kNumClasses] = {};
+  /// Streams whose head is an explicit copy blocked on the in-flight copy
+  /// of the same direction; woken when that DMA engine frees up.
+  std::vector<StreamId> copy_waiters_[2];  ///< [0]=H2D, [1]=D2H
+  long running_ = 0;  ///< running ops across all classes (incl. rate-less)
+
+  // --- reusable scratch (avoid per-step allocation) ---
+  std::vector<StreamId> batch_;
+  std::vector<OpId> due_;
+  std::vector<const Op*> solve_members_;
+  std::vector<double> solve_rates_;
+
   long solve_count_ = 0;
+  long solved_ops_ = 0;
   long completed_count_ = 0;
   long stall_steps_ = 0;
   static constexpr long kStallLimit = 100'000;

@@ -15,7 +15,8 @@ HwMetrics Profiler::compute(const Timeline& timeline, const DeviceSpec& spec) {
   m.kernel_busy_us = timeline.kernel_cover().measure();
   if (m.kernel_busy_us <= 0) return m;
 
-  const KernelProfile total = timeline.total_kernel_profile();
+  // O(1): the timeline folds counters in at record time.
+  const KernelProfile& total = timeline.total_kernel_profile();
   const double seconds = m.kernel_busy_us * 1e-6;
 
   m.dram_gbps = total.dram_bytes / seconds / 1e9;

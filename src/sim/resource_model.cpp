@@ -72,10 +72,15 @@ KernelDemand ResourceModel::kernel_demand(const LaunchConfig& cfg,
   return d;
 }
 
-std::vector<double> ResourceModel::max_min_fair(
-    const std::vector<double>& demands, double capacity) {
-  std::vector<double> alloc(demands.size(), 0);
-  std::vector<std::size_t> unsat;
+namespace {
+
+/// Water-filling core; all storage is caller-provided so the hot path can
+/// reuse scratch across solves.
+void water_fill(const std::vector<double>& demands, double capacity,
+                std::vector<double>& alloc, std::vector<std::size_t>& unsat,
+                std::vector<std::size_t>& next) {
+  alloc.assign(demands.size(), 0);
+  unsat.clear();
   for (std::size_t i = 0; i < demands.size(); ++i) {
     if (demands[i] > 0) unsat.push_back(i);
   }
@@ -83,7 +88,7 @@ std::vector<double> ResourceModel::max_min_fair(
   while (!unsat.empty() && remaining > 1e-12) {
     const double share = remaining / static_cast<double>(unsat.size());
     bool any_satisfied = false;
-    std::vector<std::size_t> next;
+    next.clear();
     for (std::size_t i : unsat) {
       const double want = demands[i] - alloc[i];
       if (want <= share + 1e-15) {
@@ -100,81 +105,108 @@ std::vector<double> ResourceModel::max_min_fair(
       remaining = 0;
       next.clear();
     }
-    unsat = std::move(next);
+    unsat.swap(next);
   }
+}
+
+}  // namespace
+
+void ResourceModel::max_min_fair_into(const std::vector<double>& demands,
+                                      double capacity,
+                                      std::vector<double>& alloc) const {
+  water_fill(demands, capacity, alloc, mmf_unsat_, mmf_next_);
+}
+
+std::vector<double> ResourceModel::max_min_fair(
+    const std::vector<double>& demands, double capacity) {
+  // Convenience entry point (public API, cold paths): own allocations.
+  std::vector<double> alloc;
+  std::vector<std::size_t> unsat, next;
+  water_fill(demands, capacity, alloc, unsat, next);
   return alloc;
+}
+
+void ResourceModel::solve_class(OpKind kind,
+                                const std::vector<const Op*>& ops,
+                                std::vector<double>& rates) const {
+  rates.assign(ops.size(), 0);
+  if (ops.empty()) return;
+
+  switch (kind) {
+    case OpKind::Kernel: {
+      // --- kernels: share warp slots, then DRAM bandwidth ---
+      double total_fill = 0;
+      for (const Op* op : ops) {
+        total_fill += (op->sm_demand / spec_->sm_count) * op->occupancy;
+      }
+      const double device_u = utilization(total_fill);
+      bw_demand_.assign(ops.size(), 0);
+      auto& bw_demand = bw_demand_;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const Op* op = ops[i];
+        const double fill = (op->sm_demand / spec_->sm_count) * op->occupancy;
+        const double solo_u = utilization(fill);
+        // Device throughput at the combined fill, split proportionally to
+        // each kernel's fill, relative to the throughput the kernel had
+        // solo.
+        double r = 1.0;
+        if (total_fill > 0 && solo_u > 0) {
+          r = device_u * (fill / total_fill) / solo_u;
+        }
+        r = std::min(r, 1.0);  // a kernel never runs faster than solo
+        rates[i] = r;
+        bw_demand[i] = op->bw_need * r;
+      }
+      max_min_fair_into(bw_demand, spec_->dram_bytes_per_us(), bw_alloc_);
+      const auto& bw_alloc = bw_alloc_;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        double r = rates[i];
+        if (ops[i]->bw_need > 0 && bw_demand[i] > 0) {
+          r = std::min(r, bw_alloc[i] / ops[i]->bw_need);
+        }
+        rates[i] = std::max(r, 1e-9);
+      }
+      return;
+    }
+    case OpKind::CopyH2D:
+    case OpKind::CopyD2H: {
+      // --- PCIe transfers: equal share per direction ---
+      const double share =
+          spec_->pcie_bytes_per_us() / static_cast<double>(ops.size());
+      for (double& r : rates) r = share;
+      return;
+    }
+    case OpKind::Fault: {
+      // --- unified-memory faults: de-rated, contended path ---
+      const auto n = static_cast<double>(ops.size());
+      const double capacity = spec_->fault_bytes_per_us() /
+                              (1.0 + kFaultContentionPenalty * (n - 1.0));
+      for (double& r : rates) r = capacity / n;
+      return;
+    }
+    default:
+      return;  // markers/host spans carry no rate
+  }
 }
 
 std::unordered_map<OpId, double> ResourceModel::solve(
     const std::vector<const Op*>& running) const {
   std::unordered_map<OpId, double> rates;
   rates.reserve(running.size());
-
-  // --- kernels: share warp slots, then DRAM bandwidth ---
-  std::vector<const Op*> kernels;
-  double total_fill = 0;
-  for (const Op* op : running) {
-    if (op->kind == OpKind::Kernel) {
-      kernels.push_back(op);
-      total_fill += (op->sm_demand / spec_->sm_count) * op->occupancy;
-    }
-  }
-  if (!kernels.empty()) {
-    const double device_u = utilization(total_fill);
-    std::vector<double> compute_rate(kernels.size());
-    std::vector<double> bw_demand(kernels.size());
-    for (std::size_t i = 0; i < kernels.size(); ++i) {
-      const Op* op = kernels[i];
-      const double fill = (op->sm_demand / spec_->sm_count) * op->occupancy;
-      const double solo_u = utilization(fill);
-      // Device throughput at the combined fill, split proportionally to each
-      // kernel's fill, relative to the throughput the kernel had solo.
-      double r = 1.0;
-      if (total_fill > 0 && solo_u > 0) {
-        r = device_u * (fill / total_fill) / solo_u;
-      }
-      r = std::min(r, 1.0);  // a kernel never runs faster than solo
-      compute_rate[i] = r;
-      bw_demand[i] = op->bw_need * r;
-    }
-    const std::vector<double> bw_alloc =
-        max_min_fair(bw_demand, spec_->dram_bytes_per_us());
-    for (std::size_t i = 0; i < kernels.size(); ++i) {
-      double r = compute_rate[i];
-      if (kernels[i]->bw_need > 0 && bw_demand[i] > 0) {
-        r = std::min(r, bw_alloc[i] / kernels[i]->bw_need);
-      }
-      rates[kernels[i]->id] = std::max(r, 1e-9);
-    }
-  }
-
-  // --- PCIe transfers: equal share per direction ---
-  for (OpKind dir : {OpKind::CopyH2D, OpKind::CopyD2H}) {
-    std::vector<const Op*> copies;
+  std::vector<const Op*> members;
+  std::vector<double> class_rates;
+  for (OpKind kind : {OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H,
+                      OpKind::Fault}) {
+    members.clear();
     for (const Op* op : running) {
-      if (op->kind == dir) copies.push_back(op);
+      if (op->kind == kind) members.push_back(op);
     }
-    if (copies.empty()) continue;
-    const double share =
-        spec_->pcie_bytes_per_us() / static_cast<double>(copies.size());
-    for (const Op* op : copies) rates[op->id] = share;
-  }
-
-  // --- unified-memory faults: de-rated, contended path ---
-  {
-    std::vector<const Op*> faults;
-    for (const Op* op : running) {
-      if (op->kind == OpKind::Fault) faults.push_back(op);
-    }
-    if (!faults.empty()) {
-      const auto n = static_cast<double>(faults.size());
-      const double capacity =
-          spec_->fault_bytes_per_us() /
-          (1.0 + kFaultContentionPenalty * (n - 1.0));
-      for (const Op* op : faults) rates[op->id] = capacity / n;
+    if (members.empty()) continue;
+    solve_class(kind, members, class_rates);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      rates[members[i]->id] = class_rates[i];
     }
   }
-
   return rates;
 }
 

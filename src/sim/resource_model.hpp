@@ -55,6 +55,16 @@ class ResourceModel {
   [[nodiscard]] std::unordered_map<OpId, double> solve(
       const std::vector<const Op*>& running) const;
 
+  /// Incremental entry point: solve one resource class in isolation.
+  /// `kind` selects the class (Kernel, CopyH2D, CopyD2H or Fault), `ops`
+  /// holds every running op of that class, and `rates[i]` receives the rate
+  /// of `ops[i]`. Classes share no resources with each other — kernels
+  /// contend for warp slots and DRAM, each copy direction owns its DMA
+  /// engine, faults own the page-fault path — so a membership change in one
+  /// class never invalidates another class's rates.
+  void solve_class(OpKind kind, const std::vector<const Op*>& ops,
+                   std::vector<double>& rates) const;
+
   /// Max-min fair ("water-filling") allocation of `capacity` among demands.
   [[nodiscard]] static std::vector<double> max_min_fair(
       const std::vector<double>& demands, double capacity);
@@ -62,7 +72,20 @@ class ResourceModel {
   [[nodiscard]] const DeviceSpec& spec() const { return *spec_; }
 
  private:
+  /// Allocation-free max_min_fair used by the per-solve hot path: fills
+  /// `alloc` (resized to demands.size()) using the solver scratch below.
+  void max_min_fair_into(const std::vector<double>& demands, double capacity,
+                         std::vector<double>& alloc) const;
+
   const DeviceSpec* spec_;
+
+  /// Reusable scratch for solve_class (one re-solve per running-set change
+  /// is the engine's hot path; no per-solve heap traffic). Mutable: the
+  /// model is logically const, scratch is not observable state.
+  mutable std::vector<double> bw_demand_;
+  mutable std::vector<double> bw_alloc_;
+  mutable std::vector<std::size_t> mmf_unsat_;
+  mutable std::vector<std::size_t> mmf_next_;
 
   /// Latency-hiding shape parameter: u(w) = (1+c) * w / (w + c), u(1) = 1.
   static constexpr double kLatencyHiding = 0.18;

@@ -17,6 +17,8 @@ void GpuRuntime::host_advance(TimeUs dt) {
   engine_.advance_to(host_now_);
 }
 
+void GpuRuntime::poll() { engine_.advance_to(host_now_); }
+
 StreamId GpuRuntime::create_stream() { return engine_.create_stream(); }
 
 EventId GpuRuntime::create_event() { return engine_.create_event(); }

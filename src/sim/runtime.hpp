@@ -64,6 +64,10 @@ class GpuRuntime {
   void host_advance(TimeUs dt);
 
   // --- streams and events ---
+  /// Process device completions up to the current host time (non-blocking).
+  /// Lets pollers (e.g. the stream manager's idle free-list) observe
+  /// completion callbacks without issuing a query per stream.
+  void poll();
   StreamId create_stream();
   EventId create_event();
   void record_event(EventId event, StreamId stream);

@@ -1,0 +1,89 @@
+// Synthetic DAG generators for engine-level benchmarks and tests.
+//
+// These build deterministic multi-stream workloads straight at the engine
+// API (no runtime stack): the scheduler-overhead microbenchmark times them,
+// and the golden-equivalence suite pins their virtual timelines against
+// fixtures recorded from the seed engine.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace psched::sim {
+
+/// Fig. 9-style contention DAG: `n_ops` ops round-robined over `n_streams`
+/// streams — a mix of kernels (varying demand and DRAM appetite), explicit
+/// copies in both directions (serializing on the DMA engines), page-fault
+/// migrations, and cross-stream event edges every 8th op. Deterministic:
+/// the same (n_ops, n_streams) always produces the same DAG.
+inline void build_contention_dag(Engine& eng, int n_ops, int n_streams) {
+  for (int i = 1; i < n_streams; ++i) eng.create_stream();
+  for (int i = 0; i < n_ops; ++i) {
+    const auto s = static_cast<StreamId>(i % n_streams);
+    Op op;
+    if (i % 3 == 1) {
+      op.kind = (i % 6 == 1) ? OpKind::CopyH2D : OpKind::CopyD2H;
+      op.bytes = 1e4 + (i % 7) * 1e3;
+      op.work = op.bytes;
+      op.name = "cp";
+    } else if (i % 16 == 9) {
+      op.kind = OpKind::Fault;
+      op.bytes = 5e3 + (i % 5) * 1e3;
+      op.work = op.bytes;
+      op.name = "fault";
+    } else {
+      op.kind = OpKind::Kernel;
+      op.work = 5.0 + (i % 11);
+      op.sm_demand = 1 + (i % 4);
+      op.occupancy = 0.5 + 0.5 * ((i % 3) / 2.0);
+      op.bw_need = (i % 5 == 0) ? 50.0 : 0.0;
+      op.name = "k";
+    }
+    op.stream = s;
+    if (i % 8 == 7 && i > 32) {
+      const EventId ev = eng.create_event();
+      eng.record_event(ev, static_cast<StreamId>((i - 1) % n_streams), 0);
+      eng.wait_event(s, ev, 0);
+    }
+    eng.enqueue(std::move(op), 0);
+  }
+}
+
+/// Transfer-churn DAG (the paper's B&S story: independent chains fighting
+/// over PCIe while long kernels occupy the device). `n_kernels` long
+/// kernels run on their own streams for most of the horizon while
+/// `n_copies` short transfers (both directions, plus a fault sprinkle)
+/// churn through `n_copy_streams` streams. The kernel membership barely
+/// changes, so an incremental per-class solver re-prices kernels a handful
+/// of times; a full re-solve per running-set change re-prices them on every
+/// copy completion.
+inline void build_transfer_churn_dag(Engine& eng, int n_kernels, int n_copies,
+                                     int n_copy_streams) {
+  for (int i = 1; i < n_kernels + n_copy_streams; ++i) eng.create_stream();
+  for (int i = 0; i < n_kernels; ++i) {
+    Op op;
+    op.kind = OpKind::Kernel;
+    op.stream = static_cast<StreamId>(i);
+    op.name = "longk";
+    op.work = 400.0 + 10 * i;
+    op.sm_demand = 1 + (i % 3);
+    op.occupancy = 0.75;
+    op.bw_need = (i % 2 == 0) ? 30.0 : 0.0;
+    eng.enqueue(std::move(op), 0);
+  }
+  for (int i = 0; i < n_copies; ++i) {
+    Op op;
+    if (i % 8 == 3) {
+      op.kind = OpKind::Fault;
+      op.name = "fault";
+    } else {
+      op.kind = (i % 2 == 0) ? OpKind::CopyH2D : OpKind::CopyD2H;
+      op.name = "cp";
+    }
+    op.stream = static_cast<StreamId>(n_kernels + i % n_copy_streams);
+    op.bytes = 2e3 + (i % 9) * 5e2;
+    op.work = op.bytes;
+    eng.enqueue(std::move(op), 0);
+  }
+}
+
+}  // namespace psched::sim

@@ -15,20 +15,18 @@ bool counts_for_makespan(const TimelineEntry& e) {
 
 }  // namespace
 
-TimeUs Timeline::begin_time() const {
-  TimeUs t = kTimeInfinity;
-  for (const auto& e : entries_) {
-    if (counts_for_makespan(e)) t = std::min(t, e.start);
+void Timeline::record(const TimelineEntry& e) {
+  if (counts_for_makespan(e)) {
+    agg_.begin = std::min(agg_.begin, e.start);
+    agg_.end = std::max(agg_.end, e.end);
   }
-  return std::isfinite(t) ? t : 0;
-}
-
-TimeUs Timeline::end_time() const {
-  TimeUs t = 0;
-  for (const auto& e : entries_) {
-    if (counts_for_makespan(e)) t = std::max(t, e.end);
+  if (e.kind == OpKind::Kernel) {
+    agg_.kernel_time += e.duration();
+    agg_.kernel_profile += e.prof;
+  } else if (is_transfer(e.kind)) {
+    agg_.transfer_time += e.duration();
   }
-  return t;
+  entries_.push_back(e);
 }
 
 TimeUs Timeline::makespan() const {
@@ -36,22 +34,6 @@ TimeUs Timeline::makespan() const {
   const TimeUs b = begin_time();
   const TimeUs e = end_time();
   return e > b ? e - b : 0;
-}
-
-TimeUs Timeline::total_kernel_time() const {
-  TimeUs t = 0;
-  for (const auto& e : entries_) {
-    if (e.kind == OpKind::Kernel) t += e.duration();
-  }
-  return t;
-}
-
-TimeUs Timeline::total_transfer_time() const {
-  TimeUs t = 0;
-  for (const auto& e : entries_) {
-    if (is_transfer(e.kind)) t += e.duration();
-  }
-  return t;
 }
 
 IntervalSet Timeline::cover(OpKind kind) const {
@@ -112,14 +94,6 @@ OverlapMetrics Timeline::overlap_metrics() const {
   m.cc = kernel_total > 0 ? kernel_cc / kernel_total : 0;
   m.tot = any_total > 0 ? any_overlap / any_total : 0;
   return m;
-}
-
-KernelProfile Timeline::total_kernel_profile() const {
-  KernelProfile p;
-  for (const auto& e : entries_) {
-    if (e.kind == OpKind::Kernel) p += e.prof;
-  }
-  return p;
 }
 
 std::string Timeline::render_ascii(int width) const {

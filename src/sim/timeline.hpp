@@ -8,6 +8,7 @@
 //   * an ASCII rendering of the per-stream schedule (Fig. 10).
 #pragma once
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -42,25 +43,35 @@ struct OverlapMetrics {
 
 class Timeline {
  public:
-  void clear() { entries_.clear(); }
-  void record(const TimelineEntry& e) { entries_.push_back(e); }
+  void clear() {
+    entries_.clear();
+    agg_ = Aggregates{};
+  }
+  /// Record one completed op; aggregate quantities (makespan bounds, busy
+  /// totals, kernel counters) are folded in here so the hot-path queries
+  /// below are O(1) instead of rescanning the entry list.
+  void record(const TimelineEntry& e);
 
   [[nodiscard]] const std::vector<TimelineEntry>& entries() const {
     return entries_;
   }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
-  /// First op start (markers and host spans excluded).
-  [[nodiscard]] TimeUs begin_time() const;
-  /// Last op end (markers and host spans excluded).
-  [[nodiscard]] TimeUs end_time() const;
-  /// GPU execution time: end_time() - begin_time().
+  /// First op start (markers and host spans excluded). O(1).
+  [[nodiscard]] TimeUs begin_time() const {
+    return std::isfinite(agg_.begin) ? agg_.begin : 0;
+  }
+  /// Last op end (markers and host spans excluded). O(1).
+  [[nodiscard]] TimeUs end_time() const { return agg_.end; }
+  /// GPU execution time: end_time() - begin_time(). O(1).
   [[nodiscard]] TimeUs makespan() const;
 
-  /// Sum of kernel durations (no overlap accounting).
-  [[nodiscard]] TimeUs total_kernel_time() const;
-  /// Sum of transfer durations (copies + faults).
-  [[nodiscard]] TimeUs total_transfer_time() const;
+  /// Sum of kernel durations (no overlap accounting). O(1).
+  [[nodiscard]] TimeUs total_kernel_time() const { return agg_.kernel_time; }
+  /// Sum of transfer durations (copies + faults). O(1).
+  [[nodiscard]] TimeUs total_transfer_time() const {
+    return agg_.transfer_time;
+  }
 
   /// Compute the CT/TC/CC/TOT overlap fractions (section V-F).
   [[nodiscard]] OverlapMetrics overlap_metrics() const;
@@ -74,11 +85,22 @@ class Timeline {
   /// number of character columns used for the time axis.
   [[nodiscard]] std::string render_ascii(int width = 100) const;
 
-  /// Aggregate kernel counters over the whole run.
-  [[nodiscard]] KernelProfile total_kernel_profile() const;
+  /// Aggregate kernel counters over the whole run. O(1).
+  [[nodiscard]] const KernelProfile& total_kernel_profile() const {
+    return agg_.kernel_profile;
+  }
 
  private:
+  struct Aggregates {
+    TimeUs begin = kTimeInfinity;
+    TimeUs end = 0;
+    TimeUs kernel_time = 0;
+    TimeUs transfer_time = 0;
+    KernelProfile kernel_profile;
+  };
+
   std::vector<TimelineEntry> entries_;
+  Aggregates agg_;
 };
 
 }  // namespace psched::sim

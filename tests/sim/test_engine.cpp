@@ -377,6 +377,101 @@ TEST_F(EngineTest, TinyResidualWorkCompletes) {
   EXPECT_TRUE(eng_.all_idle());
 }
 
+// ---------------------------------------------------------------------
+// Slab op storage: completed ops retire to compact records; live memory
+// tracks concurrency, not history.
+// ---------------------------------------------------------------------
+
+TEST_F(EngineTest, RetiredOpsKeepCompletionRecord) {
+  const OpId a = eng_.enqueue(raw_kernel(0, 10, 4, 1.0, 0, "a"), 0);
+  const OpId b = eng_.enqueue(raw_kernel(0, 20, 4, 1.0, 0, "b"), 0);
+  eng_.run_all();
+  const Op oa = eng_.op(a);
+  const Op ob = eng_.op(b);
+  EXPECT_EQ(oa.state, OpState::Done);
+  EXPECT_EQ(oa.kind, OpKind::Kernel);
+  EXPECT_EQ(oa.stream, 0);
+  EXPECT_DOUBLE_EQ(oa.start_time, 0);
+  EXPECT_DOUBLE_EQ(oa.end_time, 10);
+  EXPECT_DOUBLE_EQ(ob.start_time, 10);
+  EXPECT_DOUBLE_EQ(ob.end_time, 30);
+}
+
+TEST_F(EngineTest, PeakResidentTracksConcurrencyNotHistory) {
+  // 50 ops executed one at a time: the slab never holds more than one live
+  // op (plus the occasional marker), however many have retired.
+  for (int i = 0; i < 50; ++i) {
+    const OpId id = eng_.enqueue(raw_kernel(0, 5, 4, 1.0), eng_.now());
+    eng_.run_until_op_done(id);
+  }
+  EXPECT_LE(eng_.peak_resident_ops(), 2);
+  // Enqueue 10 at once: peak tracks the burst.
+  for (int i = 0; i < 10; ++i) {
+    eng_.enqueue(raw_kernel(0, 1, 4, 1.0), eng_.now());
+  }
+  eng_.run_all();
+  EXPECT_GE(eng_.peak_resident_ops(), 10);
+}
+
+TEST_F(EngineTest, StreamIdleObserversFireOnDrain) {
+  std::vector<StreamId> drained;
+  std::vector<StreamId> drained2;
+  const int t1 = eng_.add_stream_idle_observer(
+      [&drained](StreamId s) { drained.push_back(s); });
+  const int t2 = eng_.add_stream_idle_observer(
+      [&drained2](StreamId s) { drained2.push_back(s); });
+  const StreamId s1 = eng_.create_stream();
+  eng_.enqueue(raw_kernel(s1, 10, 4, 1.0), 0);
+  eng_.enqueue(raw_kernel(s1, 10, 4, 1.0), 0);
+  eng_.run_all();
+  // Fires once, when the second op drains the stream — not per op; every
+  // registered observer sees it.
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0], s1);
+  EXPECT_EQ(drained2, drained);
+  // Removal is per-token: the survivor keeps observing.
+  eng_.remove_stream_idle_observer(t1);
+  eng_.enqueue(raw_kernel(s1, 10, 4, 1.0), eng_.now());
+  eng_.run_all();
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained2.size(), 2u);
+  eng_.remove_stream_idle_observer(t2);
+}
+
+TEST_F(EngineTest, StreamIdleObserverMayUnregisterItselfMidDispatch) {
+  // An observer that removes itself during its own callback must not make
+  // a later observer miss the drain (nor invalidate the running closure).
+  int first_calls = 0;
+  int second_calls = 0;
+  int t1 = 0;
+  t1 = eng_.add_stream_idle_observer([&](StreamId) {
+    ++first_calls;
+    eng_.remove_stream_idle_observer(t1);
+  });
+  const int t2 =
+      eng_.add_stream_idle_observer([&](StreamId) { ++second_calls; });
+  eng_.enqueue(raw_kernel(0, 10, 4, 1.0), 0);
+  eng_.run_all();
+  eng_.enqueue(raw_kernel(0, 10, 4, 1.0), eng_.now());
+  eng_.run_all();
+  EXPECT_EQ(first_calls, 1);   // unregistered after the first drain
+  EXPECT_EQ(second_calls, 2);  // saw both drains
+  eng_.remove_stream_idle_observer(t2);
+}
+
+TEST_F(EngineTest, SolverCountersAdvance) {
+  const StreamId s1 = eng_.create_stream();
+  eng_.enqueue(raw_kernel(0, 10, 4, 1.0), 0);
+  eng_.enqueue(raw_kernel(s1, 10, 1, 0.5), 0);
+  eng_.enqueue(raw_copy(s1, OpKind::CopyH2D, 1e4), 0);
+  eng_.run_all();
+  EXPECT_GT(eng_.solve_count(), 0);
+  // Copy completions must not charge kernel-class work: total rate
+  // assignments stay below (kernels + copies) x solve passes.
+  EXPECT_GE(eng_.solved_ops(), eng_.solve_count());
+  EXPECT_LT(eng_.solved_ops(), eng_.solve_count() * 3);
+}
+
 TEST_F(EngineTest, StallWatchdogReportsState) {
   // A zero-rate op that can never progress trips the stall watchdog with
   // a diagnostic instead of hanging forever. The resource model floors
