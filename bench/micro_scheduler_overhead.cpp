@@ -7,13 +7,17 @@
 //
 // In addition to the google-benchmark registrations, the binary times the
 // engine-core acceptance scenario (run_all over a 10k-op, 32-stream
-// contention DAG) and emits machine-readable BENCH_scheduler.json
-// (ops/sec, solver work per op, peak resident ops) so the perf trajectory
-// of the event-heap engine is tracked run over run:
+// contention DAG) plus a stream-count x device-count sweep of the
+// multi-GPU contention DAG, and emits machine-readable
+// BENCH_scheduler.json (ops/sec, solver work per op, peak resident ops,
+// and one sweep record per configuration) so the perf trajectory of the
+// event-heap engine is tracked run over run:
 //
-//   micro_scheduler_overhead --bench_json=BENCH_scheduler.json
+//   micro_scheduler_overhead --bench_json=BENCH_scheduler.json [--smoke]
 //
-// (the `bench` CMake target does exactly this into the build directory).
+// (the `bench` CMake target does exactly this into the build directory;
+// `bench-smoke` runs the same sweep at tiny scale as a bitrot canary and
+// is registered with ctest).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 
 #include "kernels/registry.hpp"
@@ -137,11 +142,22 @@ struct EngineCoreMetrics {
   double makespan_us = 0;
 };
 
-EngineCoreMetrics measure_engine_core(int n_ops, int n_streams, int reps) {
+/// n_devices == 1 runs the PR-1 acceptance scenario (build_contention_dag
+/// on the single-device engine ctor); larger rosters run the multi-GPU
+/// variant of the same DAG spread across an NVLinked uniform machine.
+EngineCoreMetrics measure_engine_core(int n_ops, int n_streams, int n_devices,
+                                      int reps) {
   EngineCoreMetrics m;
   for (int rep = 0; rep < reps + 1; ++rep) {
-    sim::Engine eng(sim::DeviceSpec::test_device());
-    sim::build_contention_dag(eng, n_ops, n_streams);
+    sim::Machine machine =
+        sim::Machine::uniform(sim::DeviceSpec::test_device(), n_devices,
+                              /*nvlink_all_pairs=*/n_devices > 1);
+    sim::Engine eng(std::move(machine));
+    if (n_devices == 1) {
+      sim::build_contention_dag(eng, n_ops, n_streams);
+    } else {
+      sim::build_multi_device_contention_dag(eng, n_ops, n_streams);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     m.makespan_us = eng.run_all();
     const auto t1 = std::chrono::steady_clock::now();
@@ -155,10 +171,13 @@ EngineCoreMetrics measure_engine_core(int n_ops, int n_streams, int reps) {
   return m;
 }
 
-void write_bench_json(const char* path) {
-  const int n_ops = 10000;
-  const int n_streams = 32;
-  const EngineCoreMetrics m = measure_engine_core(n_ops, n_streams, 3);
+void write_bench_json(const char* path, bool smoke) {
+  // Headline configuration: the PR-1 acceptance scenario, kept identical
+  // so ops_per_sec stays comparable run over run.
+  const int n_ops = smoke ? 500 : 10000;
+  const int reps = smoke ? 1 : 3;
+  const EngineCoreMetrics m = measure_engine_core(n_ops, 32, 1, reps);
+
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -168,7 +187,7 @@ void write_bench_json(const char* path) {
                "{\n"
                "  \"scenario\": \"contention_dag\",\n"
                "  \"n_ops\": %d,\n"
-               "  \"n_streams\": %d,\n"
+               "  \"n_streams\": 32,\n"
                "  \"ops_per_sec\": %.0f,\n"
                "  \"solves_per_op\": %.4f,\n"
                "  \"solved_ops_per_op\": %.4f,\n"
@@ -178,25 +197,57 @@ void write_bench_json(const char* path) {
                "  \"seed_reference_note\": \"scan-per-step seed engine on "
                "the PR-1 dev host (gcc 12, -O3); fixed reference, not "
                "re-measured per run — compare ops_per_sec run-over-run on "
-               "one host, not against this constant\"\n"
-               "}\n",
-               n_ops, n_streams, m.ops_per_sec, m.solves_per_op,
-               m.solved_ops_per_op, m.peak_resident_ops, m.makespan_us);
+               "one host, not against this constant\",\n"
+               "  \"sweep\": [\n",
+               n_ops, m.ops_per_sec, m.solves_per_op, m.solved_ops_per_op,
+               m.peak_resident_ops, m.makespan_us);
+
+  // Stream-count x device-count sweep over the (multi-device) contention
+  // DAG; solves_per_op per configuration tracks solver-work isolation as
+  // the roster grows.
+  const int stream_counts[] = {8, 32, 128};
+  const int device_counts[] = {1, 2, 4};
+  bool first = true;
+  for (const int n_streams : stream_counts) {
+    for (const int n_devices : device_counts) {
+      // The (32, 1) cell is the headline configuration measured above:
+      // reuse it so the JSON carries one authoritative number for it.
+      const EngineCoreMetrics s =
+          (n_streams == 32 && n_devices == 1)
+              ? m
+              : measure_engine_core(n_ops, n_streams, n_devices, reps);
+      std::fprintf(f,
+                   "%s    {\"scenario\": \"multi_device_contention_dag\", "
+                   "\"n_ops\": %d, \"n_streams\": %d, \"n_devices\": %d, "
+                   "\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
+                   "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f}",
+                   first ? "" : ",\n", n_ops, n_streams, n_devices,
+                   s.ops_per_sec, s.solves_per_op, s.solved_ops_per_op,
+                   s.makespan_us);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("engine core: %.0f ops/s (seed scan-per-step engine: ~213k), "
-              "%.2f solved ops/op, peak resident %ld -> %s\n",
-              m.ops_per_sec, m.solved_ops_per_op, m.peak_resident_ops, path);
+              "%.2f solved ops/op, peak resident %ld, %zu sweep rows -> %s\n",
+              m.ops_per_sec, m.solved_ops_per_op, m.peak_resident_ops,
+              std::size(stream_counts) * std::size(device_counts), path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --bench_json=<path> before google-benchmark sees the argv.
+  // Peel off --bench_json=<path> / --smoke before google-benchmark sees
+  // the argv.
   const char* json_path = nullptr;
+  bool smoke = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
       json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -204,7 +255,7 @@ int main(int argc, char** argv) {
   argc = out;
 
   if (json_path != nullptr) {
-    write_bench_json(json_path);
+    write_bench_json(json_path, smoke);
     return 0;
   }
   benchmark::Initialize(&argc, argv);

@@ -48,6 +48,8 @@ class Computation {
   /// Id of the last computation whose dependency inference visited this
   /// element (O(1) duplicate-parent test in infer_dependencies).
   long dep_mark = -1;
+  /// Device the placement policy chose (before stream acquisition).
+  sim::DeviceId device = sim::kInvalidDevice;
   sim::StreamId stream = sim::kInvalidStream;
   sim::EventId event = sim::kInvalidEvent;
   sim::OpId op = sim::kInvalidOp;

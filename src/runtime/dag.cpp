@@ -10,6 +10,7 @@ void DagRecorder::add_vertex(const Computation& c) {
   v.id = c.id;
   v.label = c.label;
   v.kind = c.kind;
+  v.device = c.device;
   v.stream = c.stream;
   v.solo_us = c.solo_us;
   v.transfer_bytes = c.transfer_bytes;
@@ -25,6 +26,7 @@ void DagRecorder::annotate_vertex(const Computation& c) {
     throw sim::ApiError("DagRecorder: unknown vertex");
   }
   Vertex& v = vertices_[static_cast<std::size_t>(c.id)];
+  v.device = c.device;
   v.stream = c.stream;
   v.solo_us = c.solo_us;
   v.transfer_bytes = c.transfer_bytes;

@@ -21,6 +21,7 @@ class DagRecorder {
     long id = -1;
     std::string label;
     Computation::Kind kind = Computation::Kind::Kernel;
+    sim::DeviceId device = sim::kInvalidDevice;
     sim::StreamId stream = sim::kInvalidStream;
     double solo_us = 0;
     double transfer_bytes = 0;

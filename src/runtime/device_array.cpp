@@ -53,6 +53,16 @@ void DeviceArray::fill(double v) {
   for (std::size_t i = 0; i < state_->size; ++i) store_element(*state_, i, v);
 }
 
+bool DeviceArray::resident_on(sim::DeviceId d) const {
+  check_valid();
+  return state_->ctx->gpu().memory().info(state_->sim_id).fresh_on(d);
+}
+
+std::uint32_t DeviceArray::residency_mask() const {
+  check_valid();
+  return state_->ctx->gpu().memory().info(state_->sim_id).fresh_mask;
+}
+
 void DeviceArray::touch_read() const {
   check_valid();
   host_read_hook();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -83,6 +84,12 @@ class DeviceArray {
   // --- timing-only host access (no data, same scheduling effects) ---
   void touch_read() const;
   void touch_write();
+
+  // --- residency introspection (no scheduling side effects) ---
+  /// True if device `d` currently holds a fresh copy of the array.
+  [[nodiscard]] bool resident_on(sim::DeviceId d) const;
+  /// Devices currently holding a fresh copy, as a bit mask (bit d).
+  [[nodiscard]] std::uint32_t residency_mask() const;
 
   [[nodiscard]] ArrayState* state() const { return state_.get(); }
   [[nodiscard]] std::shared_ptr<ArrayState> shared_state() const {

@@ -1,6 +1,7 @@
 #include "runtime/execution_context.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_set>
 
 #include "runtime/dependency.hpp"
@@ -10,6 +11,7 @@ namespace psched::rt {
 Context::Context(sim::GpuRuntime& gpu, Options opts)
     : gpu_(&gpu), opts_(opts) {
   streams_ = std::make_unique<StreamManager>(gpu, opts_.stream_policy);
+  placer_ = std::make_unique<DevicePlacer>(gpu, opts_.device_policy);
 }
 
 Context::~Context() {
@@ -83,6 +85,7 @@ void Context::synchronize() {
 ContextStats Context::stats() const {
   ContextStats s = stats_;
   s.streams_created = static_cast<long>(streams_->num_streams());
+  s.devices_used = std::popcount(devices_used_mask_);
   return s;
 }
 
@@ -220,28 +223,36 @@ void Context::schedule_async(Computation& c, const sim::LaunchConfig& cfg,
   }
   stats_.edges += static_cast<long>(deps.size());
 
+  // Placement before stream acquisition: the device policy decides where
+  // the computation runs, then the stream manager picks a stream there.
+  c.device = placer_->place(c);
+  devices_used_mask_ |= 1u << c.device;
   c.stream = streams_->acquire(c);
 
   // Stage data movement first so transfers may start as early as possible.
+  // The runtime resolves each migration's source: host (prefetch / fault
+  // path) or a peer device holding the freshest copy (CopyP2P).
   double staged_bytes = 0;
   std::unordered_set<ArrayState*> seen;
-  const bool page_fault = gpu_->spec().page_fault_um;
+  const bool page_fault = gpu_->spec(c.device).page_fault_um;
   for (const Computation::Use& use : c.uses) {
     if (!seen.insert(use.array).second) continue;
     const sim::ArrayInfo& info = gpu_->memory().info(use.array->sim_id);
-    if (info.needs_h2d()) {
+    if (info.needs_transfer_to(c.device)) {
       staged_bytes += static_cast<double>(info.bytes);
-      if (page_fault) {
+      if (page_fault && info.host_sourced()) {
         if (opts_.prefetch) {
           gpu_->mem_prefetch_async(use.array->sim_id, c.stream);
           ++stats_.prefetches;
         }
         // else: the launch falls back to on-demand fault migration
       } else {
-        // Pre-Pascal: transfer ahead of execution and restrict visibility
-        // of the array to this stream.
+        // Pre-Pascal host sources transfer ahead of execution (and
+        // restrict visibility of the array to this stream); peer-device
+        // sources always move eagerly — there is no fault path between
+        // GPUs in this model.
         gpu_->memcpy_h2d_async(use.array->sim_id, c.stream);
-        gpu_->attach_array(use.array->sim_id, c.stream);
+        if (!page_fault) gpu_->attach_array(use.array->sim_id, c.stream);
       }
     } else if (!page_fault) {
       gpu_->attach_array(use.array->sim_id, c.stream);
@@ -279,7 +290,8 @@ void Context::schedule_async(Computation& c, const sim::LaunchConfig& cfg,
   c.state = Computation::State::Scheduled;
   active_.push_back(&c);
 
-  c.solo_us = gpu_->engine().model().kernel_demand(cfg, profile).solo_us;
+  c.solo_us =
+      gpu_->engine().model(c.device).kernel_demand(cfg, profile).solo_us;
   c.transfer_bytes = staged_bytes;
   if (opts_.keep_dag) dag_.annotate_vertex(c);
 }
@@ -289,7 +301,9 @@ void Context::schedule_serial(Computation& c, const sim::LaunchConfig& cfg,
                               std::function<void()> functional) {
   // The original GrCUDA scheduler: default stream, blocking, no dependency
   // computation, no prefetching (overheads are even smaller, section V-C).
+  c.device = sim::kDefaultDevice;
   c.stream = sim::kDefaultStream;
+  devices_used_mask_ |= 1u;
 
   double staged_bytes = 0;
   std::unordered_set<ArrayState*> seen;

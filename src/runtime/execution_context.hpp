@@ -35,6 +35,9 @@ namespace psched::rt {
 struct Options {
   SchedulePolicy policy = SchedulePolicy::Parallel;
   StreamPolicy stream_policy = StreamPolicy::FifoReuse;
+  /// Multi-GPU placement (applies when the runtime's Machine roster holds
+  /// more than one device; single-device rosters ignore it).
+  DevicePolicy device_policy = DevicePolicy::SingleDevice;
   /// Automatic unified-memory prefetching ahead of kernels (Pascal+ only;
   /// pre-Pascal architectures always transfer ahead of execution).
   bool prefetch = true;
@@ -69,6 +72,7 @@ struct ContextStats {
   long blocking_syncs = 0;
   long prefetches = 0;
   long streams_created = 0;
+  long devices_used = 0;  ///< distinct devices computations were placed on
 };
 
 class Context {
@@ -153,6 +157,8 @@ class Context {
   sim::GpuRuntime* gpu_;
   Options opts_;
   std::unique_ptr<StreamManager> streams_;
+  std::unique_ptr<DevicePlacer> placer_;
+  std::uint32_t devices_used_mask_ = 0;
   std::vector<std::unique_ptr<Computation>> comps_;
   std::vector<Computation*> active_;  ///< Scheduled, not yet Finished
   std::vector<std::shared_ptr<ArrayState>> arrays_;

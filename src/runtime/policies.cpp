@@ -1,0 +1,74 @@
+#include "runtime/policies.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "runtime/computation.hpp"
+#include "runtime/device_array.hpp"
+#include "sim/runtime.hpp"
+
+namespace psched::rt {
+
+DevicePlacer::DevicePlacer(sim::GpuRuntime& gpu, DevicePolicy policy)
+    : gpu_(&gpu), policy_(policy) {}
+
+sim::DeviceId DevicePlacer::place(const Computation& c) {
+  const int ndev = gpu_->num_devices();
+  if (ndev == 1 || policy_ == DevicePolicy::SingleDevice) {
+    return sim::kDefaultDevice;
+  }
+
+  // Stream inheritance comes first for every policy: the first child of a
+  // scheduled parent reuses the parent's stream (no synchronization event),
+  // which pins it to the parent's device.
+  for (const Computation* p : c.parents) {
+    if (p->stream == sim::kInvalidStream) continue;  // synchronous parent
+    if (!p->children.empty() && p->children.front() == &c &&
+        p->device != sim::kInvalidDevice) {
+      return p->device;
+    }
+  }
+
+  switch (policy_) {
+    case DevicePolicy::RoundRobin:
+      return static_cast<sim::DeviceId>(next_rr_++ % ndev);
+    case DevicePolicy::MinTransfer:
+      return min_transfer_device(c);
+    case DevicePolicy::SingleDevice:
+      break;  // handled above
+  }
+  return sim::kDefaultDevice;
+}
+
+sim::DeviceId DevicePlacer::min_transfer_device(const Computation& c) {
+  const int ndev = gpu_->num_devices();
+  // Bytes each device would have to migrate to run `c` right now. Arrays
+  // passed as several arguments migrate once, so they must cost once.
+  std::vector<double> cost(static_cast<std::size_t>(ndev), 0.0);
+  std::vector<const ArrayState*> seen;
+  for (const Computation::Use& use : c.uses) {
+    if (std::find(seen.begin(), seen.end(), use.array) != seen.end()) {
+      continue;
+    }
+    seen.push_back(use.array);
+    const sim::ArrayInfo& info = gpu_->memory().info(use.array->sim_id);
+    for (sim::DeviceId d = 0; d < ndev; ++d) {
+      if (info.needs_transfer_to(d)) {
+        cost[static_cast<std::size_t>(d)] += static_cast<double>(info.bytes);
+      }
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const double v : cost) best = std::min(best, v);
+  std::vector<sim::DeviceId> ties;
+  for (sim::DeviceId d = 0; d < ndev; ++d) {
+    if (cost[static_cast<std::size_t>(d)] == best) ties.push_back(d);
+  }
+  if (ties.size() == 1) return ties.front();
+  // All-equal costs (e.g. host-fresh inputs): spread the load like
+  // round-robin instead of piling everything onto device 0.
+  return ties[static_cast<std::size_t>(next_rr_++) % ties.size()];
+}
+
+}  // namespace psched::rt

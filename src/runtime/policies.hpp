@@ -1,9 +1,18 @@
-// Scheduling policy knobs (section IV-C of the paper).
+// Scheduling policy knobs (section IV-C of the paper, extended with
+// multi-GPU placement).
 #pragma once
 
 #include <string>
 
+#include "sim/types.hpp"
+
+namespace psched::sim {
+class GpuRuntime;
+}
+
 namespace psched::rt {
+
+class Computation;
 
 /// Serial = the original GrCUDA scheduler: every computation on the default
 /// stream, host blocks after each one, no dependency computation.
@@ -23,6 +32,43 @@ enum class StreamPolicy {
   SingleStream,
 };
 
+/// How the scheduler places a computation on a device of the machine
+/// roster, *before* stream acquisition. All policies respect stream
+/// inheritance: a computation that is the first child of a scheduled
+/// parent lands on the parent's device so it can reuse the parent's
+/// stream without a synchronization event.
+enum class DevicePolicy {
+  /// Compatibility mode: everything on device 0 — with a 1-GPU roster (or
+  /// this policy on a larger one) scheduling is bit-identical to the
+  /// single-GPU engine.
+  SingleDevice,
+  /// Cycle new root computations across the roster.
+  RoundRobin,
+  /// Place where the computation's input arrays already reside: pick the
+  /// device with the fewest bytes to migrate (ties cycle round-robin).
+  MinTransfer,
+};
+
+/// Chooses the device for each computation according to a DevicePolicy.
+/// Stateful (round-robin cursor); owned by the execution context.
+class DevicePlacer {
+ public:
+  DevicePlacer(sim::GpuRuntime& gpu, DevicePolicy policy);
+
+  /// Pick the device for `c`. The computation's parent links must already
+  /// be wired (placement follows stream inheritance first).
+  [[nodiscard]] sim::DeviceId place(const Computation& c);
+
+  [[nodiscard]] DevicePolicy policy() const { return policy_; }
+
+ private:
+  [[nodiscard]] sim::DeviceId min_transfer_device(const Computation& c);
+
+  sim::GpuRuntime* gpu_;
+  DevicePolicy policy_;
+  int next_rr_ = 0;
+};
+
 [[nodiscard]] inline const char* to_string(SchedulePolicy p) {
   return p == SchedulePolicy::Serial ? "serial" : "parallel";
 }
@@ -32,6 +78,15 @@ enum class StreamPolicy {
     case StreamPolicy::FifoReuse: return "fifo-reuse";
     case StreamPolicy::AlwaysNew: return "always-new";
     case StreamPolicy::SingleStream: return "single-stream";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* to_string(DevicePolicy p) {
+  switch (p) {
+    case DevicePolicy::SingleDevice: return "single-device";
+    case DevicePolicy::RoundRobin: return "round-robin";
+    case DevicePolicy::MinTransfer: return "min-transfer";
   }
   return "?";
 }

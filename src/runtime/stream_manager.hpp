@@ -1,4 +1,4 @@
-// CUDA stream manager (section IV-C).
+// CUDA stream manager (section IV-C), device-aware.
 //
 // Allocation and management of streams is transparent. With the paper's
 // default policy the first child of a computation inherits its parent's
@@ -6,7 +6,12 @@
 // an idle stream — preferring the earliest-created one, as the paper's FIFO
 // scan does — and a new stream is created only when none is idle.
 //
-// Idle streams are tracked with a free-list fed by the engine's
+// On a multi-GPU roster the manager keeps one pool (and one idle free-list)
+// per device: a computation placed on device d by the DevicePolicy only
+// ever acquires a stream of device d, and inheritance is honored only when
+// the parent's stream lives on the same device.
+//
+// Idle streams are tracked with per-device free-lists fed by the engine's
 // stream-drained callback instead of rescanning the whole pool per acquire
 // (which made a run of n acquires O(pool^2)): the min-heap yields the
 // earliest-created candidate in O(log pool), and a candidate that became
@@ -35,32 +40,44 @@ class StreamManager {
   StreamManager(const StreamManager&) = delete;
   StreamManager& operator=(const StreamManager&) = delete;
 
-  /// Pick (and possibly create) the execution stream for `c`. The
+  /// Pick (and possibly create) the execution stream for `c` on the device
+  /// its placement chose (c.device; kInvalidDevice means device 0). The
   /// computation's parent links must already be wired.
   [[nodiscard]] sim::StreamId acquire(Computation& c);
 
   [[nodiscard]] StreamPolicy policy() const { return policy_; }
+  /// Streams created so far, across all devices / on one device.
   [[nodiscard]] std::size_t num_streams() const { return pool_.size(); }
+  [[nodiscard]] std::size_t num_streams(sim::DeviceId device) const;
   [[nodiscard]] const std::vector<sim::StreamId>& streams() const {
     return pool_;
   }
 
  private:
-  [[nodiscard]] sim::StreamId inherit_from_parent(const Computation& c) const;
+  using IdleHeap = std::priority_queue<sim::StreamId,
+                                       std::vector<sim::StreamId>,
+                                       std::greater<>>;
+  struct DeviceState {
+    std::vector<sim::StreamId> pool;  ///< this device's streams, FIFO order
+    /// Idle candidates, earliest-created first. May hold stale entries
+    /// (stream busy again) and duplicates; acquire() revalidates on pop.
+    IdleHeap idle;
+  };
+
+  [[nodiscard]] sim::StreamId inherit_from_parent(const Computation& c,
+                                                  sim::DeviceId device) const;
   /// Engine callback: stream `s` drained; remember it if it is ours.
   void note_idle(sim::StreamId s);
-  sim::StreamId create_pooled_stream();
+  sim::StreamId create_pooled_stream(sim::DeviceId device);
 
   sim::GpuRuntime* gpu_;
   StreamPolicy policy_;
-  std::vector<sim::StreamId> pool_;  ///< streams created, in FIFO order
-  /// Idle candidates, earliest-created first. May hold stale entries
-  /// (stream busy again) and duplicates; acquire() revalidates on pop.
-  std::priority_queue<sim::StreamId, std::vector<sim::StreamId>,
-                      std::greater<>>
-      idle_;
-  std::vector<bool> in_pool_;  ///< indexed by stream id
-  int idle_observer_ = 0;      ///< engine observer token (0 = none)
+  std::vector<DeviceState> devices_;  ///< indexed by DeviceId
+  std::vector<sim::StreamId> pool_;   ///< all streams created, in FIFO order
+  /// Indexed by stream id: owning device if the stream is pooled here,
+  /// kInvalidDevice otherwise.
+  std::vector<sim::DeviceId> pool_device_;
+  int idle_observer_ = 0;  ///< engine observer token (0 = none)
 };
 
 }  // namespace psched::rt

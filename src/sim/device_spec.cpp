@@ -28,6 +28,7 @@ DeviceSpec DeviceSpec::gtx960() {
   d.l2_size_bytes = 1ull << 20;  // 1 MiB
   d.memory_bytes = 2ull << 30;   // 2 GiB
   d.pcie_bw_gbps = 12.0;
+  d.nvlink_bw_gbps = 0;     // consumer Maxwell: no NVLink
   d.page_fault_um = false;  // Maxwell: no page-fault mechanism
   d.fault_bw_gbps = 12.0;   // unused: transfers happen ahead of kernels
   return d;
@@ -49,6 +50,7 @@ DeviceSpec DeviceSpec::gtx1660super() {
   d.l2_size_bytes = 1536ull << 10;  // 1.5 MiB
   d.memory_bytes = 6ull << 30;      // 6 GiB
   d.pcie_bw_gbps = 12.0;
+  d.nvlink_bw_gbps = 0;  // consumer Turing: no NVLink
   d.page_fault_um = true;
   d.fault_bw_gbps = 5.0;
   return d;
@@ -70,6 +72,7 @@ DeviceSpec DeviceSpec::tesla_p100() {
   d.l2_size_bytes = 4ull << 20;   // 4 MiB
   d.memory_bytes = 12ull << 30;   // 12 GiB (PCIe variant)
   d.pcie_bw_gbps = 12.0;
+  d.nvlink_bw_gbps = 80.0;  // NVLink 1.0, 4 links aggregated, per direction
   d.page_fault_um = true;
   d.fault_bw_gbps = 5.0;
   return d;
@@ -90,6 +93,7 @@ DeviceSpec DeviceSpec::test_device() {
   d.l2_size_bytes = 1ull << 20;
   d.memory_bytes = 1ull << 30;  // 1 GiB
   d.pcie_bw_gbps = 10.0;        // 1e4 bytes/us
+  d.nvlink_bw_gbps = 20.0;      // 2e4 bytes/us: exact peer-link arithmetic
   d.page_fault_um = true;
   d.fault_bw_gbps = 5.0;
   d.kernel_launch_overhead_us = 0.0;  // keep test arithmetic exact

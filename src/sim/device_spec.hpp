@@ -44,6 +44,10 @@ struct DeviceSpec {
 
   // --- interconnect / unified memory ---
   double pcie_bw_gbps = 12.0;   ///< per-direction host link bandwidth
+  /// Per-direction bandwidth of a direct peer (NVLink-style) link when a
+  /// Machine installs one for this device; pairs without a direct link
+  /// stage peer transfers through the host over PCIe.
+  double nvlink_bw_gbps = 25.0;
   bool page_fault_um = true;    ///< Pascal+ on-demand page migration
   double fault_bw_gbps = 6.0;   ///< de-rated bandwidth of the fault path
 
@@ -61,6 +65,9 @@ struct DeviceSpec {
   /// Bandwidths converted to bytes per microsecond (1 GB/s == 1e3 B/us).
   [[nodiscard]] double dram_bytes_per_us() const { return dram_bw_gbps * 1e3; }
   [[nodiscard]] double pcie_bytes_per_us() const { return pcie_bw_gbps * 1e3; }
+  [[nodiscard]] double nvlink_bytes_per_us() const {
+    return nvlink_bw_gbps * 1e3;
+  }
   [[nodiscard]] double fault_bytes_per_us() const { return fault_bw_gbps * 1e3; }
 
   // The three GPUs of the paper's evaluation (section V-A).

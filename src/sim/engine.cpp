@@ -29,13 +29,69 @@ bool work_done(const Op& op) {
 }
 }  // namespace
 
-Engine::Engine(DeviceSpec spec) : spec_(std::move(spec)), model_(spec_) {
-  streams_.emplace_back();  // default stream 0
+Engine::Engine(DeviceSpec spec) : Engine(Machine::single(std::move(spec))) {}
+
+Engine::Engine(Machine machine) : machine_(std::move(machine)) {
+  if (machine_.num_devices() < 1) {
+    throw ApiError("Engine: machine roster is empty");
+  }
+  const int ndev = machine_.num_devices();
+  models_.reserve(static_cast<std::size_t>(ndev));
+  for (DeviceId d = 0; d < ndev; ++d) models_.emplace_back(machine_.device(d));
+  p2p_base_ = ndev * kSlotsPerDevice;
+  num_classes_ = p2p_base_ + ndev * ndev;
+  class_members_.resize(static_cast<std::size_t>(num_classes_));
+  class_next_.assign(static_cast<std::size_t>(num_classes_), kTimeInfinity);
+  class_dirty_.assign(static_cast<std::size_t>(num_classes_), 0);
+  class_solves_.assign(static_cast<std::size_t>(num_classes_), 0);
+  copy_waiters_.resize(static_cast<std::size_t>(num_classes_));
+  streams_.emplace_back();  // default stream 0, device 0
 }
 
-StreamId Engine::create_stream() {
-  streams_.emplace_back();
+StreamId Engine::create_stream() { return create_stream(kDefaultDevice); }
+
+StreamId Engine::create_stream(DeviceId device) {
+  if (!machine_.valid_device(device)) {
+    throw ApiError("create_stream: invalid device " + std::to_string(device));
+  }
+  StreamState st;
+  st.device = device;
+  streams_.push_back(std::move(st));
   return static_cast<StreamId>(streams_.size() - 1);
+}
+
+DeviceId Engine::stream_device(StreamId stream) const {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError("stream_device: invalid stream " + std::to_string(stream));
+  }
+  return streams_[static_cast<std::size_t>(stream)].device;
+}
+
+const ResourceModel& Engine::model(DeviceId d) const {
+  if (!machine_.valid_device(d)) {
+    throw ApiError("model: invalid device " + std::to_string(d));
+  }
+  return models_[static_cast<std::size_t>(d)];
+}
+
+long Engine::class_solve_count(DeviceId device, OpKind kind) const {
+  if (!machine_.valid_device(device)) {
+    throw ApiError("class_solve_count: invalid device");
+  }
+  const int slot = slot_of(kind);
+  if (slot == kClassNone) {
+    throw ApiError("class_solve_count: op kind carries no per-device class");
+  }
+  return class_solves_[static_cast<std::size_t>(
+      device * kSlotsPerDevice + slot)];
+}
+
+long Engine::link_solve_count(DeviceId src, DeviceId dst) const {
+  if (!machine_.valid_device(src) || !machine_.valid_device(dst)) {
+    throw ApiError("link_solve_count: invalid device");
+  }
+  return class_solves_[static_cast<std::size_t>(
+      p2p_base_ + src * num_devices() + dst)];
 }
 
 EventId Engine::create_event() {
@@ -60,12 +116,25 @@ OpId Engine::enqueue(Op op, TimeUs host_time) {
   if (op.stream < 0 || static_cast<std::size_t>(op.stream) >= streams_.size()) {
     throw ApiError("enqueue: invalid stream " + std::to_string(op.stream));
   }
+  op.device = streams_[static_cast<std::size_t>(op.stream)].device;
+  if (op.kind == OpKind::CopyP2P) {
+    if (!machine_.valid_device(op.peer)) {
+      throw ApiError("enqueue: CopyP2P needs a valid source (peer) device");
+    }
+    if (op.peer == op.device) {
+      throw ApiError("enqueue: CopyP2P source equals destination device " +
+                     std::to_string(op.device));
+    }
+  } else {
+    op.peer = kInvalidDevice;
+  }
   op.id = next_op_id_++;
   op.enqueue_time = std::max(host_time, op.enqueue_time);
   op.state = OpState::Queued;
   op.rate = 0;
   op.rate_since = 0;
   op.class_pos = -1;
+  op.heap_seq = 0;
   op.gated_events.clear();
 
   const OpId id = op.id;
@@ -183,16 +252,17 @@ Op Engine::op(OpId id) const {
   return done;
 }
 
-bool Engine::copy_engine_busy(OpKind dir) const {
-  return !class_members_[dir == OpKind::CopyH2D ? kClassH2D : kClassD2H]
-              .empty();
-}
-
 void Engine::mark_pending(StreamId stream) {
   StreamState& st = streams_[static_cast<std::size_t>(stream)];
   if (st.pending) return;
   st.pending = true;
   ready_.push_back(stream);
+}
+
+void Engine::mark_class_dirty(int cls) {
+  if (class_dirty_[static_cast<std::size_t>(cls)]) return;
+  class_dirty_[static_cast<std::size_t>(cls)] = 1;
+  dirty_classes_.push_back(cls);
 }
 
 void Engine::wake_event_waiters(EventState& ev) {
@@ -223,16 +293,16 @@ void Engine::complete_op(Op& op) {
   // it, and hand a freed DMA engine to the blocked copies of its direction.
   --running_;
   if (op.class_pos >= 0) {
-    const int cls = class_of(op.kind);
-    auto& members = class_members_[cls];
+    const int cls = class_index(op);
+    auto& members = class_members_[static_cast<std::size_t>(cls)];
     const std::int32_t last = members.back();
     members[static_cast<std::size_t>(op.class_pos)] = last;
     slab_[static_cast<std::size_t>(last)].class_pos = op.class_pos;
     members.pop_back();
     op.class_pos = -1;
-    class_dirty_[cls] = true;
-    if (cls == kClassH2D || cls == kClassD2H) {
-      auto& waiters = copy_waiters_[cls == kClassH2D ? 0 : 1];
+    mark_class_dirty(cls);
+    if (is_dma_copy(op.kind)) {
+      auto& waiters = copy_waiters_[static_cast<std::size_t>(cls)];
       for (StreamId s : waiters) mark_pending(s);
       waiters.clear();
     }
@@ -253,6 +323,8 @@ void Engine::complete_op(Op& op) {
     e.op = op.id;
     e.kind = op.kind;
     e.stream = op.stream;
+    e.device = op.device;
+    e.peer = op.peer;
     e.name = op.name;
     e.start = op.start_time;
     e.end = op.end_time;
@@ -306,6 +378,28 @@ void Engine::remove_stream_idle_observer(int token) {
                 [token](const auto& o) { return o.first == token; });
 }
 
+void Engine::push_start(Op& op, TimeUs at) {
+  if (op.heap_seq != 0) ++start_heap_stale_;  // displaced previous entry
+  op.heap_seq = next_heap_seq_++;
+  start_heap_.push_back({at, op.id, op.heap_seq});
+  std::push_heap(start_heap_.begin(), start_heap_.end(), std::greater<>());
+  if (start_heap_.size() >= kHeapCompactMin &&
+      start_heap_stale_ * 2 > static_cast<long>(start_heap_.size())) {
+    compact_start_heap();
+  }
+}
+
+void Engine::compact_start_heap() {
+  std::erase_if(start_heap_, [this](const HeapEntry& e) {
+    const OpRecord& rec = records_[static_cast<std::size_t>(e.id - 1)];
+    if (rec.slot < 0) return true;  // op retired (slot may be reused)
+    return slab_[static_cast<std::size_t>(rec.slot)].heap_seq != e.seq;
+  });
+  std::make_heap(start_heap_.begin(), start_heap_.end(), std::greater<>());
+  start_heap_stale_ = 0;
+  ++start_heap_compactions_;
+}
+
 void Engine::check_stream_head(StreamId stream) {
   auto& fifo = streams_[static_cast<std::size_t>(stream)].fifo;
   if (fifo.empty()) return;
@@ -329,7 +423,7 @@ void Engine::check_stream_head(StreamId stream) {
     at = std::max(at, ev.done_at);
   }
   if (at > now_ + kWorkEps) {
-    start_heap_.push({at, id});
+    push_start(op, at);
     // A re-record may move an awaited event earlier than `at`: stay on the
     // waiter lists so the change triggers a fresh examination.
     for (EventId e : op.waits) {
@@ -338,26 +432,35 @@ void Engine::check_stream_head(StreamId stream) {
     }
     return;
   }
-  // Explicit copies serialize on the per-direction DMA engine: one in
-  // flight at a time, grabbed in issue order as the engine frees up.
-  // (Fault-path migrations use the page-fault machinery instead and may
-  // proceed concurrently; the resource model de-rates them.)
-  if ((op.kind == OpKind::CopyH2D || op.kind == OpKind::CopyD2H) &&
-      copy_engine_busy(op.kind)) {
-    copy_waiters_[op.kind == OpKind::CopyH2D ? 0 : 1].push_back(stream);
-    return;
+  // Explicit copies serialize on their DMA engine — one in flight per
+  // host-link direction per device, and one per directed peer link —
+  // grabbed in issue order as the engine frees up. (Fault-path migrations
+  // use the page-fault machinery instead and may proceed concurrently; the
+  // resource model de-rates them.)
+  if (is_dma_copy(op.kind)) {
+    const int cls = class_index(op);
+    if (!class_members_[static_cast<std::size_t>(cls)].empty()) {
+      copy_waiters_[static_cast<std::size_t>(cls)].push_back(stream);
+      return;
+    }
   }
 
+  // The head starts now: its pending start-heap entry (if any) is stale.
+  if (op.heap_seq != 0) {
+    ++start_heap_stale_;
+    op.heap_seq = 0;
+  }
   op.state = OpState::Running;
   op.start_time = now_;
   op.rate = 0;
   op.rate_since = now_;
   ++running_;
-  const int cls = class_of(op.kind);
+  const int cls = class_index(op);
   if (cls != kClassNone) {
-    op.class_pos = static_cast<std::int32_t>(class_members_[cls].size());
-    class_members_[cls].push_back(rec.slot);
-    class_dirty_[cls] = true;
+    auto& members = class_members_[static_cast<std::size_t>(cls)];
+    op.class_pos = static_cast<std::int32_t>(members.size());
+    members.push_back(rec.slot);
+    mark_class_dirty(cls);
   }
   if (op.remaining() <= kWorkEps) {
     complete_op(op);  // zero-duration markers finish instantly
@@ -390,20 +493,22 @@ void Engine::drain_ready() {
 }
 
 void Engine::recompute_rates() {
-  // class_of and kClassKind are a forward/inverse pair; a class added to
+  // slot_of and kSlotKind are a forward/inverse pair; a class added to
   // one without the other would misprice every op in it.
-  static_assert(class_of(kClassKind[kClassKernel]) == kClassKernel);
-  static_assert(class_of(kClassKind[kClassH2D]) == kClassH2D);
-  static_assert(class_of(kClassKind[kClassD2H]) == kClassD2H);
-  static_assert(class_of(kClassKind[kClassFault]) == kClassFault);
+  static_assert(slot_of(kSlotKind[kSlotKernel]) == kSlotKernel);
+  static_assert(slot_of(kSlotKind[kSlotH2D]) == kSlotH2D);
+  static_assert(slot_of(kSlotKind[kSlotD2H]) == kSlotD2H);
+  static_assert(slot_of(kSlotKind[kSlotFault]) == kSlotFault);
 
-  for (int cls = 0; cls < kNumClasses; ++cls) {
-    if (!class_dirty_[cls]) continue;
-    class_dirty_[cls] = false;
-    class_next_[cls] = kTimeInfinity;
-    auto& members = class_members_[cls];
+  // No callbacks fire inside this loop, so the worklist cannot grow (or be
+  // re-entered) while it drains.
+  for (const int cls : dirty_classes_) {
+    class_dirty_[static_cast<std::size_t>(cls)] = 0;
+    class_next_[static_cast<std::size_t>(cls)] = kTimeInfinity;
+    auto& members = class_members_[static_cast<std::size_t>(cls)];
     if (members.empty()) continue;
     ++solve_count_;
+    ++class_solves_[static_cast<std::size_t>(cls)];
     solved_ops_ += static_cast<long>(members.size());
 
     solve_members_.clear();
@@ -412,7 +517,16 @@ void Engine::recompute_rates() {
       fold_progress(op);  // progress so far accrued at the old rate
       solve_members_.push_back(&op);
     }
-    model_.solve_class(kClassKind[cls], solve_members_, solve_rates_);
+    if (cls >= p2p_base_) {
+      const int rel = cls - p2p_base_;
+      const DeviceId src = static_cast<DeviceId>(rel / num_devices());
+      const DeviceId dst = static_cast<DeviceId>(rel % num_devices());
+      ResourceModel::solve_link(machine_.p2p_bytes_per_us(src, dst),
+                                solve_members_.size(), solve_rates_);
+    } else {
+      models_[static_cast<std::size_t>(cls / kSlotsPerDevice)].solve_class(
+          kSlotKind[cls % kSlotsPerDevice], solve_members_, solve_rates_);
+    }
     for (std::size_t i = 0; i < members.size(); ++i) {
       Op& op = slab_[static_cast<std::size_t>(members[i])];
       op.rate = solve_rates_[i];
@@ -424,43 +538,52 @@ void Engine::recompute_rates() {
       } else {
         op.pred_end = kTimeInfinity;  // the stall watchdog is the net
       }
-      class_next_[cls] = std::min(class_next_[cls], op.pred_end);
+      class_next_[static_cast<std::size_t>(cls)] =
+          std::min(class_next_[static_cast<std::size_t>(cls)], op.pred_end);
     }
   }
+  dirty_classes_.clear();
 }
 
 TimeUs Engine::earliest_completion() const {
-  return std::min(std::min(class_next_[0], class_next_[1]),
-                  std::min(class_next_[2], class_next_[3]));
+  TimeUs best = kTimeInfinity;
+  for (const TimeUs t : class_next_) best = std::min(best, t);
+  return best;
 }
 
 TimeUs Engine::earliest_queued_candidate() {
   while (!start_heap_.empty()) {
-    const HeapEntry& e = start_heap_.top();
+    const HeapEntry& e = start_heap_.front();
     const OpRecord& rec = records_[static_cast<std::size_t>(e.id - 1)];
-    if (rec.slot >= 0) {
-      const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
-      if (op.state == OpState::Queued &&
-          streams_[static_cast<std::size_t>(op.stream)].fifo.front() == e.id) {
-        return e.t;
-      }
+    if (rec.slot >= 0 &&
+        slab_[static_cast<std::size_t>(rec.slot)].heap_seq == e.seq) {
+      return e.t;
     }
-    start_heap_.pop();  // stale: op started, retired, or no longer head
+    // Stale: op started, retired, or displaced by a newer entry.
+    std::pop_heap(start_heap_.begin(), start_heap_.end(), std::greater<>());
+    start_heap_.pop_back();
+    --start_heap_stale_;
   }
   return kTimeInfinity;
 }
 
 void Engine::release_due_starts() {
-  while (!start_heap_.empty() && start_heap_.top().t <= now_ + kWorkEps) {
-    const HeapEntry e = start_heap_.top();
-    start_heap_.pop();
+  while (!start_heap_.empty() && start_heap_.front().t <= now_ + kWorkEps) {
+    const HeapEntry e = start_heap_.front();
+    std::pop_heap(start_heap_.begin(), start_heap_.end(), std::greater<>());
+    start_heap_.pop_back();
     const OpRecord& rec = records_[static_cast<std::size_t>(e.id - 1)];
-    if (rec.slot < 0) continue;
-    const Op& op = slab_[static_cast<std::size_t>(rec.slot)];
-    if (op.state == OpState::Queued &&
-        streams_[static_cast<std::size_t>(op.stream)].fifo.front() == e.id) {
-      mark_pending(op.stream);
+    if (rec.slot < 0) {
+      --start_heap_stale_;
+      continue;
     }
+    Op& op = slab_[static_cast<std::size_t>(rec.slot)];
+    if (op.heap_seq != e.seq) {
+      --start_heap_stale_;
+      continue;
+    }
+    op.heap_seq = 0;  // live entry consumed
+    mark_pending(op.stream);
   }
 }
 
@@ -470,11 +593,12 @@ bool Engine::complete_due_ops() {
   // engine and recurse into this function (see drain_ready).
   std::vector<OpId> due = std::move(due_);
   due.clear();
-  for (int cls = 0; cls < kNumClasses; ++cls) {
-    if (class_next_[cls] > now_ + tol) continue;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    if (class_next_[static_cast<std::size_t>(cls)] > now_ + tol) continue;
     // The class's re-solve after these completions rescans it anyway; one
     // extra pass to collect the due members costs a compare per op.
-    for (const std::int32_t slot : class_members_[cls]) {
+    for (const std::int32_t slot :
+         class_members_[static_cast<std::size_t>(cls)]) {
       const Op& op = slab_[static_cast<std::size_t>(slot)];
       if (op.pred_end <= now_ + tol) due.push_back(op.id);
     }
@@ -505,8 +629,8 @@ void Engine::note_progress(bool advanced) {
       << " steps without progress; running:";
   for (const Op& op : slab_) {
     if (op.state != OpState::Running) continue;
-    msg << " [op " << op.id << " '" << op.name << "' remaining "
-        << op.remaining() << " rate " << op.rate << "]";
+    msg << " [op " << op.id << " '" << op.name << "' dev " << op.device
+        << " remaining " << op.remaining() << " rate " << op.rate << "]";
   }
   msg << "; queued heads:";
   for (const auto& stream : streams_) {

@@ -1,11 +1,12 @@
 // Discrete-event execution engine.
 //
-// The engine owns the virtual device: streams (FIFO queues of ops), events,
-// the set of currently running ops, and the clock. Host code enqueues ops
-// with a host timestamp; the engine advances virtual time, re-solving the
-// fluid resource model whenever the running set changes, and fires
-// completion callbacks in virtual-time order (which is what makes optional
-// functional kernel execution respect all data dependencies).
+// The engine owns the virtual machine: a roster of devices, streams (FIFO
+// queues of ops, each bound to one device), events, the set of currently
+// running ops, and the clock. Host code enqueues ops with a host timestamp;
+// the engine advances virtual time, re-solving the fluid resource model
+// whenever the running set changes, and fires completion callbacks in
+// virtual-time order (which is what makes optional functional kernel
+// execution respect all data dependencies).
 //
 // CUDA semantics implemented here:
 //   * ops on one stream execute in issue order;
@@ -21,23 +22,27 @@
 //   * each running op carries its predicted completion time, refreshed by
 //     its class's rate re-solve (which iterates the class anyway); the
 //     engine keeps the per-class minimum, so finding the next completion is
-//     a 4-way min and completing it is one scan of the due class;
+//     a min over the class table and completing it is one scan of the due
+//     class;
 //   * queued head ops that can only start at a known future time sit in a
-//     second min-heap; heads blocked on events or the copy engine register
-//     on waiter lists and are re-examined only when the blocker changes —
-//     stepping never scans all streams;
-//   * rates are re-solved per resource class (kernels / H2D / D2H / faults),
-//     only for classes whose membership changed.
+//     second min-heap (periodically compacted — see "start heap" below);
+//     heads blocked on events or a DMA engine register on waiter lists and
+//     are re-examined only when the blocker changes — stepping never scans
+//     all streams;
+//   * rates are re-solved per (device, resource class) — kernels / H2D /
+//     D2H / faults on each device, plus one class per directed peer link
+//     for CopyP2P ops — only for classes whose membership changed, so
+//     churn on one GPU never re-prices another GPU's ops.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "sim/device_spec.hpp"
+#include "sim/machine.hpp"
 #include "sim/op.hpp"
 #include "sim/resource_model.hpp"
 #include "sim/timeline.hpp"
@@ -47,19 +52,26 @@ namespace psched::sim {
 
 class Engine {
  public:
+  /// Single-GPU convenience: Engine(Machine::single(spec)).
   explicit Engine(DeviceSpec spec);
+  explicit Engine(Machine machine);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   // --- topology ---
-  /// Streams are created lazily; stream 0 (default) always exists.
+  /// Streams are created lazily; stream 0 (default, device 0) always
+  /// exists. The no-argument overload creates on device 0.
   StreamId create_stream();
+  StreamId create_stream(DeviceId device);
   EventId create_event();
   [[nodiscard]] std::size_t num_streams() const { return streams_.size(); }
+  [[nodiscard]] DeviceId stream_device(StreamId stream) const;
+  [[nodiscard]] int num_devices() const { return machine_.num_devices(); }
 
   // --- host-side API (host_time is the caller's current virtual time) ---
-  /// Enqueue an op on `op.stream`; returns its id.
+  /// Enqueue an op on `op.stream`; returns its id. The op executes on the
+  /// stream's device; CopyP2P ops must carry a valid `peer` source device.
   OpId enqueue(Op op, TimeUs host_time);
   /// Record `event` on `stream`: the event completes when all work issued
   /// to the stream before this call has completed.
@@ -104,32 +116,54 @@ class Engine {
 
   [[nodiscard]] Timeline& timeline() { return timeline_; }
   [[nodiscard]] const Timeline& timeline() const { return timeline_; }
-  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
-  [[nodiscard]] const ResourceModel& model() const { return model_; }
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+  /// Device 0's spec / model (single-GPU compatibility accessors).
+  [[nodiscard]] const DeviceSpec& spec() const { return machine_.device(0); }
+  [[nodiscard]] const ResourceModel& model() const { return models_[0]; }
+  [[nodiscard]] const DeviceSpec& spec(DeviceId d) const {
+    return machine_.device(d);
+  }
+  [[nodiscard]] const ResourceModel& model(DeviceId d) const;
 
-  /// Number of per-class rate re-solve passes (introspection for tests).
+  // --- solver-work introspection (tests, perf-regression ratchets) ---
+  /// Number of per-class rate re-solve passes across all classes.
   [[nodiscard]] long solve_count() const { return solve_count_; }
   /// Total per-op rate assignments across all re-solves: the actual work
-  /// the fluid model performed (introspection for perf-regression tests).
+  /// the fluid model performed.
   [[nodiscard]] long solved_ops() const { return solved_ops_; }
+  /// Re-solve passes of one device's class (Kernel / CopyH2D / CopyD2H /
+  /// Fault). Membership churn on another device must never bump this.
+  [[nodiscard]] long class_solve_count(DeviceId device, OpKind kind) const;
+  /// Re-solve passes of the directed peer-link class (src -> dst).
+  [[nodiscard]] long link_solve_count(DeviceId src, DeviceId dst) const;
   /// High-water mark of concurrently live (queued + running) ops — the
   /// slab's peak occupancy.
   [[nodiscard]] long peak_resident_ops() const { return peak_resident_; }
 
+  // --- start-heap introspection (compaction regression tests) ---
+  [[nodiscard]] std::size_t start_heap_size() const {
+    return start_heap_.size();
+  }
+  [[nodiscard]] long start_heap_stale() const { return start_heap_stale_; }
+  [[nodiscard]] long start_heap_compactions() const {
+    return start_heap_compactions_;
+  }
+
  private:
-  /// Resource classes rates are solved for independently. Membership of one
-  /// class never affects another class's rates, so a completion only dirties
-  /// its own class.
-  enum RateClass : int { kClassKernel = 0, kClassH2D, kClassD2H, kClassFault };
-  static constexpr int kNumClasses = 4;
+  /// Per-device resource classes rates are solved for independently.
+  /// Membership of one class never affects another class's rates, so a
+  /// completion only dirties its own class.
+  enum ClassSlot : int { kSlotKernel = 0, kSlotH2D, kSlotD2H, kSlotFault };
+  static constexpr int kSlotsPerDevice = 4;
   static constexpr int kClassNone = -1;  ///< markers/host spans: no rate
-  /// The op kind each class solves for — the inverse of class_of(); keep
-  /// the two in sync (static_asserts in engine.cpp check the round trip).
-  static constexpr OpKind kClassKind[kNumClasses] = {
+  /// The op kind each per-device slot solves for — the inverse of
+  /// slot_of(); keep the two in sync (static_asserts in engine.cpp).
+  static constexpr OpKind kSlotKind[kSlotsPerDevice] = {
       OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H, OpKind::Fault};
 
   struct StreamState {
     std::deque<OpId> fifo;  ///< queued + running ops, in issue order
+    DeviceId device = kDefaultDevice;
     bool pending = false;   ///< queued for a head ready-check
   };
   struct EventState {
@@ -149,29 +183,38 @@ class Engine {
     TimeUs start = -1;
     TimeUs end = -1;
   };
-  /// Lazily-invalidated start-heap entry: a queued head's known future
-  /// start time. Stale entries (op started, retired, or displaced) are
-  /// discarded as they surface.
+  /// Start-heap entry: a queued head's known future start time, stamped
+  /// with the op's heap sequence so displaced entries are recognized as
+  /// stale (on pop, or in bulk by compact_start_heap).
   struct HeapEntry {
     TimeUs t = 0;
     OpId id = kInvalidOp;
+    std::uint32_t seq = 0;
     /// Min-heap on (t, id): ties release in op-id order, matching the seed
     /// engine's deterministic tie-breaking.
     [[nodiscard]] bool operator>(const HeapEntry& o) const {
       return t != o.t ? t > o.t : id > o.id;
     }
   };
-  using MinHeap =
-      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
-  [[nodiscard]] static constexpr int class_of(OpKind kind) {
+  [[nodiscard]] static constexpr int slot_of(OpKind kind) {
     switch (kind) {
-      case OpKind::Kernel: return kClassKernel;
-      case OpKind::CopyH2D: return kClassH2D;
-      case OpKind::CopyD2H: return kClassD2H;
-      case OpKind::Fault: return kClassFault;
+      case OpKind::Kernel: return kSlotKernel;
+      case OpKind::CopyH2D: return kSlotH2D;
+      case OpKind::CopyD2H: return kSlotD2H;
+      case OpKind::Fault: return kSlotFault;
       default: return kClassNone;  // markers/host spans carry no rate
     }
+  }
+  /// Index of the op's solver domain in the class table: device-keyed for
+  /// the four per-device classes, link-keyed (peer -> device) for CopyP2P.
+  [[nodiscard]] int class_index(const Op& op) const {
+    if (op.kind == OpKind::CopyP2P) {
+      return p2p_base_ + op.peer * num_devices() + op.device;
+    }
+    const int slot = slot_of(op.kind);
+    return slot == kClassNone ? kClassNone
+                              : op.device * kSlotsPerDevice + slot;
   }
 
   [[nodiscard]] Op& live_op(OpId id);
@@ -179,6 +222,9 @@ class Engine {
 
   /// Queue `stream` for a head ready-check (idempotent).
   void mark_pending(StreamId stream);
+  /// Mark one class's rates as needing a re-solve (idempotent; feeds the
+  /// dirty worklist recompute_rates drains).
+  void mark_class_dirty(int cls);
   /// Wake every stream registered on `ev` (event fired or re-recorded).
   void wake_event_waiters(EventState& ev);
   /// Examine `stream`'s head; start it if its start condition holds at
@@ -190,17 +236,23 @@ class Engine {
   /// in ascending id per round, mirroring the seed engine's sweep order
   /// (which decides copy-engine handover among same-instant candidates).
   void drain_ready();
-  [[nodiscard]] bool copy_engine_busy(OpKind dir) const;
   /// Fold fluid progress accumulated at `op`'s current rate into op.done.
   void fold_progress(Op& op) const;
   void complete_op(Op& op);
   /// Re-solve rates for every dirty resource class, refreshing each
   /// member's predicted completion and the class minimum.
   void recompute_rates();
+  /// Push a start-heap entry for `op` (displacing its previous entry, if
+  /// any, into staleness) and compact the heap when stale entries outnumber
+  /// live ones.
+  void push_start(Op& op, TimeUs at);
+  /// Drop every stale entry and re-heapify (stale entries are otherwise
+  /// discarded lazily as they surface at the top).
+  void compact_start_heap();
   /// Earliest valid future head start (start heap top), discarding stale
   /// entries.
   [[nodiscard]] TimeUs earliest_queued_candidate();
-  /// Earliest predicted completion across the four class minima.
+  /// Earliest predicted completion across the class minima.
   [[nodiscard]] TimeUs earliest_completion() const;
   /// Complete every op whose predicted completion is due at now_ (within
   /// the clock-scaled tolerance), in op-id order: one scan per due class.
@@ -215,8 +267,8 @@ class Engine {
   /// steps that neither advance the clock nor complete an op.
   void note_progress(bool advanced);
 
-  DeviceSpec spec_;
-  ResourceModel model_;
+  Machine machine_;
+  std::vector<ResourceModel> models_;  ///< one per roster device
   Timeline timeline_;
   std::vector<std::pair<int, std::function<void(StreamId)>>>
       stream_idle_observers_;
@@ -237,17 +289,31 @@ class Engine {
 
   // --- scheduling state ---
   std::vector<StreamId> ready_;  ///< streams needing a head check
-  MinHeap start_heap_;
-  std::vector<std::int32_t> class_members_[kNumClasses];  ///< slab slots
+  /// Min-heap (std::push_heap/pop_heap with greater) of future head
+  /// starts. A plain vector so compact_start_heap can filter in place.
+  std::vector<HeapEntry> start_heap_;
+  std::uint32_t next_heap_seq_ = 1;
+  long start_heap_stale_ = 0;  ///< displaced/dead entries still in the heap
+  long start_heap_compactions_ = 0;
+
+  // --- per-(device, class) solver domains ---
+  /// Class table layout: device d's four classes at [d*4, d*4+4), then the
+  /// directed peer-link classes at p2p_base_ + src*ndev + dst.
+  int p2p_base_ = 0;
+  int num_classes_ = 0;
+  std::vector<std::vector<std::int32_t>> class_members_;  ///< slab slots
   /// Minimum pred_end over each class's members (infinity when empty);
   /// valid for clean classes, refreshed by recompute_rates() for dirty
   /// ones.
-  TimeUs class_next_[kNumClasses] = {kTimeInfinity, kTimeInfinity,
-                                     kTimeInfinity, kTimeInfinity};
-  bool class_dirty_[kNumClasses] = {};
+  std::vector<TimeUs> class_next_;
+  std::vector<char> class_dirty_;
+  std::vector<int> dirty_classes_;  ///< worklist of dirty class indices
+  std::vector<long> class_solves_;  ///< re-solve passes per class
   /// Streams whose head is an explicit copy blocked on the in-flight copy
-  /// of the same direction; woken when that DMA engine frees up.
-  std::vector<StreamId> copy_waiters_[2];  ///< [0]=H2D, [1]=D2H
+  /// of the same DMA engine (per-device H2D/D2H, per-link P2P); woken when
+  /// that engine frees up. Indexed like the class table (kernel/fault
+  /// slots stay empty).
+  std::vector<std::vector<StreamId>> copy_waiters_;
   long running_ = 0;  ///< running ops across all classes (incl. rate-less)
 
   // --- reusable scratch (avoid per-step allocation) ---
@@ -261,6 +327,8 @@ class Engine {
   long completed_count_ = 0;
   long stall_steps_ = 0;
   static constexpr long kStallLimit = 100'000;
+  /// Compaction trigger floor: below this size the heap is left alone.
+  static constexpr std::size_t kHeapCompactMin = 64;
 };
 
 }  // namespace psched::sim

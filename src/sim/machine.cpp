@@ -1,0 +1,92 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace psched::sim {
+
+Machine Machine::single(DeviceSpec spec) {
+  Machine m;
+  m.add_device(std::move(spec));
+  return m;
+}
+
+Machine Machine::uniform(const DeviceSpec& spec, int n_devices,
+                         bool nvlink_all_pairs) {
+  if (n_devices < 1) throw ApiError("Machine::uniform: need >= 1 device");
+  Machine m;
+  for (int i = 0; i < n_devices; ++i) m.add_device(spec);
+  if (nvlink_all_pairs) {
+    if (spec.nvlink_bw_gbps <= 0) {
+      throw ApiError("Machine::uniform: nvlink_all_pairs needs a spec with "
+                     "nvlink_bw_gbps > 0 ('" + spec.name +
+                     "' has no NVLink); omit the flag to stage peer "
+                     "traffic through the host");
+    }
+    for (DeviceId a = 0; a < n_devices; ++a) {
+      for (DeviceId b = a + 1; b < n_devices; ++b) {
+        m.set_peer_link(a, b, spec.nvlink_bw_gbps);
+      }
+    }
+  }
+  return m;
+}
+
+DeviceId Machine::add_device(DeviceSpec spec) {
+  if (num_devices() >= kMaxDevices) {
+    throw ApiError("Machine::add_device: roster full (kMaxDevices)");
+  }
+  const int old_n = num_devices();
+  const int new_n = old_n + 1;
+  // Re-shape the dense link matrix to the new device count.
+  std::vector<double> grown(static_cast<std::size_t>(new_n) * new_n, 0.0);
+  for (int i = 0; i < old_n; ++i) {
+    for (int j = 0; j < old_n; ++j) {
+      grown[static_cast<std::size_t>(i) * new_n + j] =
+          peer_bw_[static_cast<std::size_t>(i) * old_n + j];
+    }
+  }
+  peer_bw_ = std::move(grown);
+  devices_.push_back(std::move(spec));
+  return static_cast<DeviceId>(old_n);
+}
+
+void Machine::check_device(DeviceId d, const char* who) const {
+  if (!valid_device(d)) {
+    throw ApiError(std::string(who) + ": invalid device " + std::to_string(d));
+  }
+}
+
+const DeviceSpec& Machine::device(DeviceId d) const {
+  check_device(d, "Machine::device");
+  return devices_[static_cast<std::size_t>(d)];
+}
+
+void Machine::set_peer_link(DeviceId a, DeviceId b, double bw_gbps) {
+  check_device(a, "Machine::set_peer_link");
+  check_device(b, "Machine::set_peer_link");
+  if (a == b) throw ApiError("Machine::set_peer_link: self link");
+  if (bw_gbps <= 0) throw ApiError("Machine::set_peer_link: bandwidth <= 0");
+  const auto n = static_cast<std::size_t>(num_devices());
+  peer_bw_[static_cast<std::size_t>(a) * n + b] = bw_gbps;
+  peer_bw_[static_cast<std::size_t>(b) * n + a] = bw_gbps;
+}
+
+bool Machine::has_peer_link(DeviceId src, DeviceId dst) const {
+  check_device(src, "Machine::has_peer_link");
+  check_device(dst, "Machine::has_peer_link");
+  return peer_bw_[static_cast<std::size_t>(src) * num_devices() + dst] > 0;
+}
+
+double Machine::p2p_bw_gbps(DeviceId src, DeviceId dst) const {
+  check_device(src, "Machine::p2p_bw_gbps");
+  check_device(dst, "Machine::p2p_bw_gbps");
+  const double direct =
+      peer_bw_[static_cast<std::size_t>(src) * num_devices() + dst];
+  if (direct > 0) return direct;
+  // Staged through host memory: bottlenecked by the slower PCIe direction.
+  return std::min(device(src).pcie_bw_gbps, device(dst).pcie_bw_gbps);
+}
+
+}  // namespace psched::sim

@@ -1,0 +1,75 @@
+// Machine topology: a roster of GPUs plus the interconnect between them.
+//
+// The engine's solver domains are keyed by (device, resource class), so the
+// machine description is the authoritative list of devices and of the
+// cross-device links whose bandwidth the CopyP2P classes share:
+//
+//   * every device hangs off the host over its own PCIe link (the per-device
+//     CopyH2D / CopyD2H classes use DeviceSpec::pcie_bw_gbps);
+//   * an optional direct peer link (NVLink-style) may connect a device pair;
+//     its bandwidth is per direction, so link (a -> b) and (b -> a) are
+//     independent resource classes;
+//   * a pair without a direct link still supports peer transfers, staged
+//     through host memory: the effective bandwidth is the bottleneck PCIe
+//     direction of the two devices involved.
+//
+// A Machine is a value: the engine copies it at construction, so mutate the
+// roster (add_device / set_peer_link) before building the engine.
+#pragma once
+
+#include <vector>
+
+#include "sim/device_spec.hpp"
+#include "sim/types.hpp"
+
+namespace psched::sim {
+
+class Machine {
+ public:
+  /// A machine must hold at least one device; use the named constructors or
+  /// add_device() before handing the roster to an engine.
+  Machine() = default;
+
+  /// The single-GPU machine every pre-existing entry point maps to.
+  static Machine single(DeviceSpec spec);
+  /// `n_devices` identical GPUs. With `nvlink_all_pairs` every device pair
+  /// gets a direct peer link at DeviceSpec::nvlink_bw_gbps per direction
+  /// (DGX-style all-to-all); otherwise peer traffic stages through the host.
+  static Machine uniform(const DeviceSpec& spec, int n_devices,
+                         bool nvlink_all_pairs = false);
+
+  /// Append a device; returns its id (dense, starting at 0).
+  DeviceId add_device(DeviceSpec spec);
+  /// Install a direct peer link between `a` and `b` at `bw_gbps` per
+  /// direction (both directions; call twice with swapped args for an
+  /// asymmetric link).
+  void set_peer_link(DeviceId a, DeviceId b, double bw_gbps);
+
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(devices_.size());
+  }
+  [[nodiscard]] const DeviceSpec& device(DeviceId d) const;
+  [[nodiscard]] bool valid_device(DeviceId d) const {
+    return d >= 0 && d < num_devices();
+  }
+
+  /// True if (src -> dst) has a direct peer link.
+  [[nodiscard]] bool has_peer_link(DeviceId src, DeviceId dst) const;
+  /// Effective bandwidth of the (src -> dst) peer path in GB/s: the direct
+  /// link if one exists, else the staged-through-host bottleneck
+  /// min(src PCIe, dst PCIe).
+  [[nodiscard]] double p2p_bw_gbps(DeviceId src, DeviceId dst) const;
+  [[nodiscard]] double p2p_bytes_per_us(DeviceId src, DeviceId dst) const {
+    return p2p_bw_gbps(src, dst) * 1e3;
+  }
+
+ private:
+  void check_device(DeviceId d, const char* who) const;
+
+  std::vector<DeviceSpec> devices_;
+  /// Dense ndev x ndev matrix of direct-link bandwidths (GB/s, per
+  /// direction); 0 = no direct link (peer traffic stages through the host).
+  std::vector<double> peer_bw_;
+};
+
+}  // namespace psched::sim

@@ -3,13 +3,18 @@
 // Every managed allocation ("array") has a logical size and a residency
 // state at whole-array granularity:
 //   * host_dirty  — the host copy is newer: kernels must migrate H2D first;
-//   * device_dirty — the device copy is newer: host reads must migrate D2H.
+//   * device_dirty — a device copy is newer: host reads must migrate D2H;
+//   * fresh_mask — the set of devices holding a current copy (multi-GPU):
+//     a kernel write invalidates every other device's copy, a peer copy
+//     adds the destination to the set.
 // Fresh allocations are host-resident (host_dirty). The Runtime facade
 // performs the transitions; this class only does the accounting and raises
 // OutOfMemoryError when the device capacity is exceeded.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -26,20 +31,27 @@ struct ArrayInfo {
   std::size_t bytes = 0;
 
   bool on_device = false;    ///< a device copy exists (possibly stale)
-  bool host_dirty = true;    ///< host copy newer than device copy
-  bool device_dirty = false; ///< device copy newer than host copy
+  bool host_dirty = true;    ///< host copy newer than every device copy
+  bool device_dirty = false; ///< a device copy newer than the host copy
   /// Managed pages materialize on first touch: an array the host never
   /// wrote has no host data to migrate, so the first device use of a fresh
   /// allocation (e.g. a kernel output buffer) transfers nothing.
   bool host_touched = false;
 
+  /// Devices holding a *current* copy (bit d = device d; kMaxDevices caps
+  /// the roster at the mask width). Kept in sync with the legacy aggregate
+  /// flags by the runtime: on_device == (fresh_mask != 0) whenever the
+  /// newest version is device-side.
+  std::uint32_t fresh_mask = 0;
+
   /// Pre-Pascal visibility restriction: the stream this array is attached
   /// to (kInvalidStream = visible everywhere).
   StreamId attached_stream = kInvalidStream;
 
-  /// Event completing when the latest H2D migration of this array is done;
-  /// later launches on other streams must wait on it.
-  EventId ready_event = kInvalidEvent;
+  /// Per-device event completing when the latest migration of this array
+  /// *to that device* is done; later launches on other streams of the
+  /// device must wait on it. Sized on demand.
+  std::vector<EventId> ready_events;
 
   /// Device ops currently reading / writing this array (hazard detection).
   /// Migrations count as reads: they permit concurrent host reads but not
@@ -49,9 +61,43 @@ struct ArrayInfo {
 
   bool freed = false;
 
-  /// True if a kernel launch needs to migrate this array to the device.
+  /// True if a kernel launch needs to migrate this array to the device
+  /// (single-device legacy form: device 0).
   [[nodiscard]] bool needs_h2d() const {
     return host_touched && (!on_device || host_dirty);
+  }
+  /// True if device `d` lacks a current copy and there is data anywhere
+  /// (host or a peer device) to move. A never-touched allocation
+  /// materializes on first use and transfers nothing.
+  [[nodiscard]] bool needs_transfer_to(DeviceId d) const {
+    if (fresh_on(d)) return false;
+    return host_touched || fresh_mask != 0;
+  }
+  [[nodiscard]] bool fresh_on(DeviceId d) const {
+    return (fresh_mask & (1u << d)) != 0;
+  }
+  /// Source of a migration when one is needed: the host when its copy is
+  /// newest (or nothing is device-resident yet), else a fresh peer device.
+  /// Both the staging layer and the scheduler's prefetch decision branch
+  /// on this one rule.
+  [[nodiscard]] bool host_sourced() const {
+    return host_dirty || fresh_mask == 0;
+  }
+  void mark_fresh(DeviceId d) { fresh_mask |= 1u << d; }
+  /// Lowest-indexed device holding a current copy (kInvalidDevice if none):
+  /// the deterministic source for peer transfers.
+  [[nodiscard]] DeviceId lowest_fresh() const {
+    if (fresh_mask == 0) return kInvalidDevice;
+    return static_cast<DeviceId>(std::countr_zero(fresh_mask));
+  }
+  [[nodiscard]] EventId ready_event_on(DeviceId d) const {
+    const auto i = static_cast<std::size_t>(d);
+    return i < ready_events.size() ? ready_events[i] : kInvalidEvent;
+  }
+  void set_ready_event(DeviceId d, EventId ev) {
+    const auto i = static_cast<std::size_t>(d);
+    if (ready_events.size() <= i) ready_events.resize(i + 1, kInvalidEvent);
+    ready_events[i] = ev;
   }
   [[nodiscard]] bool has_pending() const {
     return !pending_reads.empty() || !pending_writes.empty();

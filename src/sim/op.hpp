@@ -55,6 +55,11 @@ struct Op {
   OpId id = kInvalidOp;
   OpKind kind = OpKind::Marker;
   StreamId stream = kInvalidStream;
+  /// Device the op executes on — derived from the stream at enqueue.
+  DeviceId device = kDefaultDevice;
+  /// CopyP2P only: the *source* device (the destination is `device`, the
+  /// stream's device). Selects the directed link class (peer -> device).
+  DeviceId peer = kInvalidDevice;
   std::string name;
 
   TimeUs enqueue_time = 0;  ///< host time of the API call; earliest start
@@ -89,6 +94,10 @@ struct Op {
   /// Position inside the engine's per-resource-class member list (swap-and-
   /// pop removal); -1 while not running or for rate-less kinds.
   std::int32_t class_pos = -1;
+  /// Sequence stamp of this op's live start-heap entry (0 = none). Entries
+  /// whose stamp no longer matches are stale; the engine counts them and
+  /// compacts the heap when they outnumber live entries.
+  std::uint32_t heap_seq = 0;
   /// Events gated on this op's completion (reverse index maintained by
   /// record_event, so completion does not scan all events).
   std::vector<EventId> gated_events;

@@ -189,6 +189,14 @@ void ResourceModel::solve_class(OpKind kind,
   }
 }
 
+void ResourceModel::solve_link(double link_bytes_per_us, std::size_t n,
+                               std::vector<double>& rates) {
+  rates.assign(n, 0);
+  if (n == 0) return;
+  const double share = link_bytes_per_us / static_cast<double>(n);
+  for (double& r : rates) r = share;
+}
+
 std::unordered_map<OpId, double> ResourceModel::solve(
     const std::vector<const Op*>& running) const {
   std::unordered_map<OpId, double> rates;

@@ -61,9 +61,19 @@ class ResourceModel {
   /// of `ops[i]`. Classes share no resources with each other — kernels
   /// contend for warp slots and DRAM, each copy direction owns its DMA
   /// engine, faults own the page-fault path — so a membership change in one
-  /// class never invalidates another class's rates.
+  /// class never invalidates another class's rates. The model is per-device:
+  /// a multi-GPU engine keeps one ResourceModel per roster entry, and the
+  /// cross-device CopyP2P link classes use solve_link() with the machine's
+  /// link bandwidth instead.
   void solve_class(OpKind kind, const std::vector<const Op*>& ops,
                    std::vector<double>& rates) const;
+
+  /// Peer-link class solver: `n` concurrent transfers share a directed
+  /// inter-device link of `link_bytes_per_us` max-min fairly, which for the
+  /// link's one-dimensional capacity degenerates to an equal split
+  /// (bytes/us each) — the same sharing rule as a PCIe direction.
+  static void solve_link(double link_bytes_per_us, std::size_t n,
+                         std::vector<double>& rates);
 
   /// Max-min fair ("water-filling") allocation of `capacity` among demands.
   [[nodiscard]] static std::vector<double> max_min_fair(

@@ -7,9 +7,24 @@
 namespace psched::sim {
 
 GpuRuntime::GpuRuntime(DeviceSpec spec)
-    : engine_(std::move(spec)), memory_(engine_.spec()) {}
+    : GpuRuntime(Machine::single(std::move(spec))) {}
+
+GpuRuntime::GpuRuntime(Machine machine)
+    : engine_(std::move(machine)), memory_(engine_.spec()) {
+  // Device 0's host-initiated transfers ride the default stream (the
+  // single-GPU behaviour); peer devices get a service stream on demand.
+  service_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
+                          kInvalidStream);
+  service_streams_[0] = kDefaultStream;
+}
 
 GpuRuntime::~GpuRuntime() = default;
+
+StreamId GpuRuntime::service_stream(DeviceId device) {
+  StreamId& s = service_streams_[static_cast<std::size_t>(device)];
+  if (s == kInvalidStream) s = engine_.create_stream(device);
+  return s;
+}
 
 void GpuRuntime::host_advance(TimeUs dt) {
   if (dt < 0) throw ApiError("host_advance: negative time");
@@ -20,6 +35,10 @@ void GpuRuntime::host_advance(TimeUs dt) {
 void GpuRuntime::poll() { engine_.advance_to(host_now_); }
 
 StreamId GpuRuntime::create_stream() { return engine_.create_stream(); }
+
+StreamId GpuRuntime::create_stream(DeviceId device) {
+  return engine_.create_stream(device);
+}
 
 EventId GpuRuntime::create_event() { return engine_.create_event(); }
 
@@ -80,37 +99,58 @@ void GpuRuntime::free_array(ArrayId id) {
   memory_.free_array(id);
 }
 
-void GpuRuntime::stage_h2d(ArrayId id, StreamId stream, OpKind kind,
-                           double /*bw_hint*/) {
+void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
+                                 OpKind host_kind) {
   ArrayInfo& a = memory_.info(id);
-  if (!a.needs_h2d()) {
-    // Fresh on device, but a migration issued by another stream may still
-    // be in flight: order behind it.
-    if (a.ready_event != kInvalidEvent && !engine_.event_done(a.ready_event)) {
-      engine_.wait_event(stream, a.ready_event, host_now_);
+  const DeviceId dev = engine_.stream_device(stream);
+  if (!a.needs_transfer_to(dev)) {
+    // Fresh on this device, but a migration issued by another stream may
+    // still be in flight: order behind it.
+    const EventId ev = a.ready_event_on(dev);
+    if (ev != kInvalidEvent && !engine_.event_done(ev)) {
+      engine_.wait_event(stream, ev, host_now_);
     }
     return;
   }
+  // Source selection: the host when its copy is newest (or nothing is
+  // device-resident yet), otherwise the lowest-indexed fresh peer device.
+  const bool from_host = a.host_sourced();
   Op op;
-  op.kind = kind;
   op.stream = stream;
-  op.name = std::string(kind == OpKind::Fault ? "fault:" : "h2d:") + a.name;
   op.bytes = static_cast<double>(a.bytes);
   op.work = op.bytes;
+  if (from_host) {
+    op.kind = host_kind;
+    op.name =
+        std::string(host_kind == OpKind::Fault ? "fault:" : "h2d:") + a.name;
+  } else {
+    const DeviceId src = a.lowest_fresh();
+    op.kind = OpKind::CopyP2P;
+    op.peer = src;
+    op.name = "p2p:" + a.name;
+    // The source copy may itself still be migrating: order behind it.
+    const EventId src_ev = a.ready_event_on(src);
+    if (src_ev != kInvalidEvent && !engine_.event_done(src_ev)) {
+      engine_.wait_event(stream, src_ev, host_now_);
+    }
+  }
   const ArrayId aid = id;
   const OpId op_id = engine_.enqueue(std::move(op), host_now_);
-  a.pending_reads.insert(op_id);  // migration reads the host copy
+  a.pending_reads.insert(op_id);  // migration reads the source copy
   engine_.set_on_complete(op_id, [this, aid, op_id]() {
     if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
   });
 
   a.on_device = true;
-  a.host_dirty = false;
+  if (from_host) a.host_dirty = false;
+  a.mark_fresh(dev);
   EventId ev = engine_.create_event();
   engine_.record_event(ev, stream, host_now_);
-  a.ready_event = ev;
+  a.set_ready_event(dev, ev);
 
-  if (kind == OpKind::Fault) {
+  if (!from_host) {
+    bytes_p2p_ += static_cast<double>(a.bytes);
+  } else if (host_kind == OpKind::Fault) {
     bytes_faulted_ += static_cast<double>(a.bytes);
   } else {
     bytes_h2d_ += static_cast<double>(a.bytes);
@@ -126,10 +166,10 @@ OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
   host_now_ += kLaunchCpuOverheadUs;
   engine_.advance_to(host_now_);
   ArrayInfo& a = memory_.info(id);
-  if (!a.needs_h2d()) return kInvalidOp;
-  stage_h2d(id, stream, OpKind::CopyH2D, 0);
+  if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  stage_to_device(id, stream, OpKind::CopyH2D);
   // The staged op is the newest op on `stream`.
-  return kInvalidOp;  // callers use the array's ready_event for ordering
+  return kInvalidOp;  // callers use the array's ready events for ordering
 }
 
 OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
@@ -140,8 +180,8 @@ OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
   host_now_ += kLaunchCpuOverheadUs;
   engine_.advance_to(host_now_);
   ArrayInfo& a = memory_.info(id);
-  if (!a.needs_h2d()) return kInvalidOp;
-  stage_h2d(id, stream, OpKind::CopyH2D, 0);
+  if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  stage_to_device(id, stream, OpKind::CopyH2D);
   return kInvalidOp;
 }
 
@@ -184,10 +224,13 @@ void GpuRuntime::host_read(ArrayId id) {
   note_host_access(id, /*for_write=*/false);
   ArrayInfo& a = memory_.info(id);
   if (!a.device_dirty) return;
-  // Migrate back to the host over PCIe; blocks the host.
+  // Migrate back to the host over PCIe; blocks the host. The source is the
+  // lowest-indexed device holding the newest copy (device 0 rides the
+  // default stream, preserving the single-GPU schedule).
+  const DeviceId src = a.fresh_mask != 0 ? a.lowest_fresh() : kDefaultDevice;
   Op op;
   op.kind = OpKind::CopyD2H;
-  op.stream = kDefaultStream;
+  op.stream = service_stream(src);
   op.name = "d2h:" + a.name;
   op.bytes = static_cast<double>(a.bytes);
   op.work = op.bytes;
@@ -204,6 +247,7 @@ void GpuRuntime::host_write(ArrayId id) {
   a.host_touched = true;
   a.host_dirty = true;
   a.device_dirty = false;
+  a.fresh_mask = 0;  // every device copy is now stale
   a.attached_stream = kInvalidStream;
 }
 
@@ -214,18 +258,20 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   }
   host_now_ += kLaunchCpuOverheadUs;
   engine_.advance_to(host_now_);
+  const DeviceId dev = engine_.stream_device(stream);
 
-  // Stage unified-memory migrations for stale argument arrays. Without an
-  // explicit prefetch this is the on-demand fault path on Pascal+, and an
-  // ahead-of-time full-bandwidth copy on pre-Pascal (no fault mechanism).
+  // Stage migrations for argument arrays the launch device lacks. A stale
+  // host-side array moves over the fault path on Pascal+ (or ahead of
+  // execution on pre-Pascal, no fault mechanism); an array fresh on a peer
+  // GPU moves over the peer link regardless of architecture.
   const OpKind migration_kind =
-      spec_page_fault() ? OpKind::Fault : OpKind::CopyH2D;
+      engine_.spec(dev).page_fault_um ? OpKind::Fault : OpKind::CopyH2D;
   for (const ArrayUse& use : spec.arrays) {
-    stage_h2d(use.id, stream, migration_kind, 0);
+    stage_to_device(use.id, stream, migration_kind);
   }
 
   const KernelDemand demand =
-      engine_.model().kernel_demand(spec.config, spec.profile);
+      engine_.model(dev).kernel_demand(spec.config, spec.profile);
 
   Op op;
   op.kind = OpKind::Kernel;
@@ -248,6 +294,16 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
       a.pending_writes.insert(op_id);
       a.device_dirty = true;
       a.on_device = true;  // the kernel materializes the array on device
+      a.host_dirty = false;          // the device now owns the newest version
+      a.fresh_mask = 1u << dev;      // ... and peers' copies are stale
+      if (engine_.num_devices() > 1) {
+        // Peer transfers sourced from this copy must not start before the
+        // kernel produces it: publish the write as the device's ready
+        // event (stage_to_device orders the CopyP2P behind it).
+        const EventId ev = engine_.create_event();
+        engine_.record_event(ev, stream, host_now_);
+        a.set_ready_event(dev, ev);
+      }
     } else {
       a.pending_reads.insert(op_id);
     }

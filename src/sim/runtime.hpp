@@ -16,6 +16,12 @@
 //     bandwidth and can overlap other streams' kernels.
 //   * Cross-stream uses of an in-flight migration wait on its ready event.
 //
+// Multi-GPU behaviour (Machine roster): streams belong to a device, arrays
+// track per-device residency, and staging resolves the *source* of each
+// migration — host (H2D / fault path) when the host copy is newest, a peer
+// device (CopyP2P over the directed link class) when another GPU holds the
+// freshest copy. A kernel write invalidates every other device's copy.
+//
 // Host accesses (host_read / host_write) perform hazard detection: accessing
 // an array while device ops on it are still pending means the caller failed
 // to synchronize — a correctness bug in the scheduler under test.
@@ -28,6 +34,7 @@
 
 #include "sim/device_spec.hpp"
 #include "sim/engine.hpp"
+#include "sim/machine.hpp"
 #include "sim/memory.hpp"
 #include "sim/types.hpp"
 
@@ -52,7 +59,9 @@ class TaskGraph;  // graph.hpp
 
 class GpuRuntime {
  public:
+  /// Single-GPU convenience: GpuRuntime(Machine::single(spec)).
   explicit GpuRuntime(DeviceSpec spec);
+  explicit GpuRuntime(Machine machine);
   ~GpuRuntime();
 
   GpuRuntime(const GpuRuntime&) = delete;
@@ -68,7 +77,11 @@ class GpuRuntime {
   /// Lets pollers (e.g. the stream manager's idle free-list) observe
   /// completion callbacks without issuing a query per stream.
   void poll();
-  StreamId create_stream();
+  StreamId create_stream();                ///< on device 0
+  StreamId create_stream(DeviceId device);
+  [[nodiscard]] DeviceId stream_device(StreamId stream) const {
+    return engine_.stream_device(stream);
+  }
   EventId create_event();
   void record_event(EventId event, StreamId stream);
   void stream_wait_event(StreamId stream, EventId event);
@@ -112,7 +125,12 @@ class GpuRuntime {
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
   [[nodiscard]] Timeline& timeline() { return engine_.timeline(); }
+  [[nodiscard]] const Machine& machine() const { return engine_.machine(); }
+  [[nodiscard]] int num_devices() const { return engine_.num_devices(); }
   [[nodiscard]] const DeviceSpec& spec() const { return engine_.spec(); }
+  [[nodiscard]] const DeviceSpec& spec(DeviceId d) const {
+    return engine_.spec(d);
+  }
   [[nodiscard]] int hazard_count() const { return hazards_; }
   /// Throw ApiError on host-access hazards instead of counting (default on).
   void set_strict_hazards(bool strict) { strict_hazards_ = strict; }
@@ -120,25 +138,33 @@ class GpuRuntime {
   [[nodiscard]] double bytes_h2d() const { return bytes_h2d_; }
   [[nodiscard]] double bytes_d2h() const { return bytes_d2h_; }
   [[nodiscard]] double bytes_faulted() const { return bytes_faulted_; }
+  [[nodiscard]] double bytes_p2p() const { return bytes_p2p_; }
 
   /// Fixed host-side cost of issuing any async operation (microseconds).
   static constexpr TimeUs kLaunchCpuOverheadUs = 2.0;
 
  private:
-  /// Ensure the array is (or will be) device-resident on `stream`; creates
-  /// a migration op if needed, returns the event later launches must wait on.
-  void stage_h2d(ArrayId id, StreamId stream, OpKind kind, double bw_hint);
+  /// Ensure the array is (or will be) resident on `stream`'s device;
+  /// creates a migration op if needed — sourced from the host (`host_kind`:
+  /// CopyH2D or Fault) when the host copy is newest, from the
+  /// lowest-indexed fresh peer device (CopyP2P) otherwise.
+  void stage_to_device(ArrayId id, StreamId stream, OpKind host_kind);
   void note_host_access(ArrayId id, bool for_write);
   [[nodiscard]] bool spec_page_fault() const;
+  /// Internal per-device stream used for host-initiated transfers (D2H
+  /// reads); device 0 maps to the default stream, others are lazily made.
+  [[nodiscard]] StreamId service_stream(DeviceId device);
 
   Engine engine_;
   MemoryManager memory_;
+  std::vector<StreamId> service_streams_;
   TimeUs host_now_ = 0;
   int hazards_ = 0;
   bool strict_hazards_ = true;
   double bytes_h2d_ = 0;
   double bytes_d2h_ = 0;
   double bytes_faulted_ = 0;
+  double bytes_p2p_ = 0;
   TaskGraph* capture_ = nullptr;
 };
 

@@ -48,6 +48,58 @@ inline void build_contention_dag(Engine& eng, int n_ops, int n_streams) {
   }
 }
 
+/// Multi-GPU contention DAG: the same op mix as build_contention_dag with
+/// the streams spread round-robin across the engine's device roster
+/// (stream j lives on device j % n_devices). Cross-stream event edges
+/// every 8th op become cross-*device* edges whenever the two streams land
+/// on different GPUs, and a slice of the explicit copies turn into CopyP2P
+/// ops pulling from the previous device — so every per-device class set
+/// and the peer-link classes all see churn. Deterministic: the same
+/// (n_ops, n_streams, machine) always produces the same DAG. With a 1-GPU
+/// roster the structure degenerates to build_contention_dag's.
+inline void build_multi_device_contention_dag(Engine& eng, int n_ops,
+                                              int n_streams) {
+  const int n_devices = eng.num_devices();
+  for (int i = 1; i < n_streams; ++i) {
+    eng.create_stream(static_cast<DeviceId>(i % n_devices));
+  }
+  for (int i = 0; i < n_ops; ++i) {
+    const auto s = static_cast<StreamId>(i % n_streams);
+    const DeviceId dev = eng.stream_device(s);
+    Op op;
+    if (i % 3 == 1) {
+      if (n_devices > 1 && i % 12 == 7) {
+        op.kind = OpKind::CopyP2P;
+        op.peer = static_cast<DeviceId>((dev + n_devices - 1) % n_devices);
+      } else {
+        op.kind = (i % 6 == 1) ? OpKind::CopyH2D : OpKind::CopyD2H;
+      }
+      op.bytes = 1e4 + (i % 7) * 1e3;
+      op.work = op.bytes;
+      op.name = "cp";
+    } else if (i % 16 == 9) {
+      op.kind = OpKind::Fault;
+      op.bytes = 5e3 + (i % 5) * 1e3;
+      op.work = op.bytes;
+      op.name = "fault";
+    } else {
+      op.kind = OpKind::Kernel;
+      op.work = 5.0 + (i % 11);
+      op.sm_demand = 1 + (i % 4);
+      op.occupancy = 0.5 + 0.5 * ((i % 3) / 2.0);
+      op.bw_need = (i % 5 == 0) ? 50.0 : 0.0;
+      op.name = "k";
+    }
+    op.stream = s;
+    if (i % 8 == 7 && i > 32) {
+      const EventId ev = eng.create_event();
+      eng.record_event(ev, static_cast<StreamId>((i - 1) % n_streams), 0);
+      eng.wait_event(s, ev, 0);
+    }
+    eng.enqueue(std::move(op), 0);
+  }
+}
+
 /// Transfer-churn DAG (the paper's B&S story: independent chains fighting
 /// over PCIe while long kernels occupy the device). `n_kernels` long
 /// kernels run on their own streams for most of the horizon while

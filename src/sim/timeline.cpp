@@ -127,6 +127,7 @@ std::string Timeline::render_ascii(int width) const {
         case OpKind::CopyH2D: c = '>'; break;
         case OpKind::CopyD2H: c = '<'; break;
         case OpKind::Fault: c = 'f'; break;
+        case OpKind::CopyP2P: c = 'p'; break;
         default: c = '.'; break;
       }
       for (int i = lo; i < hi; ++i) row[static_cast<std::size_t>(i)] = c;

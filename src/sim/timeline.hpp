@@ -23,6 +23,8 @@ struct TimelineEntry {
   OpId op = kInvalidOp;
   OpKind kind = OpKind::Marker;
   StreamId stream = kInvalidStream;
+  DeviceId device = kDefaultDevice;  ///< device the op executed on
+  DeviceId peer = kInvalidDevice;    ///< CopyP2P only: source device
   std::string name;
   TimeUs start = 0;
   TimeUs end = 0;

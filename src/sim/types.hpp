@@ -23,12 +23,18 @@ using StreamId = std::int32_t;
 using EventId = std::int64_t;
 /// Managed (unified-memory) allocation identifier.
 using ArrayId = std::int64_t;
+/// GPU index inside a Machine roster. Device 0 always exists.
+using DeviceId = std::int32_t;
 
 inline constexpr OpId kInvalidOp = -1;
 inline constexpr StreamId kInvalidStream = -1;
 inline constexpr StreamId kDefaultStream = 0;
 inline constexpr EventId kInvalidEvent = -1;
 inline constexpr ArrayId kInvalidArray = -1;
+inline constexpr DeviceId kInvalidDevice = -1;
+inline constexpr DeviceId kDefaultDevice = 0;
+/// Residency masks are 32-bit; a Machine holds at most this many GPUs.
+inline constexpr int kMaxDevices = 32;
 inline constexpr TimeUs kTimeInfinity = std::numeric_limits<TimeUs>::infinity();
 
 /// Base class for every error raised by the simulator or the runtime.
@@ -96,6 +102,7 @@ enum class OpKind {
   CopyH2D,   ///< explicit or prefetch host-to-device transfer
   CopyD2H,   ///< device-to-host transfer
   Fault,     ///< on-demand unified-memory migration (page-fault path)
+  CopyP2P,   ///< device-to-device transfer over a peer (or staged) link
   Marker,    ///< zero-duration stream marker (event waits)
   Host,      ///< host-side span recorded for timeline visualization
 };
@@ -106,6 +113,7 @@ enum class OpKind {
     case OpKind::CopyH2D: return "h2d";
     case OpKind::CopyD2H: return "d2h";
     case OpKind::Fault: return "fault";
+    case OpKind::CopyP2P: return "p2p";
     case OpKind::Marker: return "marker";
     case OpKind::Host: return "host";
   }
@@ -114,7 +122,15 @@ enum class OpKind {
 
 /// True if the op kind moves data over the interconnect.
 [[nodiscard]] inline bool is_transfer(OpKind k) {
-  return k == OpKind::CopyH2D || k == OpKind::CopyD2H || k == OpKind::Fault;
+  return k == OpKind::CopyH2D || k == OpKind::CopyD2H || k == OpKind::Fault ||
+         k == OpKind::CopyP2P;
+}
+
+/// True if the op kind serializes on a DMA engine (explicit copies: one in
+/// flight per host-link direction / per peer link; faults go through the
+/// page-fault machinery instead and may proceed concurrently).
+[[nodiscard]] inline bool is_dma_copy(OpKind k) {
+  return k == OpKind::CopyH2D || k == OpKind::CopyD2H || k == OpKind::CopyP2P;
 }
 
 }  // namespace psched::sim

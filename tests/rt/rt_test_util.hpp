@@ -97,7 +97,9 @@ inline const KernelRegistry& test_registry() {
 struct Fixture {
   explicit Fixture(Options opts = {},
                    sim::DeviceSpec spec = sim::DeviceSpec::test_device())
-      : gpu(std::make_unique<sim::GpuRuntime>(std::move(spec))) {
+      : Fixture(opts, sim::Machine::single(std::move(spec))) {}
+  Fixture(Options opts, sim::Machine machine)
+      : gpu(std::make_unique<sim::GpuRuntime>(std::move(machine))) {
     opts.registry = &test_registry();
     ctx = std::make_unique<Context>(*gpu, opts);
   }

@@ -1,0 +1,218 @@
+// Multi-GPU runtime scheduling: device placement policies, per-device
+// stream pools, residency tracking, and cross-device dependencies
+// materializing as peer copies.
+#include <gtest/gtest.h>
+
+#include "rt_test_util.hpp"
+#include "sim/machine.hpp"
+
+namespace psched::rt {
+namespace {
+
+using test::Fixture;
+
+constexpr std::size_t kN = 1 << 16;
+
+sim::Machine two_gpus() {
+  return sim::Machine::uniform(sim::DeviceSpec::test_device(), 2,
+                               /*nvlink_all_pairs=*/true);
+}
+
+long launch_init(Context& ctx, DeviceArray& a, double v) {
+  auto init = ctx.build_kernel("init", "pointer, sint32, float");
+  init(4, 64)(a, static_cast<long>(a.size()), v);
+  return static_cast<long>(ctx.computations().size()) - 1;
+}
+
+TEST(MultiGpu, SingleDevicePolicyMatchesSingleGpuSchedule) {
+  // Compatibility mode: the same program on a 2-GPU roster with the
+  // SingleDevice policy produces the identical virtual schedule as on a
+  // 1-GPU machine.
+  auto run = [](sim::Machine machine) {
+    Options opts;
+    opts.device_policy = DevicePolicy::SingleDevice;
+    Fixture f(opts, std::move(machine));
+    auto& ctx = *f.ctx;
+    auto a = ctx.array<float>(kN, "a");
+    auto b = ctx.array<float>(kN, "b");
+    launch_init(ctx, a, 1);
+    launch_init(ctx, b, 2);
+    auto add2 = ctx.build_kernel(
+        "add2", "const pointer, const pointer, pointer, sint32");
+    auto out = ctx.array<float>(kN, "out");
+    add2(4, 64)(a, b, out, static_cast<long>(kN));
+    ctx.synchronize();
+    return f.gpu->timeline().makespan();
+  };
+  const double single = run(sim::Machine::single(sim::DeviceSpec::test_device()));
+  const double dual = run(two_gpus());
+  EXPECT_DOUBLE_EQ(single, dual);
+}
+
+TEST(MultiGpu, RoundRobinSpreadsIndependentRoots) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, a, 1);
+  launch_init(ctx, b, 2);
+  const auto& comps = ctx.computations();
+  EXPECT_EQ(comps[0]->device, 0);
+  EXPECT_EQ(comps[1]->device, 1);
+  // Streams live on the devices their computations were placed on.
+  EXPECT_EQ(f.gpu->stream_device(comps[0]->stream), 0);
+  EXPECT_EQ(f.gpu->stream_device(comps[1]->stream), 1);
+  ctx.synchronize();
+  EXPECT_EQ(ctx.stats().devices_used, 2);
+  // Residency tracks the writes: each array is fresh only where written.
+  EXPECT_TRUE(a.resident_on(0));
+  EXPECT_FALSE(a.resident_on(1));
+  EXPECT_TRUE(b.resident_on(1));
+  EXPECT_FALSE(b.resident_on(0));
+}
+
+TEST(MultiGpu, FirstChildInheritsParentsDevice) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  launch_init(ctx, x, 1);
+  // First consumer of x: inherits device AND stream (no event wait).
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  auto r1 = ctx.array<float>(kN, "r1");
+  affine(4, 64)(x, r1, static_cast<long>(kN));
+  const auto& comps = ctx.computations();
+  EXPECT_EQ(comps[1]->device, comps[0]->device);
+  EXPECT_EQ(comps[1]->stream, comps[0]->stream);
+  EXPECT_EQ(ctx.stats().event_waits, 0);
+  ctx.synchronize();
+}
+
+TEST(MultiGpu, CrossDeviceDependencyMaterializesAsP2P) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  auto r1 = ctx.array<float>(kN, "r1");
+  auto r2 = ctx.array<float>(kN, "r2");
+  launch_init(ctx, x, 3);  // device 0 (root, rr cursor 0)
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  // Two consumers of x: the first inherits device 0; the second is a new
+  // placement, lands on device 1, and must pull x over the peer link.
+  affine(4, 64)(x, r1, static_cast<long>(kN));
+  affine(4, 64)(x, r2, static_cast<long>(kN));
+  ctx.synchronize();
+  const auto& comps = ctx.computations();
+  EXPECT_EQ(comps[1]->device, 0);
+  EXPECT_EQ(comps[2]->device, 1);
+  EXPECT_GT(f.gpu->bytes_p2p(), 0.0);
+  // x is now fresh on both devices; the outputs only where they ran.
+  EXPECT_TRUE(x.resident_on(0));
+  EXPECT_TRUE(x.resident_on(1));
+  EXPECT_TRUE(r2.resident_on(1));
+  EXPECT_FALSE(r2.resident_on(0));
+  // The peer copy reads the producer's output: it must not start before
+  // the producing kernel (comps[0], on device 0) has finished.
+  const sim::Op producer = f.gpu->engine().op(comps[0]->op);
+  long p2p_entries = 0;
+  for (const auto& e : f.gpu->timeline().entries()) {
+    if (e.kind == sim::OpKind::CopyP2P) {
+      ++p2p_entries;
+      EXPECT_EQ(e.device, 1);
+      EXPECT_EQ(e.peer, 0);
+      EXPECT_GE(e.start, producer.end_time);
+    }
+  }
+  EXPECT_EQ(p2p_entries, 1);
+  // Functional result is unaffected by the placement.
+  EXPECT_FLOAT_EQ(static_cast<float>(r2.get(7)), 6.0f);
+}
+
+TEST(MultiGpu, MinTransferFollowsResidency) {
+  Options opts;
+  opts.device_policy = DevicePolicy::MinTransfer;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, a, 1);  // all-equal costs: rr fallback -> device 0
+  launch_init(ctx, b, 2);  // -> device 1
+  ctx.synchronize();
+  ASSERT_EQ(ctx.computations()[0]->device, 0);
+  ASSERT_EQ(ctx.computations()[1]->device, 1);
+
+  // A reducer over b alone: b resides on device 1, so min-transfer places
+  // it there (zero bytes to move) even though round-robin would not.
+  auto sum = ctx.build_kernel("sum", "const pointer, pointer, sint32");
+  auto out = ctx.array<float>(16, "out");
+  sum(1, 32)(b, out, static_cast<long>(kN));
+  const Computation* reducer = ctx.computations().back().get();
+  EXPECT_EQ(reducer->device, 1);
+  ctx.synchronize();
+  EXPECT_DOUBLE_EQ(f.gpu->bytes_p2p(), 0.0);  // nothing crossed the links
+}
+
+TEST(MultiGpu, HostReadPullsFromOwningDevice) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, a, 4);  // device 0
+  launch_init(ctx, b, 9);  // device 1
+  // Reading both arrays drains the right devices and yields the values.
+  EXPECT_FLOAT_EQ(static_cast<float>(a.get(0)), 4.0f);
+  EXPECT_FLOAT_EQ(static_cast<float>(b.get(0)), 9.0f);
+  // The D2H for b ran on a device-1 stream.
+  bool d2h_from_dev1 = false;
+  for (const auto& e : f.gpu->timeline().entries()) {
+    if (e.kind == sim::OpKind::CopyD2H && e.device == 1) d2h_from_dev1 = true;
+  }
+  EXPECT_TRUE(d2h_from_dev1);
+}
+
+TEST(MultiGpu, HostWriteInvalidatesAllDeviceCopies) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  auto r1 = ctx.array<float>(kN, "r1");
+  auto r2 = ctx.array<float>(kN, "r2");
+  launch_init(ctx, x, 1);
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  affine(4, 64)(x, r1, static_cast<long>(kN));
+  affine(4, 64)(x, r2, static_cast<long>(kN));  // x becomes fresh on both
+  ctx.synchronize();
+  ASSERT_EQ(x.residency_mask(), 0b11u);
+  x.fill(5);  // host write: every device copy is stale now
+  EXPECT_EQ(x.residency_mask(), 0u);
+}
+
+TEST(MultiGpu, PerDeviceStreamPoolsReuseIndependently) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto a = ctx.array<float>(kN, "a");
+  auto b = ctx.array<float>(kN, "b");
+  launch_init(ctx, a, 1);
+  launch_init(ctx, b, 2);
+  ctx.synchronize();
+  // Both pools drained; the next placements reuse each device's stream
+  // instead of creating new ones.
+  launch_init(ctx, a, 3);
+  launch_init(ctx, b, 4);
+  ctx.synchronize();
+  EXPECT_EQ(ctx.stats().streams_created, 2);
+  EXPECT_EQ(ctx.stream_manager().num_streams(0), 1u);
+  EXPECT_EQ(ctx.stream_manager().num_streams(1), 1u);
+}
+
+}  // namespace
+}  // namespace psched::rt

@@ -116,6 +116,48 @@ TEST(StreamManager, DiamondUsesTwoStreamsAndOneJoinWait) {
   ctx.synchronize();
 }
 
+TEST(StreamManager, DestroyedManagerSurvivesLaterIdleCallbacks) {
+  // Construct/destruct ordering against GpuRuntime: a manager registers a
+  // stream-idle observer capturing `this`; destroying the manager while
+  // the engine still has in-flight work whose completion will fire
+  // stream-drain notifications must not touch freed state (the destructor
+  // unregisters the observer).
+  sim::GpuRuntime gpu(sim::DeviceSpec::test_device());
+  auto manager = std::make_unique<StreamManager>(gpu, StreamPolicy::FifoReuse);
+  const sim::StreamId s = gpu.create_stream();
+  sim::Op op;
+  op.kind = sim::OpKind::Kernel;
+  op.stream = s;
+  op.name = "inflight";
+  op.work = 50;
+  op.sm_demand = 4;
+  op.occupancy = 1.0;
+  gpu.engine().enqueue(std::move(op), 0);
+  ASSERT_FALSE(gpu.engine().stream_idle(s));
+
+  manager.reset();  // in-flight work outlives the manager
+  gpu.synchronize_device();  // drain fires idle notifications: must be safe
+  EXPECT_TRUE(gpu.engine().stream_idle(s));
+}
+
+TEST(StreamManager, SurvivingManagerStillSeesDrainsAfterPeerDestroyed) {
+  // Two managers observe the same engine; destroying one must not detach
+  // the other (tokens are per-observer, not global).
+  Fixture f;
+  auto& ctx = *f.ctx;
+  auto doomed =
+      std::make_unique<StreamManager>(*f.gpu, StreamPolicy::FifoReuse);
+  doomed.reset();
+
+  // The context's own manager keeps reusing idle streams as before.
+  auto a = ctx.array<float>(kN, "a");
+  launch_init(ctx, a, 1);
+  ctx.synchronize();
+  launch_init(ctx, a, 2);
+  ctx.synchronize();
+  EXPECT_EQ(ctx.stats().streams_created, 1);
+}
+
 TEST(StreamManager, ChainNeverPaysEvents) {
   Fixture f;
   auto& ctx = *f.ctx;

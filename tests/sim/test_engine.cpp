@@ -472,6 +472,53 @@ TEST_F(EngineTest, SolverCountersAdvance) {
   EXPECT_LT(eng_.solved_ops(), eng_.solve_count() * 3);
 }
 
+TEST_F(EngineTest, StartHeapCompactionBoundsRerecordChurn) {
+  // Pathological event re-record churn: a head waits on an event whose
+  // completion time keeps moving into the future. Every re-record wakes
+  // the head, which re-registers in the start heap, displacing its
+  // previous entry into staleness — without compaction the heap grows by
+  // one entry per re-record.
+  const StreamId s = eng_.create_stream();
+  const StreamId src = eng_.create_stream();
+  const EventId ev = eng_.create_event();
+  eng_.record_event(ev, src, 1e6);  // src idle: completes at record time
+  eng_.wait_event(s, ev, 0);
+  eng_.enqueue(raw_kernel(s, 10, 4, 1.0), 0);
+
+  const int kRerecords = 20000;
+  for (int i = 1; i <= kRerecords; ++i) {
+    eng_.record_event(ev, src, 1e6 + i);
+    eng_.advance_to(eng_.now());  // drain the wake: re-examines the head
+  }
+  // The heap stayed bounded (one live entry plus at most the compaction
+  // hysteresis) instead of holding kRerecords entries.
+  EXPECT_GT(eng_.start_heap_compactions(), 0);
+  EXPECT_LE(eng_.start_heap_size(), 64u);
+  EXPECT_LE(eng_.start_heap_stale(),
+            static_cast<long>(eng_.start_heap_size()));
+
+  // The schedule is unaffected: the head releases at the final re-record
+  // time and the kernel runs to completion.
+  const TimeUs end = eng_.run_all();
+  EXPECT_DOUBLE_EQ(end, 1e6 + kRerecords + 10);
+}
+
+TEST_F(EngineTest, StartHeapStaleAccountingStaysConsistent) {
+  // Mixed workload with future enqueue times exercising push / consume /
+  // discard paths; afterwards the stale counter matches reality (zero once
+  // everything drained).
+  const StreamId s1 = eng_.create_stream();
+  const StreamId s2 = eng_.create_stream();
+  for (int i = 0; i < 40; ++i) {
+    eng_.enqueue(raw_kernel(i % 2 ? s1 : s2, 2.0, 1, 0.5),
+                 /*host_time=*/i * 3.0);
+    eng_.advance_to(i * 1.5);
+  }
+  eng_.run_all();
+  EXPECT_EQ(eng_.start_heap_size(), 0u);
+  EXPECT_EQ(eng_.start_heap_stale(), 0);
+}
+
 TEST_F(EngineTest, StallWatchdogReportsState) {
   // A zero-rate op that can never progress trips the stall watchdog with
   // a diagnostic instead of hanging forever. The resource model floors
