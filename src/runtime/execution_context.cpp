@@ -17,6 +17,7 @@ Context::Context(sim::GpuRuntime& gpu, Options opts)
 Context::~Context() {
   // Drain in-flight work so functional closures never outlive the context.
   try {
+    if (opts_.batch_submit && gpu_->submitting()) gpu_->commit();
     gpu_->synchronize_device();
   } catch (...) {
     // Destructors must not throw; an unsatisfiable schedule at teardown
@@ -86,6 +87,8 @@ ContextStats Context::stats() const {
   ContextStats s = stats_;
   s.streams_created = static_cast<long>(streams_->num_streams());
   s.devices_used = std::popcount(devices_used_mask_);
+  s.batch_commits = gpu_->batch_commits();
+  s.batched_ops = gpu_->batched_ops();
   return s;
 }
 
@@ -213,6 +216,13 @@ void Context::submit_library(const LibraryFunctionDef& def,
 void Context::schedule_async(Computation& c, const sim::LaunchConfig& cfg,
                              const sim::KernelProfile& profile,
                              std::function<void()> functional) {
+  // Batched submission: open the runtime transaction lazily at the first
+  // async computation. The runtime flushes it at every synchronization /
+  // host-observation point, so batch boundaries track DAG levels as the
+  // host program exposes them; the bracket closes in ~Context.
+  if (opts_.batch_submit && !gpu_->submitting() && !gpu_->capturing()) {
+    gpu_->begin_submit();
+  }
   // Model the cost of dependency computation and stream selection.
   gpu_->host_advance(opts_.scheduling_overhead_us);
 

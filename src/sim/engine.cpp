@@ -22,11 +22,6 @@ constexpr double kWorkEps = 1e-9;
 /// times (remaining / rate == predicted_t - now).
 TimeUs completion_tol(TimeUs now) { return std::max(1e-6, 1e-9 * now); }
 
-/// Work-domain completion test (rate-independent half of the seed's
-/// `effectively_done`): a residue below the relative work epsilon is done.
-bool work_done(const Op& op) {
-  return op.remaining() <= kWorkEps * std::max(1.0, op.work);
-}
 }  // namespace
 
 Engine::Engine(DeviceSpec spec) : Engine(Machine::single(std::move(spec))) {}
@@ -41,6 +36,14 @@ Engine::Engine(Machine machine) : machine_(std::move(machine)) {
   p2p_base_ = ndev * kSlotsPerDevice;
   num_classes_ = p2p_base_ + ndev * ndev;
   class_members_.resize(static_cast<std::size_t>(num_classes_));
+  class_fill_.resize(static_cast<std::size_t>(num_classes_));
+  class_solo_u_.resize(static_cast<std::size_t>(num_classes_));
+  class_bw_.resize(static_cast<std::size_t>(num_classes_));
+  class_remaining_.resize(static_cast<std::size_t>(num_classes_));
+  class_work_.resize(static_cast<std::size_t>(num_classes_));
+  class_rate_.resize(static_cast<std::size_t>(num_classes_));
+  class_pred_.resize(static_cast<std::size_t>(num_classes_));
+  class_since_.assign(static_cast<std::size_t>(num_classes_), 0);
   class_next_.assign(static_cast<std::size_t>(num_classes_), kTimeInfinity);
   class_dirty_.assign(static_cast<std::size_t>(num_classes_), 0);
   class_solves_.assign(static_cast<std::size_t>(num_classes_), 0);
@@ -112,22 +115,42 @@ Op& Engine::live_op(OpId id) {
   return slab_[static_cast<std::size_t>(rec.slot)];
 }
 
-OpId Engine::enqueue(Op op, TimeUs host_time) {
+void Engine::check_enqueueable(const Op& op) const {
   if (op.stream < 0 || static_cast<std::size_t>(op.stream) >= streams_.size()) {
     throw ApiError("enqueue: invalid stream " + std::to_string(op.stream));
   }
-  op.device = streams_[static_cast<std::size_t>(op.stream)].device;
   if (op.kind == OpKind::CopyP2P) {
+    const DeviceId dev = streams_[static_cast<std::size_t>(op.stream)].device;
     if (!machine_.valid_device(op.peer)) {
       throw ApiError("enqueue: CopyP2P needs a valid source (peer) device");
     }
-    if (op.peer == op.device) {
+    if (op.peer == dev) {
       throw ApiError("enqueue: CopyP2P source equals destination device " +
-                     std::to_string(op.device));
+                     std::to_string(dev));
     }
-  } else {
-    op.peer = kInvalidDevice;
   }
+}
+
+void Engine::check_event_id(EventId event, const char* who) const {
+  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
+    throw ApiError(std::string(who) + ": invalid event");
+  }
+}
+
+void Engine::check_stream_id(StreamId stream, const char* who) const {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError(std::string(who) + ": invalid stream");
+  }
+}
+
+OpId Engine::enqueue(Op op, TimeUs host_time) {
+  check_enqueueable(op);
+  if (txn_open_) {
+    txn_last_time_ = std::max(txn_last_time_, host_time);
+    ++txn_ops_;
+  }
+  op.device = streams_[static_cast<std::size_t>(op.stream)].device;
+  if (op.kind != OpKind::CopyP2P) op.peer = kInvalidDevice;
   op.id = next_op_id_++;
   op.enqueue_time = std::max(host_time, op.enqueue_time);
   op.state = OpState::Queued;
@@ -164,12 +187,9 @@ OpId Engine::enqueue(Op op, TimeUs host_time) {
 }
 
 void Engine::record_event(EventId event, StreamId stream, TimeUs host_time) {
-  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
-    throw ApiError("record_event: invalid event");
-  }
-  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
-    throw ApiError("record_event: invalid stream");
-  }
+  check_event_id(event, "record_event");
+  check_stream_id(stream, "record_event");
+  if (txn_open_) txn_last_time_ = std::max(txn_last_time_, host_time);
   EventState& ev = events_[static_cast<std::size_t>(event)];
   ev.recorded = true;
   const auto& fifo = streams_[static_cast<std::size_t>(stream)].fifo;
@@ -194,9 +214,7 @@ void Engine::set_on_complete(OpId op, std::function<void()> fn) {
 }
 
 void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
-  if (event < 0 || static_cast<std::size_t>(event) >= events_.size()) {
-    throw ApiError("wait_event: invalid event");
-  }
+  check_event_id(event, "wait_event");
   Op marker;
   marker.kind = OpKind::Marker;
   marker.stream = stream;
@@ -204,6 +222,141 @@ void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
   marker.work = 0;
   marker.waits.push_back(event);
   enqueue(std::move(marker), host_time);
+}
+
+void Submission::enqueue(Op op, TimeUs host_time, BindFn bind) {
+  Item item;
+  item.kind = ItemKind::Enqueue;
+  item.op = std::move(op);
+  item.bind = std::move(bind);
+  item.host_time = host_time;
+  items_.push_back(std::move(item));
+  ++num_ops_;
+}
+
+void Submission::record_event(EventId event, StreamId stream,
+                              TimeUs host_time) {
+  Item item;
+  item.kind = ItemKind::Record;
+  item.event = event;
+  item.stream = stream;
+  item.host_time = host_time;
+  items_.push_back(std::move(item));
+}
+
+void Submission::wait_event(StreamId stream, EventId event, TimeUs host_time) {
+  Item item;
+  item.kind = ItemKind::Wait;
+  item.event = event;
+  item.stream = stream;
+  item.host_time = host_time;
+  items_.push_back(std::move(item));
+  ++num_ops_;  // lowered to a wait-marker op: consumes an op id
+}
+
+void Engine::begin_transaction(TimeUs host_time) {
+  if (txn_open_) {
+    throw ApiError("begin_transaction: a transaction is already open");
+  }
+  // The transaction's one pre-ingest advance: process device activity the
+  // host already observed, then freeze the clock for the batch.
+  advance_to(host_time);
+  txn_open_ = true;
+  txn_last_time_ = std::max(now_, host_time);
+  txn_ops_ = 0;
+}
+
+std::size_t Engine::commit_transaction() {
+  if (!txn_open_) {
+    throw ApiError("commit_transaction: no open transaction");
+  }
+  const std::size_t n = txn_ops_;
+  txn_open_ = false;
+  // The transaction's one post-ingest advance: deferred ready-checks drain
+  // together and each dirtied class re-solves once for the whole batch.
+  // Heads whose host time lies beyond the commit clock reach the start
+  // heap and are released exactly at their issue times, so staggered-time
+  // transactions replay per-call issue timing.
+  advance_to(txn_last_time_);
+  return n;
+}
+
+std::vector<OpId> Engine::commit(Submission& sub) {
+  std::vector<OpId> ids;
+  ids.reserve(sub.num_ops_);
+  if (sub.items_.empty()) return ids;
+
+  // Atomic pre-pass: reject the whole submission before touching any
+  // engine state (including the open-transaction check begin_transaction
+  // would otherwise hit after the items were already drained). Host times
+  // replay a host call sequence, so they must be non-decreasing; every
+  // item must reference valid streams/events.
+  if (txn_open_) {
+    throw ApiError("commit: a transaction is already open");
+  }
+  TimeUs prev = sub.items_.front().host_time;
+  for (const Submission::Item& item : sub.items_) {
+    if (item.host_time < prev) {
+      throw ApiError("commit: submission host times must be non-decreasing");
+    }
+    prev = item.host_time;
+    switch (item.kind) {
+      case Submission::ItemKind::Enqueue:
+        check_enqueueable(item.op);
+        break;
+      case Submission::ItemKind::Record:
+        check_event_id(item.event, "commit/record_event");
+        check_stream_id(item.stream, "commit/record_event");
+        break;
+      case Submission::ItemKind::Wait:
+        check_event_id(item.event, "commit/wait_event");
+        check_stream_id(item.stream, "commit/wait_event");
+        break;
+    }
+  }
+
+  // The items are moved out before anything is applied: zero-work ops
+  // complete inside the committing advance and their callbacks may
+  // re-enter the runtime, which must find the submission buffer empty
+  // (not mid-iteration). The capacity is donated back afterwards.
+  std::vector<Submission::Item> items = std::move(sub.items_);
+  sub.items_.clear();
+  sub.num_ops_ = 0;
+
+  begin_transaction(items.front().host_time);
+  for (Submission::Item& item : items) {
+    switch (item.kind) {
+      case Submission::ItemKind::Enqueue: {
+        const OpId id = enqueue(std::move(item.op), item.host_time);
+        ids.push_back(id);
+        if (item.bind) item.bind(*this, id);
+        break;
+      }
+      case Submission::ItemKind::Record:
+        record_event(item.event, item.stream, item.host_time);
+        break;
+      case Submission::ItemKind::Wait: {
+        // Inline wait_event so the marker's id lands in `ids` like any
+        // other enqueued op.
+        Op marker;
+        marker.kind = OpKind::Marker;
+        marker.stream = item.stream;
+        marker.name = "wait_event";
+        marker.work = 0;
+        marker.waits.push_back(item.event);
+        ids.push_back(enqueue(std::move(marker), item.host_time));
+        break;
+      }
+    }
+  }
+  commit_transaction();
+  if (sub.items_.empty()) {
+    // Donate the buffer capacity back for reuse (unless a re-entrant
+    // callback already appended fresh items to the submission).
+    items.clear();
+    sub.items_ = std::move(items);
+  }
+  return ids;
 }
 
 bool Engine::stream_idle(StreamId stream) const {
@@ -235,11 +388,18 @@ TimeUs Engine::event_done_time(EventId event) const {
 Op Engine::op(OpId id) const {
   const OpRecord& rec = record_of(id, "op");
   if (rec.slot >= 0) {
-    // Live: fold lazily-accrued fluid progress so `done` reflects now().
-    Op& live = const_cast<Engine*>(this)->slab_[
-        static_cast<std::size_t>(rec.slot)];
-    if (live.state == OpState::Running) fold_progress(live);
-    return live;
+    // Live: snapshot with lazily-accrued fluid progress folded in from the
+    // class progress mirror, so `done` reflects now().
+    Op snap = slab_[static_cast<std::size_t>(rec.slot)];
+    if (snap.state == OpState::Running && snap.class_pos >= 0) {
+      const auto cls = static_cast<std::size_t>(class_index(snap));
+      const auto pos = static_cast<std::size_t>(snap.class_pos);
+      snap.done = snap.work - live_remaining(snap);
+      snap.rate = class_rate_[cls][pos];
+      snap.rate_since = now_;
+      snap.pred_end = class_pred_[cls][pos];
+    }
+    return snap;
   }
   // Retired: reconstruct the compact completion record.
   Op done;
@@ -270,11 +430,17 @@ void Engine::wake_event_waiters(EventState& ev) {
   ev.waiters.clear();
 }
 
-void Engine::fold_progress(Op& op) const {
-  if (op.rate > 0 && now_ > op.rate_since) {
-    op.done = std::min(op.work, op.done + op.rate * (now_ - op.rate_since));
+double Engine::live_remaining(const Op& op) const {
+  if (op.state == OpState::Running && op.class_pos >= 0) {
+    const auto cls = static_cast<std::size_t>(class_index(op));
+    const auto pos = static_cast<std::size_t>(op.class_pos);
+    const double r = class_rate_[cls][pos];
+    double rem = class_remaining_[cls][pos];
+    const TimeUs since = class_since_[cls];
+    if (r > 0 && now_ > since) rem = std::max(0.0, rem - r * (now_ - since));
+    return rem;
   }
-  op.rate_since = now_;
+  return op.remaining();
 }
 
 void Engine::complete_op(Op& op) {
@@ -294,11 +460,36 @@ void Engine::complete_op(Op& op) {
   --running_;
   if (op.class_pos >= 0) {
     const int cls = class_index(op);
+    const auto pos = static_cast<std::size_t>(op.class_pos);
     auto& members = class_members_[static_cast<std::size_t>(cls)];
     const std::int32_t last = members.back();
-    members[static_cast<std::size_t>(op.class_pos)] = last;
+    members[pos] = last;
     slab_[static_cast<std::size_t>(last)].class_pos = op.class_pos;
     members.pop_back();
+    if (op.kind == OpKind::Kernel) {
+      // Keep the SoA demand mirror aligned with the member list.
+      auto& fill = class_fill_[static_cast<std::size_t>(cls)];
+      auto& solo_u = class_solo_u_[static_cast<std::size_t>(cls)];
+      auto& bw = class_bw_[static_cast<std::size_t>(cls)];
+      fill[pos] = fill.back();
+      fill.pop_back();
+      solo_u[pos] = solo_u.back();
+      solo_u.pop_back();
+      bw[pos] = bw.back();
+      bw.pop_back();
+    }
+    auto& rem = class_remaining_[static_cast<std::size_t>(cls)];
+    auto& wrk = class_work_[static_cast<std::size_t>(cls)];
+    auto& rate = class_rate_[static_cast<std::size_t>(cls)];
+    auto& pred = class_pred_[static_cast<std::size_t>(cls)];
+    rem[pos] = rem.back();
+    rem.pop_back();
+    wrk[pos] = wrk.back();
+    wrk.pop_back();
+    rate[pos] = rate.back();
+    rate.pop_back();
+    pred[pos] = pred.back();
+    pred.pop_back();
     op.class_pos = -1;
     mark_class_dirty(cls);
     if (is_dma_copy(op.kind)) {
@@ -460,6 +651,20 @@ void Engine::check_stream_head(StreamId stream) {
     auto& members = class_members_[static_cast<std::size_t>(cls)];
     op.class_pos = static_cast<std::int32_t>(members.size());
     members.push_back(rec.slot);
+    if (op.kind == OpKind::Kernel) {
+      // Capture the static demand once: the same expressions the solver
+      // evaluated per member per re-solve, now evaluated at class join.
+      const double fill =
+          (op.sm_demand / machine_.device(op.device).sm_count) * op.occupancy;
+      class_fill_[static_cast<std::size_t>(cls)].push_back(fill);
+      class_solo_u_[static_cast<std::size_t>(cls)].push_back(
+          ResourceModel::utilization(fill));
+      class_bw_[static_cast<std::size_t>(cls)].push_back(op.bw_need);
+    }
+    class_remaining_[static_cast<std::size_t>(cls)].push_back(op.remaining());
+    class_work_[static_cast<std::size_t>(cls)].push_back(op.work);
+    class_rate_[static_cast<std::size_t>(cls)].push_back(0);
+    class_pred_[static_cast<std::size_t>(cls)].push_back(kTimeInfinity);
     mark_class_dirty(cls);
   }
   if (op.remaining() <= kWorkEps) {
@@ -511,36 +716,55 @@ void Engine::recompute_rates() {
     ++class_solves_[static_cast<std::size_t>(cls)];
     solved_ops_ += static_cast<long>(members.size());
 
-    solve_members_.clear();
-    for (const std::int32_t slot : members) {
-      Op& op = slab_[static_cast<std::size_t>(slot)];
-      fold_progress(op);  // progress so far accrued at the old rate
-      solve_members_.push_back(&op);
-    }
-    if (cls >= p2p_base_) {
+    // Rates come from the class's compact demand data — kernels from the
+    // SoA mirror, every transfer class from its member count — and
+    // progress folds and pred_end refreshes run over the dense progress
+    // mirror: the whole re-solve touches no Op at all.
+    const bool kernel_class =
+        cls < p2p_base_ && cls % kSlotsPerDevice == kSlotKernel;
+    double share = 0;
+    if (kernel_class) {
+      models_[static_cast<std::size_t>(cls / kSlotsPerDevice)]
+          .solve_kernel_class(class_fill_[static_cast<std::size_t>(cls)],
+                              class_solo_u_[static_cast<std::size_t>(cls)],
+                              class_bw_[static_cast<std::size_t>(cls)],
+                              solve_rates_);
+    } else if (cls >= p2p_base_) {
       const int rel = cls - p2p_base_;
       const DeviceId src = static_cast<DeviceId>(rel / num_devices());
       const DeviceId dst = static_cast<DeviceId>(rel % num_devices());
-      ResourceModel::solve_link(machine_.p2p_bytes_per_us(src, dst),
-                                solve_members_.size(), solve_rates_);
+      share = machine_.p2p_bytes_per_us(src, dst) /
+              static_cast<double>(members.size());
     } else {
-      models_[static_cast<std::size_t>(cls / kSlotsPerDevice)].solve_class(
-          kSlotKind[cls % kSlotsPerDevice], solve_members_, solve_rates_);
+      share = models_[static_cast<std::size_t>(cls / kSlotsPerDevice)]
+                  .class_share(kSlotKind[cls % kSlotsPerDevice],
+                               members.size());
     }
+    auto& rem = class_remaining_[static_cast<std::size_t>(cls)];
+    const auto& wrk = class_work_[static_cast<std::size_t>(cls)];
+    auto& rate = class_rate_[static_cast<std::size_t>(cls)];
+    auto& pred = class_pred_[static_cast<std::size_t>(cls)];
+    const TimeUs since = class_since_[static_cast<std::size_t>(cls)];
+    const TimeUs dt = now_ - since;
+    TimeUs next = kTimeInfinity;
     for (std::size_t i = 0; i < members.size(); ++i) {
-      Op& op = slab_[static_cast<std::size_t>(members[i])];
-      op.rate = solve_rates_[i];
-      op.rate_since = now_;
-      if (work_done(op)) {
-        op.pred_end = now_;  // residue below the work epsilon: due now
-      } else if (op.rate > 0) {
-        op.pred_end = now_ + op.remaining() / op.rate;
-      } else {
-        op.pred_end = kTimeInfinity;  // the stall watchdog is the net
+      if (dt > 0 && rate[i] > 0) {
+        // Progress accrued at the old rate since the last fold.
+        rem[i] = std::max(0.0, rem[i] - rate[i] * dt);
       }
-      class_next_[static_cast<std::size_t>(cls)] =
-          std::min(class_next_[static_cast<std::size_t>(cls)], op.pred_end);
+      const double r = kernel_class ? solve_rates_[i] : share;
+      rate[i] = r;
+      if (rem[i] <= kWorkEps * std::max(1.0, wrk[i])) {
+        pred[i] = now_;  // residue below the work epsilon: due now
+      } else if (r > 0) {
+        pred[i] = now_ + rem[i] / r;
+      } else {
+        pred[i] = kTimeInfinity;  // the stall watchdog is the net
+      }
+      next = std::min(next, pred[i]);
     }
+    class_since_[static_cast<std::size_t>(cls)] = now_;
+    class_next_[static_cast<std::size_t>(cls)] = next;
   }
   dirty_classes_.clear();
 }
@@ -595,12 +819,14 @@ bool Engine::complete_due_ops() {
   due.clear();
   for (int cls = 0; cls < num_classes_; ++cls) {
     if (class_next_[static_cast<std::size_t>(cls)] > now_ + tol) continue;
-    // The class's re-solve after these completions rescans it anyway; one
-    // extra pass to collect the due members costs a compare per op.
-    for (const std::int32_t slot :
-         class_members_[static_cast<std::size_t>(cls)]) {
-      const Op& op = slab_[static_cast<std::size_t>(slot)];
-      if (op.pred_end <= now_ + tol) due.push_back(op.id);
+    // The due scan runs over the dense predicted-completion mirror; only
+    // actually-due members cost an Op touch (for their id).
+    const auto& pred = class_pred_[static_cast<std::size_t>(cls)];
+    const auto& members = class_members_[static_cast<std::size_t>(cls)];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (pred[i] <= now_ + tol) {
+        due.push_back(slab_[static_cast<std::size_t>(members[i])].id);
+      }
     }
   }
   if (due.empty()) {
@@ -629,8 +855,13 @@ void Engine::note_progress(bool advanced) {
       << " steps without progress; running:";
   for (const Op& op : slab_) {
     if (op.state != OpState::Running) continue;
+    const double rate =
+        op.class_pos >= 0
+            ? class_rate_[static_cast<std::size_t>(class_index(op))]
+                         [static_cast<std::size_t>(op.class_pos)]
+            : op.rate;
     msg << " [op " << op.id << " '" << op.name << "' dev " << op.device
-        << " remaining " << op.remaining() << " rate " << op.rate << "]";
+        << " remaining " << live_remaining(op) << " rate " << rate << "]";
   }
   msg << "; queued heads:";
   for (const auto& stream : streams_) {
@@ -683,6 +914,10 @@ bool Engine::step(TimeUs target) {
 }
 
 void Engine::advance_to(TimeUs t) {
+  if (txn_open_) {
+    throw ApiError(
+        "advance_to: a transaction is open (commit_transaction first)");
+  }
   if (t <= now_) {
     release_due_starts();
     drain_ready();
@@ -719,6 +954,11 @@ void Engine::check_deadlock() {
 }
 
 TimeUs Engine::run_until_op_done(OpId op_id) {
+  if (txn_open_) {
+    throw ApiError(
+        "run_until_op_done: a transaction is open (commit_transaction "
+        "first)");
+  }
   while (!op_done(op_id)) {
     check_deadlock();
     if (!step(kTimeInfinity)) check_deadlock();
@@ -745,6 +985,11 @@ TimeUs Engine::run_until_stream_idle(StreamId stream) {
   if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
     throw ApiError("run_until_stream_idle: invalid stream");
   }
+  if (txn_open_) {
+    throw ApiError(
+        "run_until_stream_idle: a transaction is open (commit_transaction "
+        "first)");
+  }
   while (!streams_[static_cast<std::size_t>(stream)].fifo.empty()) {
     check_deadlock();
     step(kTimeInfinity);
@@ -753,6 +998,9 @@ TimeUs Engine::run_until_stream_idle(StreamId stream) {
 }
 
 TimeUs Engine::run_all() {
+  if (txn_open_) {
+    throw ApiError("run_all: a transaction is open (commit_transaction first)");
+  }
   while (!all_idle()) {
     check_deadlock();
     step(kTimeInfinity);

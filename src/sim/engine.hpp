@@ -50,6 +50,58 @@
 
 namespace psched::sim {
 
+class Engine;
+
+/// A transaction of host-API calls committed to the engine as one unit —
+/// the command buffer of the batched submission path (see
+/// docs/engine-internals.md, "Transactions and batched ingestion").
+///
+/// Items are recorded in host issue order, each stamped with the host time
+/// of the original call; Engine::commit applies them in exactly that order
+/// without stepping the engine in between, then advances once to the last
+/// item's host time. Committing a group of same-time calls is therefore
+/// bit-identical to issuing them per call: batch boundaries group the op
+/// sequence, they never reorder it.
+class Submission {
+ public:
+  /// Invoked at commit with an enqueued op's assigned id, right after the
+  /// op enters its stream FIFO and before it can start — the batched
+  /// counterpart of "enqueue returned an id, now attach state to it"
+  /// (set_on_complete, host-side pending-op tracking).
+  using BindFn = std::function<void(Engine&, OpId)>;
+
+  /// Append an op enqueue (validated at commit, not here).
+  void enqueue(Op op, TimeUs host_time, BindFn bind = nullptr);
+  /// Append an event record on `stream`.
+  void record_event(EventId event, StreamId stream, TimeUs host_time);
+  /// Append an event wait (lowered to a wait marker op at commit).
+  void wait_event(StreamId stream, EventId event, TimeUs host_time);
+
+  /// Pre-size the item buffer (ops are buffered by value; reserving spares
+  /// the growth reallocations of a large transaction).
+  void reserve(std::size_t items) { items_.reserve(items); }
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  /// Number of enqueue items (excludes records; waits count — they become
+  /// marker ops and consume op ids).
+  [[nodiscard]] std::size_t num_ops() const { return num_ops_; }
+
+ private:
+  friend class Engine;
+  enum class ItemKind { Enqueue, Record, Wait };
+  struct Item {
+    ItemKind kind = ItemKind::Enqueue;
+    Op op;                             ///< Enqueue only
+    BindFn bind;                       ///< Enqueue only
+    EventId event = kInvalidEvent;     ///< Record / Wait
+    StreamId stream = kInvalidStream;  ///< Record / Wait
+    TimeUs host_time = 0;
+  };
+  std::vector<Item> items_;
+  std::size_t num_ops_ = 0;
+};
+
 class Engine {
  public:
   /// Single-GPU convenience: Engine(Machine::single(spec)).
@@ -78,6 +130,32 @@ class Engine {
   void record_event(EventId event, StreamId stream, TimeUs host_time);
   /// Make future ops on `stream` wait for `event` (non-blocking for host).
   void wait_event(StreamId stream, EventId event, TimeUs host_time);
+  // --- transactional batched ingestion ---
+  /// Open a transaction: the engine advances to `host_time` once (the
+  /// transaction's one pre-ingest host-clock advance) and then freezes.
+  /// Subsequent enqueue / record_event / wait_event calls ingest
+  /// immediately — ids assigned in call order, FIFO inserts and pending
+  /// marks applied — but nothing starts, completes, or re-prices until
+  /// commit_transaction() advances once to the latest host time an ingest
+  /// call carried: deferred ready-checks drain in one pass and each
+  /// dirtied (device, class) solver domain re-solves once for the whole
+  /// batch. Time control (advance_to, run_*) while a transaction is open
+  /// throws ApiError; one transaction may be open at a time.
+  void begin_transaction(TimeUs host_time);
+  /// Commit the open transaction; returns the number of ops it ingested.
+  std::size_t commit_transaction();
+  [[nodiscard]] bool in_transaction() const { return txn_open_; }
+
+  /// Commit a detached Submission as one transaction: validate every item
+  /// up front (atomic — a bad item rejects the whole submission
+  /// untouched), then begin_transaction at the first item's host time,
+  /// apply all items in recorded order, commit_transaction at the last.
+  /// Item host times must be non-decreasing (they replay a host call
+  /// sequence). Returns the ids of enqueued ops (including wait markers)
+  /// in submission order; the submission is drained but keeps its buffer
+  /// capacity for reuse.
+  std::vector<OpId> commit(Submission& sub);
+  std::vector<OpId> commit(Submission&& sub) { return commit(sub); }
   /// Attach/replace the completion callback of a not-yet-completed op.
   void set_on_complete(OpId op, std::function<void()> fn);
   /// Register an observer fired whenever a stream's FIFO drains; returns a
@@ -220,6 +298,12 @@ class Engine {
   [[nodiscard]] Op& live_op(OpId id);
   [[nodiscard]] const OpRecord& record_of(OpId id, const char* who) const;
 
+  /// Shared enqueue validation (throws ApiError): stream range and CopyP2P
+  /// peer constraints. Used by enqueue() and by commit()'s atomic pre-pass.
+  void check_enqueueable(const Op& op) const;
+  void check_event_id(EventId event, const char* who) const;
+  void check_stream_id(StreamId stream, const char* who) const;
+
   /// Queue `stream` for a head ready-check (idempotent).
   void mark_pending(StreamId stream);
   /// Mark one class's rates as needing a re-solve (idempotent; feeds the
@@ -227,6 +311,9 @@ class Engine {
   void mark_class_dirty(int cls);
   /// Wake every stream registered on `ev` (event fired or re-recorded).
   void wake_event_waiters(EventState& ev);
+  /// Remaining work of a live op folded to now() — from the class mirror
+  /// for running classed ops, from the Op itself otherwise.
+  [[nodiscard]] double live_remaining(const Op& op) const;
   /// Examine `stream`'s head; start it if its start condition holds at
   /// now_, otherwise register it exactly where its wake signal will occur
   /// (start heap for known future times, event / copy-engine waiter lists
@@ -236,8 +323,6 @@ class Engine {
   /// in ascending id per round, mirroring the seed engine's sweep order
   /// (which decides copy-engine handover among same-instant candidates).
   void drain_ready();
-  /// Fold fluid progress accumulated at `op`'s current rate into op.done.
-  void fold_progress(Op& op) const;
   void complete_op(Op& op);
   /// Re-solve rates for every dirty resource class, refreshing each
   /// member's predicted completion and the class minimum.
@@ -277,6 +362,11 @@ class Engine {
   TimeUs now_ = 0;
   OpId next_op_id_ = 1;
 
+  // --- open-transaction state ---
+  bool txn_open_ = false;
+  TimeUs txn_last_time_ = 0;  ///< latest host time an ingest call carried
+  std::size_t txn_ops_ = 0;   ///< ops ingested by the open transaction
+
   std::vector<StreamState> streams_;
   std::vector<EventState> events_;
 
@@ -302,6 +392,27 @@ class Engine {
   int p2p_base_ = 0;
   int num_classes_ = 0;
   std::vector<std::vector<std::int32_t>> class_members_;  ///< slab slots
+  /// Compact SoA mirrors of the kernel classes' member demands (indexed
+  /// like class_members_; only kernel-slot classes populate them): device
+  /// fill, solo utilization, DRAM appetite — captured once at class join
+  /// so the hot re-solve iterates three dense double arrays instead of
+  /// chasing Op pointers. Equal-share classes (copies, faults, peer links)
+  /// need only their member count and keep no mirror.
+  std::vector<std::vector<double>> class_fill_;
+  std::vector<std::vector<double>> class_solo_u_;
+  std::vector<std::vector<double>> class_bw_;
+  /// Progress mirrors for every class (same indexing): remaining work as
+  /// of the class's last re-solve, total work (for the completion
+  /// epsilon), current rate, and predicted completion. class_since_[cls]
+  /// is the fold timestamp — a per-class scalar, valid because each
+  /// re-solve folds every member. The hot paths (re-solve, due scan) are
+  /// pure passes over these dense arrays; a member's Op is touched only
+  /// at join, completion, and queries.
+  std::vector<std::vector<double>> class_remaining_;
+  std::vector<std::vector<double>> class_work_;
+  std::vector<std::vector<double>> class_rate_;
+  std::vector<std::vector<TimeUs>> class_pred_;
+  std::vector<TimeUs> class_since_;
   /// Minimum pred_end over each class's members (infinity when empty);
   /// valid for clean classes, refreshed by recompute_rates() for dirty
   /// ones.
@@ -319,7 +430,6 @@ class Engine {
   // --- reusable scratch (avoid per-step allocation) ---
   std::vector<StreamId> batch_;
   std::vector<OpId> due_;
-  std::vector<const Op*> solve_members_;
   std::vector<double> solve_rates_;
 
   long solve_count_ = 0;

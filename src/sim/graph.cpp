@@ -162,8 +162,14 @@ TaskGraph::Exec TaskGraph::instantiate(GpuRuntime& rt) const {
   return exec;
 }
 
-void TaskGraph::Exec::launch(GpuRuntime& rt) {
+void TaskGraph::Exec::launch(GpuRuntime& rt, TaskGraph::Replay replay) {
   rt.host_advance(TaskGraph::kLaunchUs);
+  // Batched replay: everything below appends to one open submission and
+  // reaches the engine in a single transaction at commit. Joins an already
+  // open batch rather than nesting.
+  const bool own_batch =
+      replay == TaskGraph::Replay::Batched && !rt.submitting();
+  if (own_batch) rt.begin_submit();
   const auto& nodes = *nodes_;
   // Per-launch events for cross-stream edges.
   std::vector<EventId> done_event(nodes.size(), kInvalidEvent);
@@ -204,6 +210,7 @@ void TaskGraph::Exec::launch(GpuRuntime& rt) {
       done_event[static_cast<std::size_t>(v)] = e;
     }
   }
+  if (own_batch) rt.commit();
 }
 
 }  // namespace psched::sim

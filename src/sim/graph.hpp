@@ -61,12 +61,25 @@ class TaskGraph {
   void on_captured_wait_event(StreamId stream, EventId event);
   void on_captured_prefetch(StreamId stream, ArrayId array);
 
+  /// How a launch reaches the engine.
+  enum class Replay {
+    /// The whole graph — kernels, staged migrations, event edges — lowers
+    /// into one runtime transaction, like a single cudaGraphLaunch call.
+    Batched,
+    /// Node-by-node replay through the per-call API (kept for batched /
+    /// per-call equivalence tests and host-overhead cost studies).
+    PerCall,
+  };
+
   /// Instantiated, executable graph bound to static internal streams.
   class Exec {
    public:
     /// Asynchronously replay all nodes; call runtime.synchronize_device()
-    /// (or sync the terminal streams) to wait for completion.
-    void launch(GpuRuntime& rt);
+    /// (or sync the terminal streams) to wait for completion. The default
+    /// lowers the whole graph into one engine transaction; if the runtime
+    /// already has a batch open, the replay joins it instead of committing
+    /// its own.
+    void launch(GpuRuntime& rt, Replay replay = Replay::Batched);
 
     [[nodiscard]] std::size_t num_streams_used() const { return streams_.size(); }
     [[nodiscard]] StreamId stream_of(NodeId n) const {

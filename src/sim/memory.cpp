@@ -1,6 +1,64 @@
 #include "sim/memory.hpp"
 
+#include <algorithm>
+
 namespace psched::sim {
+
+MemoryManager::MemoryManager(const Machine& machine) {
+  const int ndev = machine.num_devices();
+  if (ndev < 1) throw ApiError("MemoryManager: machine roster is empty");
+  device_capacity_.reserve(static_cast<std::size_t>(ndev));
+  for (DeviceId d = 0; d < ndev; ++d) {
+    device_capacity_.push_back(machine.device(d).memory_bytes);
+  }
+  device_used_.assign(static_cast<std::size_t>(ndev), 0);
+  device_peak_.assign(static_cast<std::size_t>(ndev), 0);
+  // Managed (logical) capacity: the roster's combined device memory — a
+  // single-GPU machine keeps the legacy "managed heap = device memory"
+  // bound, a multi-GPU roster can hold one working set per device.
+  capacity_ = 0;
+  for (const std::size_t c : device_capacity_) capacity_ += c;
+}
+
+void MemoryManager::check_device(DeviceId d, const char* who) const {
+  if (d < 0 || static_cast<std::size_t>(d) >= device_capacity_.size()) {
+    throw ApiError(std::string(who) + ": invalid device " +
+                   std::to_string(d));
+  }
+}
+
+std::size_t MemoryManager::device_capacity(DeviceId d) const {
+  check_device(d, "device_capacity");
+  return device_capacity_[static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::device_used_bytes(DeviceId d) const {
+  check_device(d, "device_used_bytes");
+  return device_used_[static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::device_peak_bytes(DeviceId d) const {
+  check_device(d, "device_peak_bytes");
+  return device_peak_[static_cast<std::size_t>(d)];
+}
+
+void MemoryManager::charge_residency(ArrayInfo& a, DeviceId d) {
+  check_device(d, "charge_residency");
+  const std::uint32_t bit = 1u << d;
+  if ((a.resident_mask & bit) != 0) return;  // already charged
+  auto& used = device_used_[static_cast<std::size_t>(d)];
+  const std::size_t cap = device_capacity_[static_cast<std::size_t>(d)];
+  if (used + a.bytes > cap) {
+    throw OutOfMemoryError(
+        "device " + std::to_string(d) + " out of memory: array '" + a.name +
+        "' needs " + std::to_string(a.bytes) + " bytes, resident " +
+        std::to_string(used) + " of " + std::to_string(cap));
+  }
+  a.resident_mask |= bit;
+  used += a.bytes;
+  auto& peak = device_peak_[static_cast<std::size_t>(d)];
+  peak = std::max(peak, used);
+}
 
 ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
   if (bytes == 0) throw ApiError("alloc: zero-byte allocation");
@@ -31,6 +89,14 @@ void MemoryManager::free_array(ArrayId id) {
   }
   it->second.freed = true;
   used_ -= it->second.bytes;
+  // Release every device's residency charge.
+  std::uint32_t mask = it->second.resident_mask;
+  while (mask != 0) {
+    const int d = std::countr_zero(mask);
+    mask &= mask - 1;
+    device_used_[static_cast<std::size_t>(d)] -= it->second.bytes;
+  }
+  it->second.resident_mask = 0;
 }
 
 ArrayInfo& MemoryManager::info(ArrayId id) {

@@ -9,7 +9,15 @@
 //     adds the destination to the set.
 // Fresh allocations are host-resident (host_dirty). The Runtime facade
 // performs the transitions; this class only does the accounting and raises
-// OutOfMemoryError when the device capacity is exceeded.
+// OutOfMemoryError when a device capacity is exceeded.
+//
+// Capacity is tracked per device (multi-GPU rosters): an array's physical
+// pages are charged to a device when they first land there (migration or
+// kernel-write materialization — ArrayInfo::resident_mask) and released
+// when the array is freed. Invalidation (a peer kernel write, a host
+// write) marks a copy stale but does not release its pages, matching
+// unified memory: stale pages occupy the device until freed or
+// overwritten in place by a later migration.
 #pragma once
 
 #include <bit>
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "sim/device_spec.hpp"
+#include "sim/machine.hpp"
 #include "sim/types.hpp"
 
 namespace psched::sim {
@@ -43,6 +52,10 @@ struct ArrayInfo {
   /// flags by the runtime: on_device == (fresh_mask != 0) whenever the
   /// newest version is device-side.
   std::uint32_t fresh_mask = 0;
+  /// Devices whose capacity this array's pages are charged to — a superset
+  /// of fresh_mask (stale copies keep their pages until the array is
+  /// freed). Maintained by MemoryManager::charge_residency.
+  std::uint32_t resident_mask = 0;
 
   /// Pre-Pascal visibility restriction: the stream this array is attached
   /// to (kInvalidStream = visible everywhere).
@@ -110,10 +123,24 @@ struct ArrayInfo {
 
 class MemoryManager {
  public:
-  explicit MemoryManager(const DeviceSpec& spec) : capacity_(spec.memory_bytes) {}
+  /// Single-device roster (legacy entry point).
+  explicit MemoryManager(const DeviceSpec& spec)
+      : MemoryManager(Machine::single(spec)) {}
+  /// Per-device capacities come from the roster's DeviceSpec::memory_bytes.
+  explicit MemoryManager(const Machine& machine);
 
+  /// Reserve managed (logical) capacity. Throws OutOfMemoryError when the
+  /// roster's combined device memory is exhausted (per-device limits are
+  /// enforced later, when pages actually land — see charge_residency).
   ArrayId alloc(std::size_t bytes, std::string name);
+  /// Free the array, releasing its logical reservation and every device's
+  /// residency charge.
   void free_array(ArrayId id);
+
+  /// Charge the array's pages to device `d` (idempotent per device).
+  /// Throws OutOfMemoryError when `d`'s capacity would be exceeded —
+  /// before any state changes, so a rejected migration is clean.
+  void charge_residency(ArrayInfo& a, DeviceId d);
 
   [[nodiscard]] ArrayInfo& info(ArrayId id);
   [[nodiscard]] const ArrayInfo& info(ArrayId id) const;
@@ -123,11 +150,26 @@ class MemoryManager {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t num_live_arrays() const;
 
+  // --- per-device physical accounting ---
+  [[nodiscard]] int num_devices() const {
+    return static_cast<int>(device_capacity_.size());
+  }
+  [[nodiscard]] std::size_t device_capacity(DeviceId d) const;
+  /// Bytes currently resident (charged) on device `d`.
+  [[nodiscard]] std::size_t device_used_bytes(DeviceId d) const;
+  /// High-water mark of device_used_bytes(d) over the manager's lifetime.
+  [[nodiscard]] std::size_t device_peak_bytes(DeviceId d) const;
+
  private:
-  std::size_t capacity_;
+  void check_device(DeviceId d, const char* who) const;
+
+  std::size_t capacity_;  ///< combined roster capacity (alloc's bound)
   std::size_t used_ = 0;
   ArrayId next_id_ = 1;
   std::unordered_map<ArrayId, ArrayInfo> arrays_;
+  std::vector<std::size_t> device_capacity_;
+  std::vector<std::size_t> device_used_;
+  std::vector<std::size_t> device_peak_;
 };
 
 }  // namespace psched::sim

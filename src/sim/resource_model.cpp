@@ -189,6 +189,63 @@ void ResourceModel::solve_class(OpKind kind,
   }
 }
 
+void ResourceModel::solve_kernel_class(const std::vector<double>& fill,
+                                       const std::vector<double>& solo_u,
+                                       const std::vector<double>& bw_need,
+                                       std::vector<double>& rates) const {
+  const std::size_t n = fill.size();
+  rates.assign(n, 0);
+  if (n == 0) return;
+  double total_fill = 0;
+  for (const double f : fill) total_fill += f;
+  const double device_u = utilization(total_fill);
+  bw_demand_.assign(n, 0);
+  auto& bw_demand = bw_demand_;
+  double bw_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Device throughput at the combined fill, split proportionally to each
+    // kernel's fill, relative to the throughput the kernel had solo — the
+    // same expression as solve_class, on inputs cached at class join.
+    double r = 1.0;
+    if (total_fill > 0 && solo_u[i] > 0) {
+      r = device_u * (fill[i] / total_fill) / solo_u[i];
+    }
+    r = std::min(r, 1.0);  // a kernel never runs faster than solo
+    rates[i] = std::max(r, 1e-9);
+    bw_demand[i] = bw_need[i] * r;
+    bw_total += bw_demand[i];
+  }
+  // DRAM unsaturated (the common case): max-min fair hands every kernel
+  // its full demand and the bandwidth cap never binds — skip the fill.
+  if (bw_total <= spec_->dram_bytes_per_us()) return;
+  max_min_fair_into(bw_demand, spec_->dram_bytes_per_us(), bw_alloc_);
+  const auto& bw_alloc = bw_alloc_;
+  for (std::size_t i = 0; i < n; ++i) {
+    double r = rates[i];
+    if (bw_need[i] > 0 && bw_demand[i] > 0) {
+      r = std::min(r, bw_alloc[i] / bw_need[i]);
+    }
+    rates[i] = std::max(r, 1e-9);
+  }
+}
+
+double ResourceModel::class_share(OpKind kind, std::size_t n) const {
+  if (n == 0) return 0;
+  switch (kind) {
+    case OpKind::CopyH2D:
+    case OpKind::CopyD2H:
+      return spec_->pcie_bytes_per_us() / static_cast<double>(n);
+    case OpKind::Fault: {
+      const auto count = static_cast<double>(n);
+      const double capacity = spec_->fault_bytes_per_us() /
+                              (1.0 + kFaultContentionPenalty * (count - 1.0));
+      return capacity / count;
+    }
+    default:
+      return 0;  // kernels are not equal-share; markers carry no rate
+  }
+}
+
 void ResourceModel::solve_link(double link_bytes_per_us, std::size_t n,
                                std::vector<double>& rates) {
   rates.assign(n, 0);

@@ -75,6 +75,24 @@ class ResourceModel {
   static void solve_link(double link_bytes_per_us, std::size_t n,
                          std::vector<double>& rates);
 
+  /// Kernel-class solver over the engine's compact per-class demand arrays
+  /// (SoA mirror of the member list, maintained incrementally at
+  /// join/leave): `fill[i]` is member i's device fill
+  /// (sm_demand/sm_count * occupancy), `solo_u[i]` its solo utilization
+  /// (utilization(fill[i])), `bw_need[i]` its DRAM appetite at rate 1.
+  /// Bit-identical arithmetic to the Op-pointer solve_class above — the
+  /// inputs are the same expressions evaluated once at class join — but
+  /// the hot re-solve never touches an Op.
+  void solve_kernel_class(const std::vector<double>& fill,
+                          const std::vector<double>& solo_u,
+                          const std::vector<double>& bw_need,
+                          std::vector<double>& rates) const;
+
+  /// Per-member rate of the equal-share classes (PCIe directions, the
+  /// contended fault path) at occupancy `n` — the scalar the engine
+  /// assigns to every member without materializing a rates vector.
+  [[nodiscard]] double class_share(OpKind kind, std::size_t n) const;
+
   /// Max-min fair ("water-filling") allocation of `capacity` among demands.
   [[nodiscard]] static std::vector<double> max_min_fair(
       const std::vector<double>& demands, double capacity);

@@ -10,7 +10,7 @@ GpuRuntime::GpuRuntime(DeviceSpec spec)
     : GpuRuntime(Machine::single(std::move(spec))) {}
 
 GpuRuntime::GpuRuntime(Machine machine)
-    : engine_(std::move(machine)), memory_(engine_.spec()) {
+    : engine_(std::move(machine)), memory_(engine_.machine()) {
   // Device 0's host-initiated transfers ride the default stream (the
   // single-GPU behaviour); peer devices get a service stream on demand.
   service_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
@@ -26,13 +26,82 @@ StreamId GpuRuntime::service_stream(DeviceId device) {
   return s;
 }
 
+void GpuRuntime::note_api_call() {
+  host_now_ += batch_open_ ? kBatchedCallCpuOverheadUs : kLaunchCpuOverheadUs;
+  // Inside a batch the engine deliberately lags the host clock: it catches
+  // up in one transaction at commit/flush time.
+  if (!batch_open_) engine_.advance_to(host_now_);
+}
+
+void GpuRuntime::flush_submission() {
+  if (!engine_.in_transaction()) return;
+  const std::size_t n = engine_.commit_transaction();
+  batched_ops_ += static_cast<long>(n);
+  ++batch_commits_;
+}
+
+OpId GpuRuntime::issue_op(Op op, Submission::BindFn bind) {
+  if (batch_open_ && !engine_.in_transaction()) {
+    // Lazily (re)open the engine transaction: the first async call after
+    // begin_submit or after an implicit flush at a synchronization point.
+    engine_.begin_transaction(host_now_);
+  }
+  const OpId id = engine_.enqueue(std::move(op), host_now_);
+  if (bind) bind(engine_, id);
+  // Per-call mode: the implicit single-op transaction commits right here
+  // (one trailing drain at the unchanged clock). In a batch the drain is
+  // deferred to the commit/flush.
+  if (!batch_open_) engine_.advance_to(host_now_);
+  return id;
+}
+
+void GpuRuntime::issue_record(EventId event, StreamId stream) {
+  if (batch_open_ && !engine_.in_transaction()) {
+    engine_.begin_transaction(host_now_);
+  }
+  engine_.record_event(event, stream, host_now_);
+  if (!batch_open_) engine_.advance_to(host_now_);
+}
+
+void GpuRuntime::issue_wait(StreamId stream, EventId event) {
+  if (batch_open_ && !engine_.in_transaction()) {
+    engine_.begin_transaction(host_now_);
+  }
+  engine_.wait_event(stream, event, host_now_);
+  if (!batch_open_) engine_.advance_to(host_now_);
+}
+
+void GpuRuntime::begin_submit() {
+  if (capture_ != nullptr) {
+    throw ApiError("begin_submit: stream capture active");
+  }
+  if (batch_open_) throw ApiError("begin_submit: batch already open");
+  batch_open_ = true;
+}
+
+std::size_t GpuRuntime::commit() {
+  if (!batch_open_) throw ApiError("commit: no open batch");
+  std::size_t n = 0;
+  if (engine_.in_transaction()) {
+    n = engine_.commit_transaction();
+    batched_ops_ += static_cast<long>(n);
+    ++batch_commits_;
+  }
+  batch_open_ = false;
+  engine_.advance_to(host_now_);
+  return n;
+}
+
 void GpuRuntime::host_advance(TimeUs dt) {
   if (dt < 0) throw ApiError("host_advance: negative time");
   host_now_ += dt;
-  engine_.advance_to(host_now_);
+  if (!batch_open_) engine_.advance_to(host_now_);
 }
 
-void GpuRuntime::poll() { engine_.advance_to(host_now_); }
+void GpuRuntime::poll() {
+  flush_submission();
+  engine_.advance_to(host_now_);
+}
 
 StreamId GpuRuntime::create_stream() { return engine_.create_stream(); }
 
@@ -47,9 +116,8 @@ void GpuRuntime::record_event(EventId event, StreamId stream) {
     capture_->on_captured_record_event(event, stream);
     return;
   }
-  host_now_ += kLaunchCpuOverheadUs;
-  engine_.advance_to(host_now_);
-  engine_.record_event(event, stream, host_now_);
+  note_api_call();
+  issue_record(event, stream);
 }
 
 void GpuRuntime::stream_wait_event(StreamId stream, EventId event) {
@@ -57,35 +125,39 @@ void GpuRuntime::stream_wait_event(StreamId stream, EventId event) {
     capture_->on_captured_wait_event(stream, event);
     return;
   }
-  host_now_ += kLaunchCpuOverheadUs;
-  engine_.advance_to(host_now_);
-  engine_.wait_event(stream, event, host_now_);
+  note_api_call();
+  issue_wait(stream, event);
 }
 
 bool GpuRuntime::stream_idle(StreamId stream) {
+  flush_submission();
   engine_.advance_to(host_now_);
   return engine_.stream_idle(stream);
 }
 
 void GpuRuntime::synchronize_stream(StreamId stream) {
+  flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_until_stream_idle(stream);
   host_now_ = std::max(host_now_, t);
 }
 
 void GpuRuntime::synchronize_event(EventId event) {
+  flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_until_event(event);
   host_now_ = std::max(host_now_, t);
 }
 
 void GpuRuntime::synchronize_device() {
+  flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_all();
   host_now_ = std::max(host_now_, t);
 }
 
 bool GpuRuntime::event_done(EventId event) {
+  flush_submission();
   engine_.advance_to(host_now_);
   return engine_.event_done(event);
 }
@@ -95,6 +167,7 @@ ArrayId GpuRuntime::alloc(std::size_t bytes, const std::string& name) {
 }
 
 void GpuRuntime::free_array(ArrayId id) {
+  flush_submission();
   engine_.advance_to(host_now_);
   memory_.free_array(id);
 }
@@ -105,13 +178,18 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
   const DeviceId dev = engine_.stream_device(stream);
   if (!a.needs_transfer_to(dev)) {
     // Fresh on this device, but a migration issued by another stream may
-    // still be in flight: order behind it.
+    // still be in flight: order behind it. (Inside a batch the engine may
+    // lag the host clock, so the done-check is conservative — a redundant
+    // wait on an already-complete event never delays the head.)
     const EventId ev = a.ready_event_on(dev);
     if (ev != kInvalidEvent && !engine_.event_done(ev)) {
-      engine_.wait_event(stream, ev, host_now_);
+      issue_wait(stream, ev);
     }
     return;
   }
+  // Physical pages land on `dev`: charge its capacity before any engine
+  // mutation so an over-capacity migration rejects cleanly.
+  memory_.charge_residency(a, dev);
   // Source selection: the host when its copy is newest (or nothing is
   // device-resident yet), otherwise the lowest-indexed fresh peer device.
   const bool from_host = a.host_sourced();
@@ -131,21 +209,23 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
     // The source copy may itself still be migrating: order behind it.
     const EventId src_ev = a.ready_event_on(src);
     if (src_ev != kInvalidEvent && !engine_.event_done(src_ev)) {
-      engine_.wait_event(stream, src_ev, host_now_);
+      issue_wait(stream, src_ev);
     }
   }
   const ArrayId aid = id;
-  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
-  a.pending_reads.insert(op_id);  // migration reads the source copy
-  engine_.set_on_complete(op_id, [this, aid, op_id]() {
-    if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+  issue_op(std::move(op), [this, aid](Engine& eng, OpId op_id) {
+    if (!memory_.valid(aid)) return;
+    memory_.info(aid).pending_reads.insert(op_id);  // reads the source copy
+    eng.set_on_complete(op_id, [this, aid, op_id]() {
+      if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+    });
   });
 
   a.on_device = true;
   if (from_host) a.host_dirty = false;
   a.mark_fresh(dev);
   EventId ev = engine_.create_event();
-  engine_.record_event(ev, stream, host_now_);
+  issue_record(ev, stream);
   a.set_ready_event(dev, ev);
 
   if (!from_host) {
@@ -155,7 +235,6 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
   } else {
     bytes_h2d_ += static_cast<double>(a.bytes);
   }
-  engine_.advance_to(host_now_);
 }
 
 OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
@@ -163,8 +242,7 @@ OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
     capture_->on_captured_prefetch(stream, id);
     return kInvalidOp;
   }
-  host_now_ += kLaunchCpuOverheadUs;
-  engine_.advance_to(host_now_);
+  note_api_call();
   ArrayInfo& a = memory_.info(id);
   if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
   stage_to_device(id, stream, OpKind::CopyH2D);
@@ -177,8 +255,7 @@ OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
     capture_->on_captured_h2d(stream, id, memory_.info(id).name);
     return kInvalidOp;
   }
-  host_now_ += kLaunchCpuOverheadUs;
-  engine_.advance_to(host_now_);
+  note_api_call();
   ArrayInfo& a = memory_.info(id);
   if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
   stage_to_device(id, stream, OpKind::CopyH2D);
@@ -190,6 +267,7 @@ void GpuRuntime::attach_array(ArrayId id, StreamId stream) {
 }
 
 void GpuRuntime::note_host_access(ArrayId id, bool for_write) {
+  flush_submission();
   engine_.advance_to(host_now_);
   ArrayInfo& a = memory_.info(id);
   // A host read may proceed concurrently with device *reads* on page-fault
@@ -256,8 +334,7 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
     capture_->on_captured_launch(stream, spec);
     return kInvalidOp;
   }
-  host_now_ += kLaunchCpuOverheadUs;
-  engine_.advance_to(host_now_);
+  note_api_call();
   const DeviceId dev = engine_.stream_device(stream);
 
   // Stage migrations for argument arrays the launch device lacks. A stale
@@ -268,6 +345,12 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
       engine_.spec(dev).page_fault_um ? OpKind::Fault : OpKind::CopyH2D;
   for (const ArrayUse& use : spec.arrays) {
     stage_to_device(use.id, stream, migration_kind);
+  }
+  // Every argument array has (or is getting) pages on the launch device —
+  // including never-touched outputs, which materialize at first kernel
+  // touch. Charge capacity before the kernel op is issued.
+  for (const ArrayUse& use : spec.arrays) {
+    memory_.charge_residency(memory_.info(use.id), dev);
   }
 
   const KernelDemand demand =
@@ -284,46 +367,54 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   op.bw_need = demand.bw_need;
   op.work = demand.solo_us;
 
-  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
-
-  std::vector<ArrayId> used;
+  // Per-op tracking (hazard sets, completion bookkeeping, the functional
+  // closure) binds once the id is assigned at commit — before the op can
+  // start — in both the per-call and the batched mode.
+  struct Use {
+    ArrayId id;
+    bool write;
+  };
+  std::vector<Use> used;
   used.reserve(spec.arrays.size());
-  for (const ArrayUse& use : spec.arrays) {
-    ArrayInfo& a = memory_.info(use.id);
-    if (use.write) {
-      a.pending_writes.insert(op_id);
-      a.device_dirty = true;
-      a.on_device = true;  // the kernel materializes the array on device
-      a.host_dirty = false;          // the device now owns the newest version
-      a.fresh_mask = 1u << dev;      // ... and peers' copies are stale
-      if (engine_.num_devices() > 1) {
-        // Peer transfers sourced from this copy must not start before the
-        // kernel produces it: publish the write as the device's ready
-        // event (stage_to_device orders the CopyP2P behind it).
-        const EventId ev = engine_.create_event();
-        engine_.record_event(ev, stream, host_now_);
-        a.set_ready_event(dev, ev);
-      }
-    } else {
-      a.pending_reads.insert(op_id);
+  for (const ArrayUse& use : spec.arrays) used.push_back({use.id, use.write});
+  auto bind = [this, used, fn = spec.functional](Engine& eng, OpId op_id) {
+    for (const Use& u : used) {
+      ArrayInfo& a = memory_.info(u.id);
+      (u.write ? a.pending_writes : a.pending_reads).insert(op_id);
     }
-    used.push_back(use.id);
-  }
-  auto fn = spec.functional;
-  engine_.set_on_complete(
-      op_id, [this, used = std::move(used), op_id, fn = std::move(fn)]() {
-        for (ArrayId aid : used) {
-          if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
-        }
-        if (fn) fn();
-      });
+    eng.set_on_complete(op_id, [this, used, op_id, fn]() {
+      for (const Use& u : used) {
+        if (memory_.valid(u.id)) memory_.info(u.id).erase_pending(op_id);
+      }
+      if (fn) fn();
+    });
+  };
+  const OpId op_id = issue_op(std::move(op), std::move(bind));
 
-  engine_.advance_to(host_now_);
+  // Residency transitions are host-side issue-time state: the next call's
+  // staging decisions must see them even while a batch is open.
+  for (const ArrayUse& use : spec.arrays) {
+    if (!use.write) continue;
+    ArrayInfo& a = memory_.info(use.id);
+    a.device_dirty = true;
+    a.on_device = true;  // the kernel materializes the array on device
+    a.host_dirty = false;      // the device now owns the newest version
+    a.fresh_mask = 1u << dev;  // ... and peers' copies are stale
+    if (engine_.num_devices() > 1) {
+      // Peer transfers sourced from this copy must not start before the
+      // kernel produces it: publish the write as the device's ready
+      // event (stage_to_device orders the CopyP2P behind it).
+      const EventId ev = engine_.create_event();
+      issue_record(ev, stream);
+      a.set_ready_event(dev, ev);
+    }
+  }
   return op_id;
 }
 
 void GpuRuntime::begin_capture(TaskGraph& graph) {
   if (capture_ != nullptr) throw ApiError("begin_capture: already capturing");
+  if (batch_open_) throw ApiError("begin_capture: batch submission open");
   capture_ = &graph;
 }
 

@@ -25,6 +25,16 @@
 // Host accesses (host_read / host_write) perform hazard detection: accessing
 // an array while device ops on it are still pending means the caller failed
 // to synchronize — a correctness bug in the scheduler under test.
+//
+// Transactional submission: every engine mutation flows through an
+// engine-level Submission. The per-call API opens and commits an implicit
+// single-item transaction per call (behaviour identical to the historical
+// direct path); begin_submit()/commit() brackets an explicit batch in which
+// async calls append to one open submission — charged a reduced per-call
+// host cost — that reaches the engine as a single transaction. Blocking and
+// observing calls (synchronize_*, host_read/host_write, poll, stream_idle,
+// event_done, free_array) flush the open submission first, so batch
+// boundaries align with host observation points.
 #pragma once
 
 #include <functional>
@@ -121,6 +131,24 @@ class GpuRuntime {
   void end_capture();
   [[nodiscard]] bool capturing() const { return capture_ != nullptr; }
 
+  // --- batched submission (explicit transactions) ---
+  /// Open a batch: subsequent async calls (launch / copies / prefetches /
+  /// event records and waits) ingest into one open engine transaction
+  /// instead of committing per call, and cost kBatchedCallCpuOverheadUs of
+  /// host time each instead of kLaunchCpuOverheadUs. launch() still
+  /// returns the op id (ops ingest immediately) but nothing starts or
+  /// completes until the transaction commits. Mutually exclusive with
+  /// stream capture.
+  void begin_submit();
+  /// Commit the open batch as one engine transaction; returns the number
+  /// of ops submitted since begin_submit (or the last implicit flush).
+  std::size_t commit();
+  [[nodiscard]] bool submitting() const { return batch_open_; }
+  /// Explicit-batch accounting: transactions committed (including implicit
+  /// flushes at synchronization points) and ops they carried.
+  [[nodiscard]] long batch_commits() const { return batch_commits_; }
+  [[nodiscard]] long batched_ops() const { return batched_ops_; }
+
   // --- introspection ---
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
@@ -139,9 +167,20 @@ class GpuRuntime {
   [[nodiscard]] double bytes_d2h() const { return bytes_d2h_; }
   [[nodiscard]] double bytes_faulted() const { return bytes_faulted_; }
   [[nodiscard]] double bytes_p2p() const { return bytes_p2p_; }
+  /// Per-device physical-residency accounting (see MemoryManager): bytes
+  /// currently charged to device `d` and the high-water mark.
+  [[nodiscard]] std::size_t device_bytes_used(DeviceId d) const {
+    return memory_.device_used_bytes(d);
+  }
+  [[nodiscard]] std::size_t device_bytes_peak(DeviceId d) const {
+    return memory_.device_peak_bytes(d);
+  }
 
   /// Fixed host-side cost of issuing any async operation (microseconds).
   static constexpr TimeUs kLaunchCpuOverheadUs = 2.0;
+  /// Host cost of appending one async call to an open batch: a command-
+  /// buffer write, an order of magnitude cheaper than a driver call.
+  static constexpr TimeUs kBatchedCallCpuOverheadUs = 0.2;
 
  private:
   /// Ensure the array is (or will be) resident on `stream`'s device;
@@ -155,9 +194,27 @@ class GpuRuntime {
   /// reads); device 0 maps to the default stream, others are lazily made.
   [[nodiscard]] StreamId service_stream(DeviceId device);
 
+  /// Charge one async API call to the host clock (full per-call overhead,
+  /// or the cheaper batched append cost inside an open batch) and bring
+  /// the engine up to date in per-call mode.
+  void note_api_call();
+  /// Commit the open engine transaction, if any (keeps an explicit batch
+  /// open — the next async call reopens lazily). Called by every blocking
+  /// / observing entry, so batch boundaries align with host observations.
+  void flush_submission();
+  /// Route one op enqueue through the current transaction: an implicit
+  /// single-op transaction per call, or an ingest into the open batch.
+  /// `bind` runs with the assigned id before the op can start.
+  OpId issue_op(Op op, Submission::BindFn bind);
+  void issue_record(EventId event, StreamId stream);
+  void issue_wait(StreamId stream, EventId event);
+
   Engine engine_;
   MemoryManager memory_;
   std::vector<StreamId> service_streams_;
+  bool batch_open_ = false;
+  long batch_commits_ = 0;
+  long batched_ops_ = 0;
   TimeUs host_now_ = 0;
   int hazards_ = 0;
   bool strict_hazards_ = true;

@@ -6,16 +6,26 @@
 // fixtures recorded from the seed engine.
 #pragma once
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/engine.hpp"
 
 namespace psched::sim {
 
-/// Fig. 9-style contention DAG: `n_ops` ops round-robined over `n_streams`
-/// streams — a mix of kernels (varying demand and DRAM appetite), explicit
-/// copies in both directions (serializing on the DMA engines), page-fault
-/// migrations, and cross-stream event edges every 8th op. Deterministic:
-/// the same (n_ops, n_streams) always produces the same DAG.
-inline void build_contention_dag(Engine& eng, int n_ops, int n_streams) {
+/// Fig. 9-style contention DAG, generic emitter: `n_ops` ops round-robined
+/// over `n_streams` streams — a mix of kernels (varying demand and DRAM
+/// appetite), explicit copies in both directions (serializing on the DMA
+/// engines), page-fault migrations, and cross-stream event edges every 8th
+/// op. Streams and events are created on the engine; the op/record/wait
+/// calls themselves flow through the three sinks in issue order, so the
+/// same DAG can be driven per-call, through a Submission, or through any
+/// host-clock replay. Deterministic: the same (n_ops, n_streams) always
+/// produces the same sequence.
+template <typename EnqueueFn, typename RecordFn, typename WaitFn>
+inline void emit_contention_dag(Engine& eng, int n_ops, int n_streams,
+                                EnqueueFn&& enqueue, RecordFn&& record,
+                                WaitFn&& wait) {
   for (int i = 1; i < n_streams; ++i) eng.create_stream();
   for (int i = 0; i < n_ops; ++i) {
     const auto s = static_cast<StreamId>(i % n_streams);
@@ -41,11 +51,20 @@ inline void build_contention_dag(Engine& eng, int n_ops, int n_streams) {
     op.stream = s;
     if (i % 8 == 7 && i > 32) {
       const EventId ev = eng.create_event();
-      eng.record_event(ev, static_cast<StreamId>((i - 1) % n_streams), 0);
-      eng.wait_event(s, ev, 0);
+      record(ev, static_cast<StreamId>((i - 1) % n_streams));
+      wait(s, ev);
     }
-    eng.enqueue(std::move(op), 0);
+    enqueue(std::move(op));
   }
+}
+
+/// The legacy bulk builder: emit straight into the engine at host time 0.
+inline void build_contention_dag(Engine& eng, int n_ops, int n_streams) {
+  emit_contention_dag(
+      eng, n_ops, n_streams,
+      [&eng](Op op) { eng.enqueue(std::move(op), 0); },
+      [&eng](EventId ev, StreamId s) { eng.record_event(ev, s, 0); },
+      [&eng](StreamId s, EventId ev) { eng.wait_event(s, ev, 0); });
 }
 
 /// Multi-GPU contention DAG: the same op mix as build_contention_dag with
@@ -97,6 +116,93 @@ inline void build_multi_device_contention_dag(Engine& eng, int n_ops,
       eng.wait_event(s, ev, 0);
     }
     eng.enqueue(std::move(op), 0);
+  }
+}
+
+/// DAG shapes for the scheduler-overhead shape axis. All three use the
+/// contention DAG's kernel mix; they differ only in dependency structure.
+enum class DagShape {
+  Wide,     ///< fully independent ops: maximal parallel frontier
+  Deep,     ///< one serialized chain across streams (event-edge diagonal)
+  Diamond,  ///< repeated fan-out / fan-in blocks (root -> k children -> join)
+};
+
+[[nodiscard]] inline const char* to_string(DagShape s) {
+  switch (s) {
+    case DagShape::Wide: return "wide";
+    case DagShape::Deep: return "deep";
+    case DagShape::Diamond: return "diamond";
+  }
+  return "?";
+}
+
+/// Shaped synthetic DAG: `n_ops` kernels over `n_streams` streams wired as
+/// `shape`. Deterministic; all enqueues at host time 0. The kernel mix
+/// matches build_contention_dag's kernels so throughput numbers compare
+/// across shapes rather than across cost models.
+inline void build_shaped_dag(Engine& eng, DagShape shape, int n_ops,
+                             int n_streams) {
+  for (int i = 1; i < n_streams; ++i) eng.create_stream();
+  auto kernel = [](int i, StreamId s) {
+    Op op;
+    op.kind = OpKind::Kernel;
+    op.stream = s;
+    op.name = "k";
+    op.work = 5.0 + (i % 11);
+    op.sm_demand = 1 + (i % 4);
+    op.occupancy = 0.5 + 0.5 * ((i % 3) / 2.0);
+    op.bw_need = (i % 5 == 0) ? 50.0 : 0.0;
+    return op;
+  };
+  switch (shape) {
+    case DagShape::Wide:
+      for (int i = 0; i < n_ops; ++i) {
+        eng.enqueue(kernel(i, static_cast<StreamId>(i % n_streams)), 0);
+      }
+      break;
+    case DagShape::Deep:
+      // One chain threaded across the streams: op i waits on op i-1 via a
+      // cross-stream event, so the frontier is a single op however many
+      // streams exist.
+      for (int i = 0; i < n_ops; ++i) {
+        const auto s = static_cast<StreamId>(i % n_streams);
+        if (i > 0) {
+          const EventId ev = eng.create_event();
+          eng.record_event(ev, static_cast<StreamId>((i - 1) % n_streams), 0);
+          eng.wait_event(s, ev, 0);
+        }
+        eng.enqueue(kernel(i, s), 0);
+      }
+      break;
+    case DagShape::Diamond: {
+      // Blocks of (1 root -> fan children -> 1 join); the join of one block
+      // gates the next block's root through the stream-0 FIFO. With a
+      // single stream the children simply share stream 0 (the shape
+      // degenerates to a chain, but stays well-defined).
+      const int fan = std::max(2, n_streams - 2);
+      const int child_lanes = std::max(1, n_streams - 1);
+      int i = 0;
+      while (i < n_ops) {
+        eng.enqueue(kernel(i++, 0), 0);  // root (stream 0)
+        const EventId root_ev = eng.create_event();
+        eng.record_event(root_ev, 0, 0);
+        std::vector<EventId> child_evs;
+        for (int c = 0; c < fan && i < n_ops; ++c) {
+          const auto s = static_cast<StreamId>(
+              n_streams > 1 ? 1 + c % child_lanes : 0);
+          eng.wait_event(s, root_ev, 0);
+          eng.enqueue(kernel(i++, s), 0);
+          const EventId ev = eng.create_event();
+          eng.record_event(ev, s, 0);
+          child_evs.push_back(ev);
+        }
+        if (i < n_ops) {
+          for (const EventId ev : child_evs) eng.wait_event(0, ev, 0);
+          eng.enqueue(kernel(i++, 0), 0);  // join (gates the next root)
+        }
+      }
+      break;
+    }
   }
 }
 

@@ -43,16 +43,18 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Raised when a device allocation exceeds the available device memory.
-class OutOfMemoryError : public Error {
- public:
-  using Error::Error;
-};
-
 /// Raised on misuse of the simulated CUDA API (bad stream, bad event, ...).
 class ApiError : public Error {
  public:
   using Error::Error;
+};
+
+/// Raised when an allocation or migration exceeds a device's memory
+/// capacity. An ApiError: exceeding DeviceSpec::memory_bytes is a host
+/// programming error in this model (no oversubscription/eviction yet).
+class OutOfMemoryError : public ApiError {
+ public:
+  using ApiError::ApiError;
 };
 
 /// CUDA-like 3D extent for grids and blocks.

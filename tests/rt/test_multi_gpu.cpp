@@ -194,6 +194,68 @@ TEST(MultiGpu, HostWriteInvalidatesAllDeviceCopies) {
   EXPECT_EQ(x.residency_mask(), 0u);
 }
 
+TEST(MultiGpu, PerDeviceMemoryCountersTrackResidency) {
+  Options opts;
+  opts.device_policy = DevicePolicy::RoundRobin;
+  Fixture f(opts, two_gpus());
+  auto& ctx = *f.ctx;
+  auto x = ctx.array<float>(kN, "x");
+  auto r1 = ctx.array<float>(kN, "r1");
+  auto r2 = ctx.array<float>(kN, "r2");
+  launch_init(ctx, x, 1);  // x materializes on device 0
+  auto affine = ctx.build_kernel("affine", "const pointer, pointer, sint32");
+  affine(4, 64)(x, r1, static_cast<long>(kN));  // device 0
+  affine(4, 64)(x, r2, static_cast<long>(kN));  // device 1: pulls x over P2P
+  ctx.synchronize();
+  const std::size_t bytes = kN * sizeof(float);
+  // Device 0 holds x and r1; device 1 holds the peer copy of x and r2.
+  EXPECT_EQ(f.gpu->device_bytes_used(0), 2 * bytes);
+  EXPECT_EQ(f.gpu->device_bytes_used(1), 2 * bytes);
+  EXPECT_EQ(f.gpu->device_bytes_peak(0), 2 * bytes);
+  EXPECT_EQ(f.gpu->device_bytes_peak(1), 2 * bytes);
+  // A host write invalidates freshness but the stale pages stay charged
+  // until the arrays are freed (unified-memory semantics).
+  x.fill(5);
+  EXPECT_EQ(f.gpu->device_bytes_used(0), 2 * bytes);
+  ctx.free(x);
+  EXPECT_EQ(f.gpu->device_bytes_used(0), bytes);
+  EXPECT_EQ(f.gpu->device_bytes_used(1), bytes);
+}
+
+TEST(MultiGpu, BatchedContextMatchesPerCallResults) {
+  // The same multi-GPU program through the per-call and the batched
+  // submission path: identical functional results, byte counters, and
+  // placement; the batched run commits through engine transactions.
+  auto run = [](bool batched) {
+    Options opts;
+    opts.device_policy = DevicePolicy::RoundRobin;
+    opts.batch_submit = batched;
+    Fixture f(opts, two_gpus());
+    auto& ctx = *f.ctx;
+    auto x = ctx.array<float>(kN, "x");
+    auto r1 = ctx.array<float>(kN, "r1");
+    auto r2 = ctx.array<float>(kN, "r2");
+    launch_init(ctx, x, 3);
+    auto affine =
+        ctx.build_kernel("affine", "const pointer, pointer, sint32");
+    affine(4, 64)(x, r1, static_cast<long>(kN));
+    affine(4, 64)(x, r2, static_cast<long>(kN));
+    ctx.synchronize();
+    struct R {
+      double r1v, r2v, p2p;
+      long batch_commits;
+    } r{r1.get(7), r2.get(7), f.gpu->bytes_p2p(), ctx.stats().batch_commits};
+    return r;
+  };
+  const auto per_call = run(false);
+  const auto batched = run(true);
+  EXPECT_DOUBLE_EQ(batched.r1v, per_call.r1v);
+  EXPECT_DOUBLE_EQ(batched.r2v, per_call.r2v);
+  EXPECT_DOUBLE_EQ(batched.p2p, per_call.p2p);
+  EXPECT_EQ(per_call.batch_commits, 0);
+  EXPECT_GT(batched.batch_commits, 0);
+}
+
 TEST(MultiGpu, PerDeviceStreamPoolsReuseIndependently) {
   Options opts;
   opts.device_policy = DevicePolicy::RoundRobin;

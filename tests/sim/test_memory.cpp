@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/device_spec.hpp"
+#include "sim/machine.hpp"
 #include "sim/memory.hpp"
 
 namespace psched::sim {
@@ -83,6 +84,71 @@ TEST_F(MemoryTest, FreeWithPendingOpsThrows) {
   EXPECT_THROW(mem_.free_array(a), ApiError);
   mem_.info(a).erase_pending(9);
   EXPECT_NO_THROW(mem_.free_array(a));
+}
+
+// --- per-device capacity accounting ---
+
+TEST_F(MemoryTest, OutOfMemoryIsAnApiError) {
+  // The ROADMAP contract: allocating beyond DeviceSpec memory raises an
+  // ApiError (OutOfMemoryError specializes it).
+  mem_.alloc(spec_.memory_bytes, "all");
+  EXPECT_THROW(mem_.alloc(1, "over"), ApiError);
+}
+
+class PerDeviceMemoryTest : public ::testing::Test {
+ protected:
+  static Machine small_machine() {
+    DeviceSpec a = DeviceSpec::test_device();
+    a.memory_bytes = 10000;
+    DeviceSpec b = DeviceSpec::test_device();
+    b.memory_bytes = 4000;
+    Machine m;
+    m.add_device(a);
+    m.add_device(b);
+    return m;
+  }
+  MemoryManager mem_{small_machine()};
+};
+
+TEST_F(PerDeviceMemoryTest, CapacitiesComeFromTheRoster) {
+  EXPECT_EQ(mem_.num_devices(), 2);
+  EXPECT_EQ(mem_.device_capacity(0), 10000u);
+  EXPECT_EQ(mem_.device_capacity(1), 4000u);
+  EXPECT_EQ(mem_.capacity(), 14000u);  // alloc bound: combined roster
+  EXPECT_THROW((void)mem_.device_capacity(2), ApiError);
+}
+
+TEST_F(PerDeviceMemoryTest, ChargeIsIdempotentAndTracksPeak) {
+  const ArrayId a = mem_.alloc(3000, "a");
+  ArrayInfo& info = mem_.info(a);
+  mem_.charge_residency(info, 0);
+  mem_.charge_residency(info, 0);  // idempotent
+  EXPECT_EQ(mem_.device_used_bytes(0), 3000u);
+  EXPECT_EQ(mem_.device_used_bytes(1), 0u);
+  mem_.charge_residency(info, 1);
+  EXPECT_EQ(mem_.device_used_bytes(1), 3000u);
+  EXPECT_EQ(info.resident_mask, 0b11u);
+
+  mem_.free_array(a);
+  EXPECT_EQ(mem_.device_used_bytes(0), 0u);
+  EXPECT_EQ(mem_.device_used_bytes(1), 0u);
+  // Peaks survive the free.
+  EXPECT_EQ(mem_.device_peak_bytes(0), 3000u);
+  EXPECT_EQ(mem_.device_peak_bytes(1), 3000u);
+}
+
+TEST_F(PerDeviceMemoryTest, OverCapacityMigrationRejectedCleanly) {
+  const ArrayId a = mem_.alloc(3000, "a");
+  const ArrayId b = mem_.alloc(3000, "b");
+  ArrayInfo& ia = mem_.info(a);
+  ArrayInfo& ib = mem_.info(b);
+  mem_.charge_residency(ia, 1);  // 3000 of 4000 on device 1
+  EXPECT_THROW(mem_.charge_residency(ib, 1), OutOfMemoryError);
+  // Rejected cleanly: nothing charged, mask untouched.
+  EXPECT_EQ(ib.resident_mask, 0u);
+  EXPECT_EQ(mem_.device_used_bytes(1), 3000u);
+  // The same array still fits on the larger device.
+  EXPECT_NO_THROW(mem_.charge_residency(ib, 0));
 }
 
 TEST_F(MemoryTest, ResidencyFlagsRoundTrip) {

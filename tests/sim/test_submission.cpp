@@ -1,0 +1,320 @@
+// Transactional batched ingestion: Submission / begin_transaction /
+// commit_transaction semantics, and the golden batch/per-call equivalence
+// guarantee — committing a group of same-time calls is bit-identical to
+// issuing them per call, on the pinned fixture scenarios, single- and
+// multi-device.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/synthetic.hpp"
+#include "sim_test_util.hpp"
+
+namespace psched::sim {
+namespace {
+
+using test::raw_copy;
+using test::raw_kernel;
+
+/// Exact (bit-level) timeline comparison: the batched path must group the
+/// per-call op sequence, never reorder or re-time it.
+void expect_identical(const Timeline& got, const Timeline& want) {
+  const auto& a = got.entries();
+  const auto& b = want.entries();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].op, b[i].op) << "entry " << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << "entry " << i;
+    EXPECT_EQ(a[i].stream, b[i].stream) << "entry " << i;
+    EXPECT_EQ(a[i].device, b[i].device) << "entry " << i;
+    EXPECT_EQ(a[i].name, b[i].name) << "entry " << i;
+    // Bit-identical, not merely within tolerance: both paths must execute
+    // the same arithmetic in the same order.
+    EXPECT_EQ(a[i].start, b[i].start) << "entry " << i << " (" << a[i].name
+                                      << ")";
+    EXPECT_EQ(a[i].end, b[i].end) << "entry " << i << " (" << a[i].name
+                                  << ")";
+  }
+}
+
+/// Drive the contention DAG through a Submission committed as one
+/// transaction (all items at host time 0).
+void build_contention_via_submission(Engine& eng, int n_ops, int n_streams) {
+  Submission sub;
+  emit_contention_dag(
+      eng, n_ops, n_streams,
+      [&](Op op) { sub.enqueue(std::move(op), 0); },
+      [&](EventId ev, StreamId s) { sub.record_event(ev, s, 0); },
+      [&](StreamId s, EventId ev) { sub.wait_event(s, ev, 0); });
+  eng.commit(sub);
+  EXPECT_TRUE(sub.empty());  // consumed (capacity retained)
+}
+
+// --- golden equivalence: pinned fixture scenario, single-device ---
+
+TEST(SubmissionEquivalence, ContentionDagMatchesPerCallBitExact) {
+  Engine per_call(DeviceSpec::test_device());
+  build_contention_dag(per_call, 1000, 16);  // the contention_1k fixture DAG
+  per_call.run_all();
+
+  Engine batched(DeviceSpec::test_device());
+  build_contention_via_submission(batched, 1000, 16);
+  batched.run_all();
+
+  expect_identical(batched.timeline(), per_call.timeline());
+  EXPECT_EQ(batched.solve_count(), per_call.solve_count());
+  EXPECT_EQ(batched.solved_ops(), per_call.solved_ops());
+  for (const OpKind kind :
+       {OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H, OpKind::Fault}) {
+    EXPECT_EQ(batched.class_solve_count(0, kind),
+              per_call.class_solve_count(0, kind))
+        << to_string(kind);
+  }
+}
+
+// --- golden equivalence: multi-device, including peer-link classes ---
+
+TEST(SubmissionEquivalence, MultiDeviceContentionMatchesPerCall) {
+  const Machine machine =
+      Machine::uniform(DeviceSpec::test_device(), 4, /*nvlink=*/true);
+
+  Engine per_call{Machine(machine)};
+  build_multi_device_contention_dag(per_call, 600, 12);
+  per_call.run_all();
+
+  Engine batched{Machine(machine)};
+  Submission sub;
+  {
+    // The multi-device generator issued through a submission.
+    const int n_devices = batched.num_devices();
+    for (int i = 1; i < 12; ++i) {
+      batched.create_stream(static_cast<DeviceId>(i % n_devices));
+    }
+    for (int i = 0; i < 600; ++i) {
+      const auto s = static_cast<StreamId>(i % 12);
+      const DeviceId dev = batched.stream_device(s);
+      Op op;
+      if (i % 3 == 1) {
+        if (n_devices > 1 && i % 12 == 7) {
+          op.kind = OpKind::CopyP2P;
+          op.peer = static_cast<DeviceId>((dev + n_devices - 1) % n_devices);
+        } else {
+          op.kind = (i % 6 == 1) ? OpKind::CopyH2D : OpKind::CopyD2H;
+        }
+        op.bytes = 1e4 + (i % 7) * 1e3;
+        op.work = op.bytes;
+        op.name = "cp";
+      } else if (i % 16 == 9) {
+        op.kind = OpKind::Fault;
+        op.bytes = 5e3 + (i % 5) * 1e3;
+        op.work = op.bytes;
+        op.name = "fault";
+      } else {
+        op.kind = OpKind::Kernel;
+        op.work = 5.0 + (i % 11);
+        op.sm_demand = 1 + (i % 4);
+        op.occupancy = 0.5 + 0.5 * ((i % 3) / 2.0);
+        op.bw_need = (i % 5 == 0) ? 50.0 : 0.0;
+        op.name = "k";
+      }
+      op.stream = s;
+      if (i % 8 == 7 && i > 32) {
+        const EventId ev = batched.create_event();
+        sub.record_event(ev, static_cast<StreamId>((i - 1) % 12), 0);
+        sub.wait_event(s, ev, 0);
+      }
+      sub.enqueue(std::move(op), 0);
+    }
+  }
+  batched.commit(sub);
+  batched.run_all();
+
+  expect_identical(batched.timeline(), per_call.timeline());
+  for (DeviceId d = 0; d < 4; ++d) {
+    for (const OpKind kind :
+         {OpKind::Kernel, OpKind::CopyH2D, OpKind::CopyD2H, OpKind::Fault}) {
+      EXPECT_EQ(batched.class_solve_count(d, kind),
+                per_call.class_solve_count(d, kind))
+          << "device " << d << " " << to_string(kind);
+    }
+  }
+  for (DeviceId s = 0; s < 4; ++s) {
+    for (DeviceId d = 0; d < 4; ++d) {
+      EXPECT_EQ(batched.link_solve_count(s, d),
+                per_call.link_solve_count(s, d));
+    }
+  }
+}
+
+// --- transaction semantics ---
+
+TEST(Transaction, IdsAssignedInOrderAndOpsFrozenUntilCommit) {
+  Engine eng(DeviceSpec::test_device());
+  const StreamId s1 = eng.create_stream();
+  eng.begin_transaction(0);
+  EXPECT_TRUE(eng.in_transaction());
+  const OpId a = eng.enqueue(raw_kernel(kDefaultStream, 10, 2, 1.0), 0);
+  const OpId b = eng.enqueue(raw_kernel(s1, 10, 2, 1.0), 0);
+  EXPECT_EQ(b, a + 1);
+  // Frozen: ingested but nothing started.
+  EXPECT_EQ(eng.op(a).state, OpState::Queued);
+  // Time control is rejected while the transaction is open.
+  EXPECT_THROW(eng.advance_to(1), ApiError);
+  EXPECT_THROW((void)eng.run_all(), ApiError);
+  EXPECT_THROW((void)eng.run_until_op_done(a), ApiError);
+  EXPECT_THROW((void)eng.run_until_stream_idle(s1), ApiError);
+  EXPECT_THROW(eng.begin_transaction(0), ApiError);  // no nesting
+  EXPECT_EQ(eng.commit_transaction(), 2u);
+  EXPECT_FALSE(eng.in_transaction());
+  eng.run_all();
+  EXPECT_TRUE(eng.op_done(a));
+  EXPECT_TRUE(eng.op_done(b));
+}
+
+TEST(Transaction, CommitWithoutBeginThrows) {
+  Engine eng(DeviceSpec::test_device());
+  EXPECT_THROW((void)eng.commit_transaction(), ApiError);
+}
+
+TEST(Transaction, StaggeredHostTimesReplayPerCallIssueTiming) {
+  // A transaction whose items carry increasing host times starts each op
+  // at its issue time, exactly like per-call issue with interleaved
+  // advances (the command-buffer-flush semantics).
+  Engine per_call(DeviceSpec::test_device());
+  const StreamId pc_s1 = per_call.create_stream();
+  per_call.advance_to(5);
+  per_call.enqueue(raw_kernel(kDefaultStream, 10, 4, 1.0), 5);
+  per_call.advance_to(20);
+  per_call.enqueue(raw_kernel(pc_s1, 10, 4, 1.0), 20);
+  per_call.run_all();
+
+  Engine batched(DeviceSpec::test_device());
+  const StreamId ba_s1 = batched.create_stream();
+  batched.begin_transaction(5);
+  batched.enqueue(raw_kernel(kDefaultStream, 10, 4, 1.0), 5);
+  batched.enqueue(raw_kernel(ba_s1, 10, 4, 1.0), 20);
+  batched.commit_transaction();
+  batched.run_all();
+
+  expect_identical(batched.timeline(), per_call.timeline());
+  EXPECT_EQ(batched.timeline().entries()[0].start, 5.0);
+  EXPECT_EQ(batched.timeline().entries()[1].start, 20.0);
+}
+
+// --- Submission builder semantics ---
+
+TEST(Submission, CommitReturnsIdsInSubmissionOrder) {
+  Engine eng(DeviceSpec::test_device());
+  const StreamId s1 = eng.create_stream();
+  const EventId ev = eng.create_event();
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  sub.record_event(ev, kDefaultStream, 0);
+  sub.wait_event(s1, ev, 0);  // lowered to a marker op: consumes an id
+  sub.enqueue(raw_kernel(s1, 5, 2, 1.0), 0);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub.num_ops(), 3u);
+  const std::vector<OpId> ids = eng.commit(sub);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], ids[0] + 1);
+  EXPECT_EQ(ids[2], ids[1] + 1);
+  eng.run_all();
+  EXPECT_TRUE(eng.op_done(ids[2]));
+}
+
+TEST(Submission, BindRunsWithAssignedIdBeforeOpCanStart) {
+  Engine eng(DeviceSpec::test_device());
+  Submission sub;
+  OpId seen = kInvalidOp;
+  bool completed = false;
+  // A zero-work marker completes inside the committing advance; the bind
+  // hook must run first so set_on_complete attaches in time.
+  Op marker;
+  marker.kind = OpKind::Marker;
+  marker.stream = kDefaultStream;
+  marker.work = 0;
+  sub.enqueue(std::move(marker), 0, [&](Engine& e, OpId id) {
+    seen = id;
+    EXPECT_FALSE(e.op_done(id));
+    e.set_on_complete(id, [&completed] { completed = true; });
+  });
+  const std::vector<OpId> ids = eng.commit(sub);
+  EXPECT_EQ(seen, ids.front());
+  EXPECT_TRUE(completed);  // marker completed during the commit
+}
+
+TEST(Submission, AtomicValidationRejectsWholeSubmission) {
+  Engine eng(DeviceSpec::test_device());
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  sub.enqueue(raw_kernel(99, 5, 2, 1.0), 0);  // invalid stream
+  EXPECT_THROW((void)eng.commit(sub), ApiError);
+  // Nothing was applied: the engine is untouched and idle.
+  EXPECT_TRUE(eng.all_idle());
+  EXPECT_EQ(eng.run_all(), 0.0);
+}
+
+TEST(Submission, NonMonotoneHostTimesRejected) {
+  Engine eng(DeviceSpec::test_device());
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 10);
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 5);
+  EXPECT_THROW((void)eng.commit(sub), ApiError);
+  EXPECT_TRUE(eng.all_idle());
+}
+
+TEST(Submission, P2PValidationAppliesAtCommit) {
+  Engine eng(Machine::uniform(DeviceSpec::test_device(), 2, true));
+  const StreamId s1 = eng.create_stream(1);
+  Submission sub;
+  Op bad = raw_copy(s1, OpKind::CopyP2P, 1e4, "p2p");
+  bad.peer = 1;  // equals destination device
+  sub.enqueue(std::move(bad), 0);
+  EXPECT_THROW((void)eng.commit(sub), ApiError);
+  EXPECT_TRUE(eng.all_idle());
+}
+
+TEST(Submission, CommitDuringOpenTransactionRejectsSubmissionIntact) {
+  Engine eng(DeviceSpec::test_device());
+  eng.begin_transaction(0);
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  // Atomic rejection: the submission keeps its items (nothing drained).
+  EXPECT_THROW((void)eng.commit(sub), ApiError);
+  EXPECT_EQ(sub.num_ops(), 1u);
+  EXPECT_EQ(eng.commit_transaction(), 0u);
+  // After the transaction closes the same submission commits normally.
+  const auto ids = eng.commit(sub);
+  ASSERT_EQ(ids.size(), 1u);
+  eng.run_all();
+  EXPECT_TRUE(eng.op_done(ids.front()));
+}
+
+TEST(Submission, EmptyCommitIsNoop) {
+  Engine eng(DeviceSpec::test_device());
+  Submission sub;
+  EXPECT_TRUE(eng.commit(sub).empty());
+  EXPECT_TRUE(eng.all_idle());
+}
+
+// --- batched solver-work amortization ---
+
+TEST(Transaction, BatchDirtiesEachClassOncePerCommit) {
+  // 32 same-time kernels through one transaction: the kernel class is
+  // re-solved once for the whole batch at the first step, not once per
+  // ingested op.
+  Engine eng(DeviceSpec::test_device());
+  for (int i = 1; i < 32; ++i) eng.create_stream();
+  eng.begin_transaction(0);
+  for (int i = 0; i < 32; ++i) {
+    eng.enqueue(raw_kernel(static_cast<StreamId>(i), 100, 1, 0.5), 0);
+  }
+  eng.commit_transaction();
+  eng.advance_to(1);  // everything started and priced
+  EXPECT_EQ(eng.class_solve_count(0, OpKind::Kernel), 1);
+}
+
+}  // namespace
+}  // namespace psched::sim
