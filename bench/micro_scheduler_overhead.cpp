@@ -273,6 +273,72 @@ EngineCoreMetrics measure_ingest_batched(int n_ops, int n_streams, int reps,
   return m;
 }
 
+// ---------------------------------------------------------------------
+// Oversubscription sweep: the same streamed workload with its working set
+// scaled to {0.5, 1, 1.5, 2}x device capacity. Under-capacity ratios run
+// eviction-free; over-capacity ratios thrash — every round re-faults what
+// the previous round paged out, and the LRU write-backs ride the D2H DMA
+// class. Rows record evicted bytes and fault-op counts alongside host
+// throughput, so the cost of memory pressure is tracked run over run.
+// ---------------------------------------------------------------------
+
+struct OversubMetrics {
+  double ratio = 0;
+  double working_set_bytes = 0;
+  double ops_per_sec = 0;
+  double makespan_us = 0;
+  double bytes_evicted = 0;
+  double bytes_faulted = 0;
+  long evict_ops = 0;
+  long fault_ops = 0;
+};
+
+OversubMetrics measure_oversubscription(double ratio, int reps, bool smoke) {
+  const std::size_t cap = smoke ? (8ull << 20) : (64ull << 20);
+  sim::DeviceSpec spec = sim::DeviceSpec::test_device();
+  spec.memory_bytes = cap;
+  const int n_arrays = 8;
+  const int rounds = smoke ? 2 : 4;
+  const auto bytes_per_array = static_cast<std::size_t>(
+      ratio * static_cast<double>(cap) / n_arrays);
+  OversubMetrics m;
+  m.ratio = ratio;
+  m.working_set_bytes = static_cast<double>(bytes_per_array) * n_arrays;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    sim::GpuRuntime rt(sim::Machine::single(spec));
+    std::vector<sim::ArrayId> arrays;
+    for (int i = 0; i < n_arrays; ++i) {
+      arrays.push_back(rt.alloc(bytes_per_array, "w" + std::to_string(i)));
+      rt.host_write(arrays.back());
+    }
+    sim::LaunchSpec k;
+    k.name = "touch";
+    k.config = sim::LaunchConfig::linear(16, 128);
+    k.profile.flops_sp = 1e6;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < rounds; ++r) {
+      for (const sim::ArrayId a : arrays) {
+        // Read+write every pass: victims always carry the only current
+        // copy, so page-outs are priced write-backs, not free drops.
+        k.arrays = {{a, true}};
+        rt.launch(sim::kDefaultStream, k);
+        rt.synchronize_device();
+      }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0) continue;  // warm-up
+    const double n_ops = static_cast<double>(rounds) * n_arrays;
+    m.ops_per_sec = std::max(m.ops_per_sec, n_ops / sec);
+    m.makespan_us = rt.now();
+    m.bytes_evicted = static_cast<double>(rt.bytes_evicted());
+    m.bytes_faulted = rt.bytes_faulted();
+    m.evict_ops = rt.evict_ops();
+    m.fault_ops = rt.fault_ops();
+  }
+  return m;
+}
+
 /// DAG-shape axis: bulk-build one shape, drain it, report throughput.
 EngineCoreMetrics measure_shape(sim::DagShape shape, int n_ops, int n_streams,
                                 int reps) {
@@ -406,6 +472,33 @@ void write_bench_json(const char* path, bool smoke) {
                    s.ops_per_sec, s.solves_per_op, s.solved_ops_per_op,
                    s.makespan_us);
       first_shape = false;
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  // Oversubscription sweep: working set {0.5, 1, 1.5, 2}x device
+  // capacity through the paged unified-memory runtime. Over-capacity
+  // ratios must complete with nonzero evicted bytes and no OOM.
+  std::fprintf(f, "  \"oversubscription\": [\n");
+  {
+    const double ratios[] = {0.5, 1.0, 1.5, 2.0};
+    bool first_ratio = true;
+    for (const double ratio : ratios) {
+      const OversubMetrics o = measure_oversubscription(ratio, reps, smoke);
+      std::fprintf(f,
+                   "%s    {\"scenario\": \"oversubscription\", "
+                   "\"ratio\": %.1f, \"working_set_bytes\": %.0f, "
+                   "\"ops_per_sec\": %.0f, \"bytes_evicted\": %.0f, "
+                   "\"bytes_faulted\": %.0f, \"evict_ops\": %ld, "
+                   "\"fault_ops\": %ld, \"makespan_us\": %.6f}",
+                   first_ratio ? "" : ",\n", o.ratio, o.working_set_bytes,
+                   o.ops_per_sec, o.bytes_evicted, o.bytes_faulted,
+                   o.evict_ops, o.fault_ops, o.makespan_us);
+      first_ratio = false;
+      std::printf("oversubscription %.1fx: %.0f ops/s, %.0f MB evicted, "
+                  "%ld evict ops, %ld fault ops\n",
+                  o.ratio, o.ops_per_sec, o.bytes_evicted / 1e6, o.evict_ops,
+                  o.fault_ops);
     }
   }
   std::fprintf(f, "\n  ],\n");

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Bench ratchet: diff a fresh BENCH_scheduler.json against the reference.
+
+Usage:
+    scripts/bench_check.py <fresh.json> [reference.json] [--tolerance 0.20]
+
+Compares the headline throughput rows of a fresh benchmark run against the
+repo's committed reference (BENCH_scheduler.json at the repo root by
+default) and exits nonzero when any headline regresses by more than the
+tolerance (default 20%). Higher-is-better rows only; makespans and solver
+counters are informational. Also validates completeness: the fresh run must
+carry every section the reference does (sweep, ingest_pair, shapes,
+oversubscription, million_op), so a silently skipped axis fails the gate.
+
+The `bench-ratchet` CMake target wires this as:
+    cmake --build build --target bench bench-ratchet
+
+Throughput is host-dependent: the gate is meant for run-over-run
+comparisons on one machine (CI runner, dev box), not cross-host ones.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def headline_rows(doc):
+    """Yield (label, ops_per_sec) for every ratcheted row of a bench doc."""
+    yield ("contention_dag (headline)", doc["ops_per_sec"])
+    for row in doc.get("sweep", []):
+        label = "sweep streams={} devices={}".format(
+            row["n_streams"], row["n_devices"])
+        yield (label, row["ops_per_sec"])
+    pair = doc.get("ingest_pair", {})
+    if pair:
+        yield ("ingest_pair per_call", pair["per_call"]["ops_per_sec"])
+        yield ("ingest_pair batched", pair["batched"]["ops_per_sec"])
+    for row in doc.get("shapes", []):
+        yield (row["scenario"], row["ops_per_sec"])
+    for row in doc.get("oversubscription", []):
+        yield ("oversubscription {}x".format(row["ratio"]),
+               row["ops_per_sec"])
+    if "million_op" in doc:
+        yield ("million_op", doc["million_op"]["ops_per_sec"])
+
+
+def check_oversubscription(doc):
+    """The paged-UM acceptance facts the bench must reproduce."""
+    rows = doc.get("oversubscription", [])
+    errors = []
+    if len(rows) < 4:
+        errors.append("oversubscription sweep incomplete: {} rows, want 4"
+                      .format(len(rows)))
+        return errors
+    for row in rows:
+        ratio = row["ratio"]
+        if ratio <= 1.0 and row["bytes_evicted"] != 0:
+            errors.append(
+                "ratio {}x evicted {} bytes; under-capacity runs must be "
+                "eviction-free".format(ratio, row["bytes_evicted"]))
+        if ratio > 1.0 and row["bytes_evicted"] <= 0:
+            errors.append(
+                "ratio {}x evicted nothing; oversubscription must page out"
+                .format(ratio))
+        if ratio > 1.0 and row["evict_ops"] <= 0:
+            errors.append(
+                "ratio {}x issued no eviction write-backs".format(ratio))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly generated BENCH_scheduler.json")
+    parser.add_argument("reference", nargs="?",
+                        default=str(pathlib.Path(__file__).resolve()
+                                    .parent.parent / "BENCH_scheduler.json"),
+                        help="committed reference (default: repo root)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+    with open(args.reference) as f:
+        ref = json.load(f)
+
+    fresh_rows = dict(headline_rows(fresh))
+    failures = []
+    for label, ref_ops in headline_rows(ref):
+        if label not in fresh_rows:
+            failures.append("missing row: {}".format(label))
+            continue
+        got = fresh_rows[label]
+        floor = ref_ops * (1.0 - args.tolerance)
+        status = "ok" if got >= floor else "REGRESSION"
+        print("{:38s} ref {:>12.0f}  got {:>12.0f}  ({:+6.1%})  {}".format(
+            label, ref_ops, got, (got - ref_ops) / ref_ops, status))
+        if got < floor:
+            failures.append(
+                "{}: {:.0f} ops/s < {:.0f} (ref {:.0f} - {:.0%})".format(
+                    label, got, floor, ref_ops, args.tolerance))
+
+    failures.extend(check_oversubscription(fresh))
+
+    if failures:
+        print("\nbench_check FAILED:")
+        for msg in failures:
+            print("  - " + msg)
+        return 1
+    print("\nbench_check passed: {} headline rows within {:.0%} of reference"
+          .format(len(fresh_rows), args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

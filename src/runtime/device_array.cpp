@@ -63,6 +63,21 @@ std::uint32_t DeviceArray::residency_mask() const {
   return state_->ctx->gpu().memory().info(state_->sim_id).fresh_mask;
 }
 
+void DeviceArray::pin(sim::DeviceId d) {
+  check_valid();
+  state_->ctx->pin(*this, d);
+}
+
+void DeviceArray::unpin(sim::DeviceId d) {
+  check_valid();
+  state_->ctx->unpin(*this, d);
+}
+
+std::size_t DeviceArray::advise_evict(sim::DeviceId d) {
+  check_valid();
+  return state_->ctx->advise_evict(*this, d);
+}
+
 void DeviceArray::touch_read() const {
   check_valid();
   host_read_hook();

@@ -91,6 +91,16 @@ class DeviceArray {
   /// Devices currently holding a fresh copy, as a bit mask (bit d).
   [[nodiscard]] std::uint32_t residency_mask() const;
 
+  // --- unified-memory advice (oversubscription control) ---
+  /// Pin the array's pages on `d`: exempt from LRU eviction until
+  /// unpinned. Advice only — pinning does not migrate or charge pages.
+  void pin(sim::DeviceId d = 0);
+  void unpin(sim::DeviceId d = 0);
+  /// Voluntarily page the array out of `d` now; pages whose only current
+  /// copy lives there are written back over the D2H DMA class. Returns the
+  /// bytes released (0 if the array has in-flight device work).
+  std::size_t advise_evict(sim::DeviceId d = 0);
+
   [[nodiscard]] ArrayState* state() const { return state_.get(); }
   [[nodiscard]] std::shared_ptr<ArrayState> shared_state() const {
     return state_;

@@ -357,6 +357,27 @@ void Context::wait_for(Computation& c) {
   sweep_finished();
 }
 
+std::size_t Context::advise_evict(DeviceArray& a, sim::DeviceId d) {
+  if (!a.valid()) throw sim::ApiError("advise_evict: empty array handle");
+  // Retire finished computations first so quiescent arrays are actually
+  // seen as quiescent (GpuRuntime skips arrays with in-flight ops).
+  gpu_->poll();
+  sweep_finished();
+  const std::size_t freed = gpu_->advise_evict(a.state()->sim_id, d);
+  if (freed > 0) ++stats_.advised_evictions;
+  return freed;
+}
+
+void Context::pin(DeviceArray& a, sim::DeviceId d) {
+  if (!a.valid()) throw sim::ApiError("pin: empty array handle");
+  gpu_->advise_pin(a.state()->sim_id, d);
+}
+
+void Context::unpin(DeviceArray& a, sim::DeviceId d) {
+  if (!a.valid()) throw sim::ApiError("unpin: empty array handle");
+  gpu_->advise_unpin(a.state()->sim_id, d);
+}
+
 void Context::sweep_finished() {
   std::erase_if(active_, [this](Computation* c) {
     if (c->state == Computation::State::Scheduled &&

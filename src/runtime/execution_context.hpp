@@ -82,6 +82,7 @@ struct ContextStats {
   long devices_used = 0;  ///< distinct devices computations were placed on
   long batch_commits = 0;  ///< engine transactions the batch path committed
   long batched_ops = 0;    ///< ops those transactions carried
+  long advised_evictions = 0;  ///< advise_evict calls that released pages
 };
 
 class Context {
@@ -116,6 +117,14 @@ class Context {
   // --- synchronization ---
   /// Drain the whole device and retire every active computation.
   void synchronize();
+
+  // --- unified-memory advice (oversubscription control) ---
+  /// Voluntarily page `a` out of device `d`; arrays with in-flight
+  /// computations are left untouched. Returns the bytes released.
+  std::size_t advise_evict(DeviceArray& a, sim::DeviceId d = 0);
+  /// Pin / unpin `a`'s pages on `d` (exempt from LRU eviction).
+  void pin(DeviceArray& a, sim::DeviceId d = 0);
+  void unpin(DeviceArray& a, sim::DeviceId d = 0);
 
   // --- introspection ---
   [[nodiscard]] const Options& options() const { return opts_; }

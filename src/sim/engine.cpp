@@ -24,9 +24,17 @@ TimeUs completion_tol(TimeUs now) { return std::max(1e-6, 1e-9 * now); }
 
 }  // namespace
 
+namespace {
+std::uint64_t next_engine_gen() {
+  static std::uint64_t counter = 0;
+  return ++counter;
+}
+}  // namespace
+
 Engine::Engine(DeviceSpec spec) : Engine(Machine::single(std::move(spec))) {}
 
-Engine::Engine(Machine machine) : machine_(std::move(machine)) {
+Engine::Engine(Machine machine)
+    : gen_(next_engine_gen()), machine_(std::move(machine)) {
   if (machine_.num_devices() < 1) {
     throw ApiError("Engine: machine roster is empty");
   }
@@ -213,15 +221,19 @@ void Engine::set_on_complete(OpId op, std::function<void()> fn) {
   slab_[static_cast<std::size_t>(rec.slot)].on_complete = std::move(fn);
 }
 
-void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
-  check_event_id(event, "wait_event");
+Op Engine::make_wait_marker(StreamId stream, EventId event) {
   Op marker;
   marker.kind = OpKind::Marker;
   marker.stream = stream;
   marker.name = "wait_event";
   marker.work = 0;
   marker.waits.push_back(event);
-  enqueue(std::move(marker), host_time);
+  return marker;
+}
+
+void Engine::wait_event(StreamId stream, EventId event, TimeUs host_time) {
+  check_event_id(event, "wait_event");
+  enqueue(make_wait_marker(stream, event), host_time);
 }
 
 void Submission::enqueue(Op op, TimeUs host_time, BindFn bind) {
@@ -232,6 +244,7 @@ void Submission::enqueue(Op op, TimeUs host_time, BindFn bind) {
   item.host_time = host_time;
   items_.push_back(std::move(item));
   ++num_ops_;
+  sealed_gen_ = 0;  // mutation: the next commit re-validates
 }
 
 void Submission::record_event(EventId event, StreamId stream,
@@ -242,6 +255,7 @@ void Submission::record_event(EventId event, StreamId stream,
   item.stream = stream;
   item.host_time = host_time;
   items_.push_back(std::move(item));
+  sealed_gen_ = 0;
 }
 
 void Submission::wait_event(StreamId stream, EventId event, TimeUs host_time) {
@@ -252,6 +266,7 @@ void Submission::wait_event(StreamId stream, EventId event, TimeUs host_time) {
   item.host_time = host_time;
   items_.push_back(std::move(item));
   ++num_ops_;  // lowered to a wait-marker op: consumes an op id
+  sealed_gen_ = 0;
 }
 
 void Engine::begin_transaction(TimeUs host_time) {
@@ -281,19 +296,9 @@ std::size_t Engine::commit_transaction() {
   return n;
 }
 
-std::vector<OpId> Engine::commit(Submission& sub) {
-  std::vector<OpId> ids;
-  ids.reserve(sub.num_ops_);
-  if (sub.items_.empty()) return ids;
-
-  // Atomic pre-pass: reject the whole submission before touching any
-  // engine state (including the open-transaction check begin_transaction
-  // would otherwise hit after the items were already drained). Host times
-  // replay a host call sequence, so they must be non-decreasing; every
-  // item must reference valid streams/events.
-  if (txn_open_) {
-    throw ApiError("commit: a transaction is already open");
-  }
+void Engine::validate_submission(const Submission& sub) const {
+  // Host times replay a host call sequence, so they must be
+  // non-decreasing; every item must reference valid streams/events.
   TimeUs prev = sub.items_.front().host_time;
   for (const Submission::Item& item : sub.items_) {
     if (item.host_time < prev) {
@@ -314,6 +319,21 @@ std::vector<OpId> Engine::commit(Submission& sub) {
         break;
     }
   }
+  ++sub.validations_;
+}
+
+std::vector<OpId> Engine::commit(Submission& sub) {
+  std::vector<OpId> ids;
+  ids.reserve(sub.num_ops_);
+  if (sub.items_.empty()) return ids;
+
+  // Atomic pre-pass: reject the whole submission before touching any
+  // engine state (including the open-transaction check begin_transaction
+  // would otherwise hit after the items were already drained).
+  if (txn_open_) {
+    throw ApiError("commit: a transaction is already open");
+  }
+  validate_submission(sub);
 
   // The items are moved out before anything is applied: zero-work ops
   // complete inside the committing advance and their callbacks may
@@ -335,18 +355,12 @@ std::vector<OpId> Engine::commit(Submission& sub) {
       case Submission::ItemKind::Record:
         record_event(item.event, item.stream, item.host_time);
         break;
-      case Submission::ItemKind::Wait: {
+      case Submission::ItemKind::Wait:
         // Inline wait_event so the marker's id lands in `ids` like any
         // other enqueued op.
-        Op marker;
-        marker.kind = OpKind::Marker;
-        marker.stream = item.stream;
-        marker.name = "wait_event";
-        marker.work = 0;
-        marker.waits.push_back(item.event);
-        ids.push_back(enqueue(std::move(marker), item.host_time));
+        ids.push_back(
+            enqueue(make_wait_marker(item.stream, item.event), item.host_time));
         break;
-      }
     }
   }
   commit_transaction();
@@ -357,6 +371,56 @@ std::vector<OpId> Engine::commit(Submission& sub) {
     sub.items_ = std::move(items);
   }
   return ids;
+}
+
+std::size_t Engine::apply_submission(const Submission& sub) {
+  // A recorded list replayed against the engine that sealed it skips the
+  // validation pre-pass: nothing it references can have disappeared
+  // (streams and events only ever grow) and the list is unchanged.
+  if (sub.sealed_gen_ != gen_) {
+    validate_submission(sub);
+    sub.sealed_gen_ = gen_;
+  }
+  // Index-based: zero-work items can complete inside the bracketing
+  // commit and their callbacks may re-enter the engine (but must not
+  // mutate `sub`).
+  for (std::size_t i = 0; i < sub.items_.size(); ++i) {
+    const Submission::Item& item = sub.items_[i];
+    switch (item.kind) {
+      case Submission::ItemKind::Enqueue: {
+        Op op = item.op;  // replayed by copy: the recording stays intact
+        const OpId id = enqueue(std::move(op), item.host_time);
+        if (item.bind) item.bind(*this, id);
+        break;
+      }
+      case Submission::ItemKind::Record:
+        record_event(item.event, item.stream, item.host_time);
+        break;
+      case Submission::ItemKind::Wait:
+        enqueue(make_wait_marker(item.stream, item.event), item.host_time);
+        break;
+    }
+  }
+  return sub.num_ops_;
+}
+
+std::size_t Engine::commit(const Submission& sub) {
+  if (sub.items_.empty()) return 0;
+  if (txn_open_) {
+    throw ApiError("commit: a transaction is already open");
+  }
+  begin_transaction(sub.items_.front().host_time);
+  const std::size_t n = apply_submission(sub);
+  commit_transaction();
+  return n;
+}
+
+std::size_t Engine::ingest(const Submission& sub) {
+  if (!txn_open_) {
+    throw ApiError("ingest: no open transaction (begin_transaction first)");
+  }
+  if (sub.items_.empty()) return 0;
+  return apply_submission(sub);
 }
 
 bool Engine::stream_idle(StreamId stream) const {

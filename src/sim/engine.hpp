@@ -80,12 +80,30 @@ class Submission {
   /// Pre-size the item buffer (ops are buffered by value; reserving spares
   /// the growth reallocations of a large transaction).
   void reserve(std::size_t items) { items_.reserve(items); }
+  /// Drop every recorded item (buffer capacity retained) and unseal.
+  /// Used to discard a partial recording after a failed capture.
+  void clear() {
+    items_.clear();
+    num_ops_ = 0;
+    sealed_gen_ = 0;
+  }
 
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
   /// Number of enqueue items (excludes records; waits count — they become
   /// marker ops and consume op ids).
   [[nodiscard]] std::size_t num_ops() const { return num_ops_; }
+
+  // --- replay introspection (recorded, re-committable lists) ---
+  /// True once a const-view Engine::commit validated this list; replays
+  /// against the same engine skip re-validation. Any mutation unseals.
+  [[nodiscard]] bool sealed() const { return sealed_gen_ != 0; }
+  /// How many validation passes engines have run over this list (a sealed
+  /// list re-committed N times stays at 1).
+  [[nodiscard]] long validations() const { return validations_; }
+  /// Identity of the recorded item buffer: replayed commits must neither
+  /// drain nor reallocate it (asserted by the replay tests).
+  [[nodiscard]] const void* buffer_id() const { return items_.data(); }
 
  private:
   friend class Engine;
@@ -100,6 +118,13 @@ class Submission {
   };
   std::vector<Item> items_;
   std::size_t num_ops_ = 0;
+  /// Generation id of the engine whose const-commit validated this list
+  /// (0 = unsealed). Engine topology only grows, so a sealed list stays
+  /// valid until the list itself changes; the id (unique per engine
+  /// instance, never reused) — not the engine's address — keys the seal,
+  /// so an engine reconstructed at the same address cannot inherit it.
+  mutable std::uint64_t sealed_gen_ = 0;
+  mutable long validations_ = 0;
 };
 
 class Engine {
@@ -156,6 +181,19 @@ class Engine {
   /// capacity for reuse.
   std::vector<OpId> commit(Submission& sub);
   std::vector<OpId> commit(Submission&& sub) { return commit(sub); }
+  /// Commit a *recorded* submission without consuming it: the list is
+  /// validated once (sealed; replays against the same engine skip the
+  /// pre-pass), the items are applied by copy in recorded order, and the
+  /// buffer is left intact for the next replay — no draining, no
+  /// reallocation, no per-replay ids vector. Binds rerun with the freshly
+  /// assigned ids. Returns the number of ops committed. The submission
+  /// must not be mutated re-entrantly from completion callbacks.
+  std::size_t commit(const Submission& sub);
+  /// Apply a recorded submission *into the open transaction* (throws
+  /// ApiError without one): the replay path of a batch join — items
+  /// ingest like any other in-transaction calls and start at the batch's
+  /// commit. Same sealing/copy semantics as the const commit.
+  std::size_t ingest(const Submission& sub);
   /// Attach/replace the completion callback of a not-yet-completed op.
   void set_on_complete(OpId op, std::function<void()> fn);
   /// Register an observer fired whenever a stream's FIFO drains; returns a
@@ -301,6 +339,14 @@ class Engine {
   /// Shared enqueue validation (throws ApiError): stream range and CopyP2P
   /// peer constraints. Used by enqueue() and by commit()'s atomic pre-pass.
   void check_enqueueable(const Op& op) const;
+  /// Atomic pre-pass shared by both commit flavours: per-item validation
+  /// plus non-decreasing host times. Throws ApiError; touches no state.
+  void validate_submission(const Submission& sub) const;
+  /// Validate-or-skip (sealing) plus the item-apply loop shared by the
+  /// const commit and ingest(); the caller brackets the transaction.
+  std::size_t apply_submission(const Submission& sub);
+  /// The wait_event lowering: one zero-work marker gated on `event`.
+  [[nodiscard]] static Op make_wait_marker(StreamId stream, EventId event);
   void check_event_id(EventId event, const char* who) const;
   void check_stream_id(StreamId stream, const char* who) const;
 
@@ -352,6 +398,10 @@ class Engine {
   /// steps that neither advance the clock nor complete an op.
   void note_progress(bool advanced);
 
+  /// Unique per engine instance (monotone process-wide counter, assigned
+  /// at construction, never reused): keys Submission seals so an engine
+  /// reconstructed at a dead engine's address cannot inherit one.
+  const std::uint64_t gen_;
   Machine machine_;
   std::vector<ResourceModel> models_;  ///< one per roster device
   Timeline timeline_;

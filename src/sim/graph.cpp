@@ -164,12 +164,49 @@ TaskGraph::Exec TaskGraph::instantiate(GpuRuntime& rt) const {
 
 void TaskGraph::Exec::launch(GpuRuntime& rt, TaskGraph::Replay replay) {
   rt.host_advance(TaskGraph::kLaunchUs);
+  // Recorded relaunch: the first Recorded launch captured the lowered op
+  // list; later launches re-commit it verbatim as one transaction (sealed
+  // validation is skipped, the list is neither rebuilt nor reallocated).
+  if (replay == TaskGraph::Replay::Recorded && recorded_valid_) {
+    rt.replay(recorded_);
+    return;
+  }
+  const bool record = replay == TaskGraph::Replay::Recorded;
   // Batched replay: everything below appends to one open submission and
   // reaches the engine in a single transaction at commit. Joins an already
-  // open batch rather than nesting.
+  // open batch rather than nesting. Recording tees the same batched
+  // lowering into the Exec's submission.
   const bool own_batch =
       replay == TaskGraph::Replay::Batched && !rt.submitting();
-  if (own_batch) rt.begin_submit();
+  if (record) {
+    rt.begin_record(recorded_);
+  } else if (own_batch) {
+    rt.begin_submit();
+  }
+  // A throwing lowering (e.g. a node whose working set exceeds the
+  // device) must not leave the runtime recording into this Exec — the
+  // pointer would dangle past the Exec's lifetime and every later async
+  // call would tee into a half-built list. Detach and discard the partial
+  // recording; ops already issued stay in the open batch and flush at the
+  // next observation point (same recovery as an interrupted plain batch).
+  try {
+    lower_nodes(rt);
+  } catch (...) {
+    if (record) {
+      rt.abort_record();
+      recorded_.clear();
+    }
+    throw;
+  }
+  if (record) {
+    rt.end_record();
+    recorded_valid_ = true;
+  } else if (own_batch) {
+    rt.commit();
+  }
+}
+
+void TaskGraph::Exec::lower_nodes(GpuRuntime& rt) {
   const auto& nodes = *nodes_;
   // Per-launch events for cross-stream edges.
   std::vector<EventId> done_event(nodes.size(), kInvalidEvent);
@@ -210,7 +247,6 @@ void TaskGraph::Exec::launch(GpuRuntime& rt, TaskGraph::Replay replay) {
       done_event[static_cast<std::size_t>(v)] = e;
     }
   }
-  if (own_batch) rt.commit();
 }
 
 }  // namespace psched::sim

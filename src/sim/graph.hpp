@@ -69,6 +69,13 @@ class TaskGraph {
     /// Node-by-node replay through the per-call API (kept for batched /
     /// per-call equivalence tests and host-overhead cost studies).
     PerCall,
+    /// First launch runs the batched path while recording the lowered op
+    /// list into the Exec; every later launch re-commits that recorded
+    /// list verbatim — no re-validation, no re-lowering, no reallocation
+    /// on the submission path (CUDA Graphs' static relaunch). Staging
+    /// decisions are frozen at record time: keep the graph's arrays alive,
+    /// and pinned if the device is oversubscribed.
+    Recorded,
   };
 
   /// Instantiated, executable graph bound to static internal streams.
@@ -85,13 +92,20 @@ class TaskGraph {
     [[nodiscard]] StreamId stream_of(NodeId n) const {
       return streams_[static_cast<std::size_t>(assignment_[static_cast<std::size_t>(n)])];
     }
+    /// The op list the first Recorded launch captured (empty before it).
+    [[nodiscard]] const Submission& recording() const { return recorded_; }
+    [[nodiscard]] bool has_recording() const { return recorded_valid_; }
 
    private:
     friend class TaskGraph;
+    /// Replay every node through the runtime (the body of launch()).
+    void lower_nodes(GpuRuntime& rt);
     std::shared_ptr<const std::vector<Node>> nodes_;
     std::vector<NodeId> topo_order_;
     std::vector<int> assignment_;    // node -> index into streams_
     std::vector<StreamId> streams_;  // internal streams (created on demand)
+    Submission recorded_;            // Replay::Recorded capture
+    bool recorded_valid_ = false;
   };
 
   /// Validate (throws ApiError on cycles / bad edges) and bind to runtime.

@@ -4,20 +4,28 @@
 
 namespace psched::sim {
 
-MemoryManager::MemoryManager(const Machine& machine) {
+MemoryManager::MemoryManager(const Machine& machine, std::size_t page_bytes,
+                             std::size_t host_heap_bytes)
+    : page_bytes_(page_bytes) {
   const int ndev = machine.num_devices();
   if (ndev < 1) throw ApiError("MemoryManager: machine roster is empty");
+  if (page_bytes_ == 0) throw ApiError("MemoryManager: zero page size");
   device_capacity_.reserve(static_cast<std::size_t>(ndev));
   for (DeviceId d = 0; d < ndev; ++d) {
     device_capacity_.push_back(machine.device(d).memory_bytes);
   }
   device_used_.assign(static_cast<std::size_t>(ndev), 0);
   device_peak_.assign(static_cast<std::size_t>(ndev), 0);
-  // Managed (logical) capacity: the roster's combined device memory — a
-  // single-GPU machine keeps the legacy "managed heap = device memory"
-  // bound, a multi-GPU roster can hold one working set per device.
+  device_evicted_.assign(static_cast<std::size_t>(ndev), 0);
+  device_writeback_.assign(static_cast<std::size_t>(ndev), 0);
+  device_evictions_.assign(static_cast<std::size_t>(ndev), 0);
+  // Combined roster capacity: the historical aggregate view (peak device
+  // residency bound). The managed heap itself may oversubscribe it — UM
+  // arrays live in host RAM and page in on demand.
   capacity_ = 0;
   for (const std::size_t c : device_capacity_) capacity_ += c;
+  host_capacity_ =
+      host_heap_bytes != 0 ? host_heap_bytes : kHostHeapMultiple * capacity_;
 }
 
 void MemoryManager::check_device(DeviceId d, const char* who) const {
@@ -42,36 +50,257 @@ std::size_t MemoryManager::device_peak_bytes(DeviceId d) const {
   return device_peak_[static_cast<std::size_t>(d)];
 }
 
-void MemoryManager::charge_residency(ArrayInfo& a, DeviceId d) {
-  check_device(d, "charge_residency");
-  const std::uint32_t bit = 1u << d;
-  if ((a.resident_mask & bit) != 0) return;  // already charged
-  auto& used = device_used_[static_cast<std::size_t>(d)];
-  const std::size_t cap = device_capacity_[static_cast<std::size_t>(d)];
-  if (used + a.bytes > cap) {
-    throw OutOfMemoryError(
-        "device " + std::to_string(d) + " out of memory: array '" + a.name +
-        "' needs " + std::to_string(a.bytes) + " bytes, resident " +
-        std::to_string(used) + " of " + std::to_string(cap));
+std::size_t MemoryManager::device_evicted_bytes(DeviceId d) const {
+  check_device(d, "device_evicted_bytes");
+  return device_evicted_[static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::device_writeback_bytes(DeviceId d) const {
+  check_device(d, "device_writeback_bytes");
+  return device_writeback_[static_cast<std::size_t>(d)];
+}
+
+long MemoryManager::device_evictions(DeviceId d) const {
+  check_device(d, "device_evictions");
+  return device_evictions_[static_cast<std::size_t>(d)];
+}
+
+void MemoryManager::touch(ArrayInfo& a, DeviceId d) {
+  check_device(d, "touch");
+  if (a.lru_stamp.size() < device_capacity_.size()) {
+    a.lru_stamp.resize(device_capacity_.size(), 0);
   }
-  a.resident_mask |= bit;
-  used += a.bytes;
+  a.lru_stamp[static_cast<std::size_t>(d)] = ++lru_clock_;
+}
+
+void MemoryManager::set_pinned(ArrayInfo& a, DeviceId d, bool pinned) {
+  check_device(d, "set_pinned");
+  const std::uint32_t bit = 1u << d;
+  if (pinned) {
+    a.pinned_mask |= bit;
+  } else {
+    a.pinned_mask &= ~bit;
+  }
+}
+
+bool MemoryManager::eviction_candidate(const ArrayInfo& a, DeviceId d,
+                                       std::span<const ArrayId> protect) {
+  if (a.pinned_on(d) || a.has_pending()) return false;
+  return std::find(protect.begin(), protect.end(), a.id) == protect.end();
+}
+
+std::size_t MemoryManager::evictable_bytes(
+    DeviceId d, std::span<const ArrayId> protect) const {
+  check_device(d, "evictable_bytes");
+  std::size_t n = 0;
+  for (const auto& [id, a] : arrays_) {
+    if (eviction_candidate(a, d, protect)) n += a.resident_bytes_on(d);
+  }
+  return n;
+}
+
+void MemoryManager::apply_page_out(const PageOut& po, DeviceId d) {
+  ArrayInfo& a = info(po.array);
+  const std::uint32_t bit = 1u << d;
+  a.apply_range(po.first, po.count, [&](PageExtent& e) {
+    e.resident_mask &= ~bit;
+    e.fresh_mask &= ~bit;
+    // Write-back hands the only current copy to the host; a drop leaves a
+    // current copy elsewhere (peer device or host) by construction.
+    if (po.writeback) e.host_fresh = true;
+  });
+  device_used_[static_cast<std::size_t>(d)] -= po.bytes;
+  device_evicted_[static_cast<std::size_t>(d)] += po.bytes;
+  if (po.writeback) {
+    device_writeback_[static_cast<std::size_t>(d)] += po.bytes;
+    a.host_touched = true;  // the host now holds real data for these pages
+  }
+}
+
+EvictionPlan MemoryManager::build_and_apply_plan(
+    DeviceId d, std::size_t shortfall, std::size_t requested,
+    std::span<const ArrayId> protect) {
+  const std::uint32_t bit = 1u << d;
+  // Victim candidates: every resident extent of every live, unpinned,
+  // quiescent array outside the faulting working set. `fresh` selects the
+  // eviction tier: stale copies (a current copy exists elsewhere — free to
+  // drop) go before fresh ones (may need a write-back).
+  struct Candidate {
+    bool fresh = false;
+    std::uint64_t stamp = 0;
+    ArrayId id = kInvalidArray;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::size_t bytes = 0;
+    bool writeback = false;
+  };
+  std::vector<Candidate> cands;
+  std::size_t evictable = 0;
+  for (const auto& [id, a] : arrays_) {
+    if (!eviction_candidate(a, d, protect)) continue;
+    const std::uint64_t stamp =
+        static_cast<std::size_t>(d) < a.lru_stamp.size()
+            ? a.lru_stamp[static_cast<std::size_t>(d)]
+            : 0;
+    for (const PageExtent& e : a.extents) {
+      if ((e.resident_mask & bit) == 0) continue;
+      Candidate c;
+      c.fresh = (e.fresh_mask & bit) != 0;
+      // A write-back is needed only when this device holds the *only*
+      // current copy of the run.
+      c.writeback = c.fresh && e.fresh_mask == bit && !e.host_fresh;
+      c.stamp = stamp;
+      c.id = id;
+      c.first = e.first;
+      c.count = e.count;
+      c.bytes = a.run_bytes(e.first, e.count);
+      cands.push_back(c);
+      evictable += c.bytes;
+    }
+  }
+  if (evictable < shortfall) {
+    throw OutOfMemoryError(
+        d, requested, device_used_[static_cast<std::size_t>(d)],
+        device_capacity_[static_cast<std::size_t>(d)], evictable,
+        "device " + std::to_string(d) + " out of memory");
+  }
+  // Deterministic LRU order: stale runs first, then by last-access stamp,
+  // ties by (array id, first page).
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.fresh != y.fresh) return !x.fresh;
+              if (x.stamp != y.stamp) return x.stamp < y.stamp;
+              if (x.id != y.id) return x.id < y.id;
+              return x.first < y.first;
+            });
+
+  EvictionPlan plan;
+  plan.device = d;
+  std::size_t freed = 0;
+  for (const Candidate& c : cands) {
+    if (freed >= shortfall) break;
+    PageOut po;
+    po.array = c.id;
+    po.writeback = c.writeback;
+    if (freed + c.bytes <= shortfall || c.count == 1) {
+      po.first = c.first;
+      po.count = c.count;
+      po.bytes = c.bytes;
+    } else {
+      // Partial victim: take just enough pages from the front of the run.
+      const ArrayInfo& a = info(c.id);
+      std::size_t taken = 0;
+      std::uint32_t n = 0;
+      while (n < c.count && freed + taken < shortfall) {
+        taken += a.page_bytes_of(c.first + n);
+        ++n;
+      }
+      po.first = c.first;
+      po.count = n;
+      po.bytes = taken;
+    }
+    freed += po.bytes;
+    if (po.writeback) plan.writeback_bytes += po.bytes;
+    apply_page_out(po, d);
+    plan.page_outs.push_back(po);
+  }
+  plan.bytes_freed = freed;
+  ++device_evictions_[static_cast<std::size_t>(d)];
+  return plan;
+}
+
+void MemoryManager::charge_pages(ArrayInfo& a, DeviceId d) {
+  const std::uint32_t bit = 1u << d;
+  std::size_t charged = 0;
+  a.apply_range(0, a.num_pages, [&](PageExtent& e) {
+    if ((e.resident_mask & bit) == 0) {
+      charged += a.run_bytes(e.first, e.count);
+      e.resident_mask |= bit;
+    }
+  });
+  auto& used = device_used_[static_cast<std::size_t>(d)];
+  used += charged;
   auto& peak = device_peak_[static_cast<std::size_t>(d)];
   peak = std::max(peak, used);
+  touch(a, d);
+}
+
+EvictionPlan MemoryManager::charge_residency(ArrayInfo& a, DeviceId d) {
+  const ArrayId ids[] = {a.id};
+  return charge_residency(std::span<const ArrayId>(ids), d);
+}
+
+EvictionPlan MemoryManager::charge_residency(std::span<const ArrayId> ids,
+                                             DeviceId d) {
+  check_device(d, "charge_residency");
+  std::size_t needed = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    // Arrays passed several times (duplicate kernel arguments) land once.
+    if (std::find(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(i),
+                  ids[i]) != ids.begin() + static_cast<std::ptrdiff_t>(i)) {
+      continue;
+    }
+    const ArrayInfo& a = info(ids[i]);
+    needed += a.bytes - a.resident_bytes_on(d);
+  }
+  EvictionPlan plan;
+  plan.device = d;
+  const std::size_t used = device_used_[static_cast<std::size_t>(d)];
+  const std::size_t cap = device_capacity_[static_cast<std::size_t>(d)];
+  if (needed > 0 && used + needed > cap) {
+    // One eviction plan for the whole working set (the faulting op's own
+    // arrays are never victims): this is what makes a 2x-capacity working
+    // set thrash instead of die.
+    plan = build_and_apply_plan(d, used + needed - cap, needed, ids);
+  }
+  for (const ArrayId id : ids) charge_pages(info(id), d);
+  return plan;
+}
+
+EvictionPlan MemoryManager::evict(ArrayInfo& a, DeviceId d) {
+  check_device(d, "evict");
+  EvictionPlan plan;
+  plan.device = d;
+  if (a.has_pending() || a.pinned_on(d)) return plan;
+  const std::uint32_t bit = 1u << d;
+  // Snapshot the resident runs first: apply_page_out rewrites the extents.
+  std::vector<PageOut> outs;
+  for (const PageExtent& e : a.extents) {
+    if ((e.resident_mask & bit) == 0) continue;
+    PageOut po;
+    po.array = a.id;
+    po.first = e.first;
+    po.count = e.count;
+    po.bytes = a.run_bytes(e.first, e.count);
+    po.writeback = (e.fresh_mask & bit) != 0 && e.fresh_mask == bit &&
+                   !e.host_fresh;
+    outs.push_back(po);
+  }
+  for (const PageOut& po : outs) {
+    apply_page_out(po, d);
+    plan.bytes_freed += po.bytes;
+    if (po.writeback) plan.writeback_bytes += po.bytes;
+    plan.page_outs.push_back(po);
+  }
+  if (!plan.empty()) ++device_evictions_[static_cast<std::size_t>(d)];
+  return plan;
 }
 
 ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
   if (bytes == 0) throw ApiError("alloc: zero-byte allocation");
-  if (used_ + bytes > capacity_) {
-    throw OutOfMemoryError("device out of memory: requested " +
-                           std::to_string(bytes) + " bytes, used " +
-                           std::to_string(used_) + " of " +
-                           std::to_string(capacity_));
+  if (used_ + bytes > host_capacity_) {
+    throw OutOfMemoryError(kInvalidDevice, bytes, used_, host_capacity_, 0,
+                           "managed heap out of memory");
   }
   ArrayInfo info;
   info.id = next_id_++;
   info.name = std::move(name);
   info.bytes = bytes;
+  info.page_size = page_bytes_;
+  info.num_pages =
+      static_cast<std::uint32_t>((bytes + page_bytes_ - 1) / page_bytes_);
+  info.extents.push_back({0, info.num_pages, 0, 0, true});
+  info.lru_stamp.assign(device_capacity_.size(), 0);
   used_ += bytes;
   const ArrayId id = info.id;
   arrays_.emplace(id, std::move(info));
@@ -80,54 +309,50 @@ ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
 
 void MemoryManager::free_array(ArrayId id) {
   auto it = arrays_.find(id);
-  if (it == arrays_.end() || it->second.freed) {
+  if (it == arrays_.end()) {
     throw ApiError("free_array: invalid or double free");
   }
-  if (it->second.has_pending()) {
-    throw ApiError("free_array: array '" + it->second.name +
+  ArrayInfo& a = it->second;
+  if (a.has_pending()) {
+    throw ApiError("free_array: array '" + a.name +
                    "' still in use by device operations");
   }
-  it->second.freed = true;
-  used_ -= it->second.bytes;
-  // Release every device's residency charge.
-  std::uint32_t mask = it->second.resident_mask;
-  while (mask != 0) {
-    const int d = std::countr_zero(mask);
-    mask &= mask - 1;
-    device_used_[static_cast<std::size_t>(d)] -= it->second.bytes;
+  used_ -= a.bytes;
+  // Release every device's per-run residency charge.
+  for (const PageExtent& e : a.extents) {
+    std::uint32_t mask = e.resident_mask;
+    const std::size_t run = a.run_bytes(e.first, e.count);
+    while (mask != 0) {
+      const int d = std::countr_zero(mask);
+      mask &= mask - 1;
+      device_used_[static_cast<std::size_t>(d)] -= run;
+    }
   }
-  it->second.resident_mask = 0;
+  // Erase outright: the eviction scan walks the live map on every
+  // over-capacity fault, so freed entries must not accumulate there.
+  arrays_.erase(it);
 }
 
 ArrayInfo& MemoryManager::info(ArrayId id) {
   auto it = arrays_.find(id);
-  if (it == arrays_.end()) throw ApiError("info: unknown array");
-  if (it->second.freed) {
-    throw ApiError("info: use after free of array '" + it->second.name + "'");
+  if (it == arrays_.end()) {
+    throw ApiError("info: unknown or freed array " + std::to_string(id));
   }
   return it->second;
 }
 
 const ArrayInfo& MemoryManager::info(ArrayId id) const {
   auto it = arrays_.find(id);
-  if (it == arrays_.end()) throw ApiError("info: unknown array");
-  if (it->second.freed) {
-    throw ApiError("info: use after free of array '" + it->second.name + "'");
+  if (it == arrays_.end()) {
+    throw ApiError("info: unknown or freed array " + std::to_string(id));
   }
   return it->second;
 }
 
 bool MemoryManager::valid(ArrayId id) const {
-  auto it = arrays_.find(id);
-  return it != arrays_.end() && !it->second.freed;
+  return arrays_.find(id) != arrays_.end();
 }
 
-std::size_t MemoryManager::num_live_arrays() const {
-  std::size_t n = 0;
-  for (const auto& [id, a] : arrays_) {
-    if (!a.freed) ++n;
-  }
-  return n;
-}
+std::size_t MemoryManager::num_live_arrays() const { return arrays_.size(); }
 
 }  // namespace psched::sim

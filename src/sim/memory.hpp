@@ -1,28 +1,35 @@
-// Device memory allocator and unified-memory residency tracking.
+// Device memory allocator and paged unified-memory residency tracking.
 //
 // Every managed allocation ("array") has a logical size and a residency
-// state at whole-array granularity:
-//   * host_dirty  — the host copy is newer: kernels must migrate H2D first;
-//   * device_dirty — a device copy is newer: host reads must migrate D2H;
-//   * fresh_mask — the set of devices holding a current copy (multi-GPU):
-//     a kernel write invalidates every other device's copy, a peer copy
-//     adds the destination to the set.
-// Fresh allocations are host-resident (host_dirty). The Runtime facade
-// performs the transitions; this class only does the accounting and raises
-// OutOfMemoryError when a device capacity is exceeded.
+// state at *page* granularity: the array's pages are covered by a run-length
+// encoded list of PageExtents, each carrying
+//   * resident_mask — devices whose capacity these pages are charged to;
+//   * fresh_mask    — devices holding a current copy of these pages;
+//   * host_fresh    — whether the host copy of these pages is current.
+// The legacy whole-array flags (host_dirty / device_dirty / on_device and
+// the aggregate fresh_mask / resident_mask) are derived from the extents,
+// so code that only ever sees uniform arrays behaves exactly as before.
 //
-// Capacity is tracked per device (multi-GPU rosters): an array's physical
-// pages are charged to a device when they first land there (migration or
-// kernel-write materialization — ArrayInfo::resident_mask) and released
-// when the array is freed. Invalidation (a peer kernel write, a host
-// write) marks a copy stale but does not release its pages, matching
-// unified memory: stale pages occupy the device until freed or
-// overwritten in place by a later migration.
+// Oversubscription is a first-class scenario: a migration that exceeds a
+// device's capacity no longer throws — charge_residency builds an
+// EvictionPlan instead, paging out the least-recently-used victim extents
+// (stale copies before fresh ones, never pages the incoming operation
+// itself needs, never pinned pages, never pages of arrays with in-flight
+// device ops). Page-outs of a device's *only* current copy carry
+// `writeback`: the caller (GpuRuntime) prices them as real D2H ops on the
+// device's DMA class, so eviction traffic contends with foreground copies.
+// OutOfMemoryError remains only when the working set of a single operation
+// exceeds the device capacity (or the managed heap bound at alloc).
+//
+// Recency is tracked per (array, device) with a monotone stamp: kernel
+// launches, migrations, and admissions touch the stamps; eviction order is
+// (stale-first, stamp, array id, page) — fully deterministic.
 #pragma once
 
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,10 +41,29 @@
 
 namespace psched::sim {
 
+/// A contiguous run of pages of one array with uniform residency state.
+/// Extents partition [0, num_pages); adjacent extents with equal state are
+/// merged, so the vector stays short (one entry for a uniform array).
+struct PageExtent {
+  std::uint32_t first = 0;  ///< first page index of the run
+  std::uint32_t count = 0;  ///< pages in the run
+  std::uint32_t resident_mask = 0;  ///< devices charged for these pages
+  std::uint32_t fresh_mask = 0;     ///< devices holding a current copy
+  bool host_fresh = true;           ///< host copy of these pages is current
+
+  [[nodiscard]] bool same_state(const PageExtent& o) const {
+    return resident_mask == o.resident_mask && fresh_mask == o.fresh_mask &&
+           host_fresh == o.host_fresh;
+  }
+};
+
 struct ArrayInfo {
   ArrayId id = kInvalidArray;
   std::string name;
   std::size_t bytes = 0;
+  /// Paging geometry (set at alloc): fixed page size, last page partial.
+  std::size_t page_size = 0;
+  std::uint32_t num_pages = 0;
 
   bool on_device = false;    ///< a device copy exists (possibly stale)
   bool host_dirty = true;    ///< host copy newer than every device copy
@@ -47,15 +73,18 @@ struct ArrayInfo {
   /// allocation (e.g. a kernel output buffer) transfers nothing.
   bool host_touched = false;
 
-  /// Devices holding a *current* copy (bit d = device d; kMaxDevices caps
-  /// the roster at the mask width). Kept in sync with the legacy aggregate
-  /// flags by the runtime: on_device == (fresh_mask != 0) whenever the
-  /// newest version is device-side.
+  /// Aggregate views derived from `extents` by refresh_masks():
+  /// fresh_mask bit d — *every* page is fresh on d (a full current copy);
+  /// resident_mask bit d — *some* page is charged to d.
   std::uint32_t fresh_mask = 0;
-  /// Devices whose capacity this array's pages are charged to — a superset
-  /// of fresh_mask (stale copies keep their pages until the array is
-  /// freed). Maintained by MemoryManager::charge_residency.
   std::uint32_t resident_mask = 0;
+
+  /// Run-length encoded page residency (always covers [0, num_pages)).
+  std::vector<PageExtent> extents;
+  /// Devices this array's pages are pinned on (exempt from eviction).
+  std::uint32_t pinned_mask = 0;
+  /// Per-device last-access stamp (MemoryManager::touch); 0 = never.
+  std::vector<std::uint64_t> lru_stamp;
 
   /// Pre-Pascal visibility restriction: the stream this array is attached
   /// to (kInvalidStream = visible everywhere).
@@ -65,44 +94,172 @@ struct ArrayInfo {
   /// *to that device* is done; later launches on other streams of the
   /// device must wait on it. Sized on demand.
   std::vector<EventId> ready_events;
+  /// Event completing when the latest eviction write-back of this array's
+  /// pages lands on the host: the host copy those pages now advertise
+  /// (host_fresh) materializes only then. Host accesses and host-sourced
+  /// re-faults order behind it (set by GpuRuntime's eviction pricing).
+  EventId host_ready_event = kInvalidEvent;
 
   /// Device ops currently reading / writing this array (hazard detection).
   /// Migrations count as reads: they permit concurrent host reads but not
-  /// host writes.
+  /// host writes. Freed arrays are erased from the manager outright (the
+  /// eviction scan walks the live map), so there is no tombstone flag.
   std::unordered_set<OpId> pending_reads;
   std::unordered_set<OpId> pending_writes;
 
-  bool freed = false;
+  // --- page geometry -----------------------------------------------------
+  /// Bytes covered by pages [first, first+count) (the last page is partial).
+  [[nodiscard]] std::size_t run_bytes(std::uint32_t first,
+                                      std::uint32_t count) const {
+    const std::size_t begin = static_cast<std::size_t>(first) * page_size;
+    const std::size_t end =
+        std::min(bytes, static_cast<std::size_t>(first + count) * page_size);
+    return end > begin ? end - begin : 0;
+  }
+  [[nodiscard]] std::size_t page_bytes_of(std::uint32_t page) const {
+    return run_bytes(page, 1);
+  }
 
+  // --- paged queries ------------------------------------------------------
+  /// True if the run holds data that is not current on device `d`: there is
+  /// a fresh copy elsewhere (peer or touched host) but not on `d`.
+  [[nodiscard]] bool run_stale_on(const PageExtent& e, DeviceId d) const {
+    if ((e.fresh_mask & (1u << d)) != 0) return false;
+    return e.fresh_mask != 0 || (host_touched && e.host_fresh);
+  }
+  /// Bytes device `d` would have to fetch to hold a full current copy.
+  [[nodiscard]] std::size_t stale_bytes_on(DeviceId d) const {
+    std::size_t n = 0;
+    for (const PageExtent& e : extents) {
+      if (run_stale_on(e, d)) n += run_bytes(e.first, e.count);
+    }
+    return n;
+  }
+  /// Bytes currently charged to device `d`.
+  [[nodiscard]] std::size_t resident_bytes_on(DeviceId d) const {
+    std::size_t n = 0;
+    for (const PageExtent& e : extents) {
+      if ((e.resident_mask & (1u << d)) != 0) n += run_bytes(e.first, e.count);
+    }
+    return n;
+  }
+  [[nodiscard]] bool pinned_on(DeviceId d) const {
+    return (pinned_mask & (1u << d)) != 0;
+  }
+
+  // --- legacy whole-array accessors (derived aggregates) ------------------
   /// True if a kernel launch needs to migrate this array to the device
   /// (single-device legacy form: device 0).
   [[nodiscard]] bool needs_h2d() const {
     return host_touched && (!on_device || host_dirty);
   }
-  /// True if device `d` lacks a current copy and there is data anywhere
+  /// True if device `d` lacks current pages and there is data anywhere
   /// (host or a peer device) to move. A never-touched allocation
   /// materializes on first use and transfers nothing.
   [[nodiscard]] bool needs_transfer_to(DeviceId d) const {
-    if (fresh_on(d)) return false;
-    return host_touched || fresh_mask != 0;
+    return stale_bytes_on(d) != 0;
   }
+  /// True if *every* page is fresh on `d` (a full current copy).
   [[nodiscard]] bool fresh_on(DeviceId d) const {
     return (fresh_mask & (1u << d)) != 0;
   }
   /// Source of a migration when one is needed: the host when its copy is
   /// newest (or nothing is device-resident yet), else a fresh peer device.
-  /// Both the staging layer and the scheduler's prefetch decision branch
-  /// on this one rule.
+  /// Page-granular staging refines this per run; whole-array consumers
+  /// (prefetch policy decisions) still branch on the aggregate.
   [[nodiscard]] bool host_sourced() const {
     return host_dirty || fresh_mask == 0;
   }
-  void mark_fresh(DeviceId d) { fresh_mask |= 1u << d; }
-  /// Lowest-indexed device holding a current copy (kInvalidDevice if none):
-  /// the deterministic source for peer transfers.
+  /// Lowest-indexed device holding a full current copy (kInvalidDevice if
+  /// none): the deterministic source for whole-array peer transfers.
   [[nodiscard]] DeviceId lowest_fresh() const {
     if (fresh_mask == 0) return kInvalidDevice;
     return static_cast<DeviceId>(std::countr_zero(fresh_mask));
   }
+
+  // --- residency transitions (keep extents and aggregates in sync) --------
+  /// A kernel on `d` wrote the array: `d` holds the only current copy of
+  /// every page; host and peer copies are stale. Charged pages stay charged.
+  void note_kernel_write(DeviceId d) {
+    for (PageExtent& e : extents) {
+      e.fresh_mask = 1u << d;
+      e.host_fresh = false;
+    }
+    normalize();
+    refresh_masks();
+    host_touched = true;  // data now exists (device-side)
+  }
+  /// The host wrote the array: every device copy is stale.
+  void note_host_write() {
+    for (PageExtent& e : extents) {
+      e.fresh_mask = 0;
+      e.host_fresh = true;
+    }
+    normalize();
+    refresh_masks();
+    host_touched = true;
+  }
+  /// A D2H read-back completed: the host copy is current everywhere
+  /// (device copies stay current too — copies do not invalidate).
+  void note_host_read_done() {
+    for (PageExtent& e : extents) e.host_fresh = true;
+    normalize();
+    refresh_masks();
+  }
+  /// Migrations to `d` completed (issue-time bookkeeping): every page that
+  /// had a current copy anywhere is now also fresh on `d`; pages with no
+  /// data anywhere materialize fresh on `d` as well.
+  void note_migrated(DeviceId d) {
+    for (PageExtent& e : extents) e.fresh_mask |= 1u << d;
+    normalize();
+    refresh_masks();
+  }
+
+  /// Split boundary extents so [first, first+count) aligns with extent
+  /// boundaries, apply `fn` to every extent inside the range, re-merge.
+  template <typename Fn>
+  void apply_range(std::uint32_t first, std::uint32_t count, Fn&& fn) {
+    split_at(first);
+    split_at(first + count);
+    for (PageExtent& e : extents) {
+      if (e.first >= first && e.first < first + count) fn(e);
+    }
+    normalize();
+    refresh_masks();
+  }
+
+  /// Recompute the derived aggregates from the extent list.
+  void refresh_masks() {
+    std::uint32_t any_res = 0;
+    std::uint32_t all_fresh = ~0u;
+    bool any_fresh = false;
+    bool any_device_newer = false;
+    for (const PageExtent& e : extents) {
+      any_res |= e.resident_mask;
+      all_fresh &= e.fresh_mask;
+      if (e.fresh_mask != 0) any_fresh = true;
+      if (!e.host_fresh) any_device_newer = true;
+    }
+    resident_mask = any_res;
+    fresh_mask = extents.empty() ? 0 : all_fresh;
+    on_device = resident_mask != 0;
+    device_dirty = any_device_newer;
+    host_dirty = !any_fresh;
+  }
+
+  void normalize() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if (out > 0 && extents[out - 1].same_state(extents[i])) {
+        extents[out - 1].count += extents[i].count;
+      } else {
+        extents[out++] = extents[i];
+      }
+    }
+    extents.resize(out);
+  }
+
+  // --- events / hazards ----------------------------------------------------
   [[nodiscard]] EventId ready_event_on(DeviceId d) const {
     const auto i = static_cast<std::size_t>(d);
     return i < ready_events.size() ? ready_events[i] : kInvalidEvent;
@@ -119,35 +276,113 @@ struct ArrayInfo {
     pending_reads.erase(op);
     pending_writes.erase(op);
   }
+
+ private:
+  void split_at(std::uint32_t page) {
+    if (page == 0 || page >= num_pages) return;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      PageExtent& e = extents[i];
+      if (e.first < page && page < e.first + e.count) {
+        PageExtent tail = e;
+        tail.first = page;
+        tail.count = e.first + e.count - page;
+        e.count = page - e.first;
+        extents.insert(extents.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       tail);
+        return;
+      }
+      if (e.first >= page) return;  // already aligned
+    }
+  }
+};
+
+/// One victim run of an eviction plan. `writeback` means the device held
+/// the only current copy: the pages must be written back to the host (a
+/// real D2H op on the device's DMA class) before the space is reusable.
+/// Without it the pages are simply dropped (a current copy exists
+/// elsewhere).
+struct PageOut {
+  ArrayId array = kInvalidArray;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::size_t bytes = 0;
+  bool writeback = false;
+};
+
+/// The victims one admission (or advise_evict) selected, in eviction
+/// order. The accounting is already applied when the plan is returned; the
+/// caller prices the write-backs as device ops.
+struct EvictionPlan {
+  DeviceId device = kInvalidDevice;
+  std::vector<PageOut> page_outs;
+  std::size_t bytes_freed = 0;
+  std::size_t writeback_bytes = 0;
+  [[nodiscard]] bool empty() const { return page_outs.empty(); }
 };
 
 class MemoryManager {
  public:
+  /// Unified-memory page size: the granularity of residency, charging, and
+  /// eviction (2 MiB — the large-page granule of post-Pascal UM).
+  static constexpr std::size_t kDefaultPageBytes = 2u << 20;
+  /// Managed-heap bound when none is given: oversubscription needs the
+  /// logical heap to exceed device memory, like UM bounded by host RAM.
+  static constexpr std::size_t kHostHeapMultiple = 4;
+
   /// Single-device roster (legacy entry point).
   explicit MemoryManager(const DeviceSpec& spec)
       : MemoryManager(Machine::single(spec)) {}
   /// Per-device capacities come from the roster's DeviceSpec::memory_bytes.
-  explicit MemoryManager(const Machine& machine);
+  /// `page_bytes` sets the paging granule (tests shrink it to exercise
+  /// partial-array runs); `host_heap_bytes` bounds alloc (0 = multiple of
+  /// the roster's combined device memory).
+  explicit MemoryManager(const Machine& machine,
+                         std::size_t page_bytes = kDefaultPageBytes,
+                         std::size_t host_heap_bytes = 0);
 
-  /// Reserve managed (logical) capacity. Throws OutOfMemoryError when the
-  /// roster's combined device memory is exhausted (per-device limits are
-  /// enforced later, when pages actually land — see charge_residency).
+  /// Reserve managed (logical) capacity. Throws OutOfMemoryError only when
+  /// the *host* managed heap is exhausted — device memory is
+  /// oversubscribable and enforced at admission (charge_residency).
   ArrayId alloc(std::size_t bytes, std::string name);
   /// Free the array, releasing its logical reservation and every device's
   /// residency charge.
   void free_array(ArrayId id);
 
-  /// Charge the array's pages to device `d` (idempotent per device).
-  /// Throws OutOfMemoryError when `d`'s capacity would be exceeded —
-  /// before any state changes, so a rejected migration is clean.
-  void charge_residency(ArrayInfo& a, DeviceId d);
+  /// Admit the array's non-resident pages to device `d`. When the device
+  /// is full, least-recently-used victim extents are paged out to make
+  /// room (the returned plan's accounting is already applied; the caller
+  /// prices its write-backs). Throws OutOfMemoryError — before any state
+  /// changes — when even full eviction cannot make room, i.e. the single
+  /// array exceeds what the device can hold.
+  EvictionPlan charge_residency(ArrayInfo& a, DeviceId d);
+  /// One-plan admission of a whole operation's working set: the combined
+  /// shortfall of `ids` is evicted in one LRU pass (never evicting pages
+  /// of `ids` themselves), then every array is charged. This is the
+  /// transaction-batched fault-servicing entry the runtime uses per launch.
+  EvictionPlan charge_residency(std::span<const ArrayId> ids, DeviceId d);
+
+  /// Voluntarily page out every resident page of `a` on `d` (advise
+  /// hook). Returns the applied plan; arrays with in-flight device ops are
+  /// left untouched (empty plan).
+  EvictionPlan evict(ArrayInfo& a, DeviceId d);
+
+  /// Refresh the (array, device) recency stamp. Kernel launches and
+  /// migrations touch their arrays; admission touches implicitly.
+  void touch(ArrayInfo& a, DeviceId d);
+  /// Pin / unpin the array's pages on `d`: pinned pages are exempt from
+  /// eviction (and from advise-evict).
+  void set_pinned(ArrayInfo& a, DeviceId d, bool pinned);
 
   [[nodiscard]] ArrayInfo& info(ArrayId id);
   [[nodiscard]] const ArrayInfo& info(ArrayId id) const;
   [[nodiscard]] bool valid(ArrayId id) const;
 
   [[nodiscard]] std::size_t used_bytes() const { return used_; }
+  /// Combined roster device memory (the historical aggregate view).
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Managed-heap bound enforced by alloc (>= capacity()).
+  [[nodiscard]] std::size_t host_capacity() const { return host_capacity_; }
+  [[nodiscard]] std::size_t page_bytes() const { return page_bytes_; }
   [[nodiscard]] std::size_t num_live_arrays() const;
 
   // --- per-device physical accounting ---
@@ -159,17 +394,49 @@ class MemoryManager {
   [[nodiscard]] std::size_t device_used_bytes(DeviceId d) const;
   /// High-water mark of device_used_bytes(d) over the manager's lifetime.
   [[nodiscard]] std::size_t device_peak_bytes(DeviceId d) const;
+  /// Total bytes paged out of device `d` (drops + write-backs).
+  [[nodiscard]] std::size_t device_evicted_bytes(DeviceId d) const;
+  /// Bytes of those evictions that required a D2H write-back.
+  [[nodiscard]] std::size_t device_writeback_bytes(DeviceId d) const;
+  /// Number of eviction plans applied against device `d`.
+  [[nodiscard]] long device_evictions(DeviceId d) const;
+  /// Bytes eviction could reclaim on `d` right now, excluding pinned
+  /// arrays, arrays with pending ops, and `protect`.
+  [[nodiscard]] std::size_t evictable_bytes(
+      DeviceId d, std::span<const ArrayId> protect = {}) const;
 
  private:
   void check_device(DeviceId d, const char* who) const;
+  /// The one victim-eligibility rule (shared by the plan builder and
+  /// evictable_bytes): live, unpinned on `d`, quiescent, and outside the
+  /// protected working set.
+  [[nodiscard]] static bool eviction_candidate(
+      const ArrayInfo& a, DeviceId d, std::span<const ArrayId> protect);
+  /// Build (and apply) an LRU plan freeing >= `shortfall` bytes on `d`;
+  /// throws OutOfMemoryError(d, requested, ...) when impossible.
+  EvictionPlan build_and_apply_plan(DeviceId d, std::size_t shortfall,
+                                    std::size_t requested,
+                                    std::span<const ArrayId> protect);
+  /// Apply one page-out: clear residency/freshness, hand the only-copy
+  /// data to the host on write-back, release the charge.
+  void apply_page_out(const PageOut& po, DeviceId d);
+  /// Charge every non-resident page of `a` on `d` (capacity must already
+  /// be available) and touch the recency stamp.
+  void charge_pages(ArrayInfo& a, DeviceId d);
 
-  std::size_t capacity_;  ///< combined roster capacity (alloc's bound)
+  std::size_t capacity_;       ///< combined roster device memory
+  std::size_t host_capacity_;  ///< managed-heap bound (alloc)
+  std::size_t page_bytes_;
   std::size_t used_ = 0;
+  std::uint64_t lru_clock_ = 0;
   ArrayId next_id_ = 1;
   std::unordered_map<ArrayId, ArrayInfo> arrays_;
   std::vector<std::size_t> device_capacity_;
   std::vector<std::size_t> device_used_;
   std::vector<std::size_t> device_peak_;
+  std::vector<std::size_t> device_evicted_;
+  std::vector<std::size_t> device_writeback_;
+  std::vector<long> device_evictions_;
 };
 
 }  // namespace psched::sim

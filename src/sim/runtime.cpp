@@ -1,16 +1,53 @@
 #include "sim/runtime.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/graph.hpp"
 
 namespace psched::sim {
 
+namespace {
+/// Accumulate `bytes` against `src` in a small by-source table (kept in
+/// ascending device order by the callers' trailing sort). Shared by the
+/// page-granular staging and host-read source resolution.
+void add_source_bytes(std::vector<std::pair<DeviceId, double>>& acc,
+                      DeviceId src, double bytes) {
+  auto it = std::find_if(acc.begin(), acc.end(),
+                         [src](const auto& p) { return p.first == src; });
+  if (it == acc.end()) {
+    acc.emplace_back(src, bytes);
+  } else {
+    it->second += bytes;
+  }
+}
+
+/// Scope guard nulling an active recording target: eviction servicing is
+/// transient memory-pressure traffic, not part of the program being
+/// recorded — a static replay must not re-execute phantom page-outs.
+class RecordSuspend {
+ public:
+  explicit RecordSuspend(Submission*& slot) : slot_(slot), saved_(slot) {
+    slot_ = nullptr;
+  }
+  ~RecordSuspend() { slot_ = saved_; }
+  RecordSuspend(const RecordSuspend&) = delete;
+  RecordSuspend& operator=(const RecordSuspend&) = delete;
+
+ private:
+  Submission*& slot_;
+  Submission* saved_;
+};
+}  // namespace
+
 GpuRuntime::GpuRuntime(DeviceSpec spec)
     : GpuRuntime(Machine::single(std::move(spec))) {}
 
 GpuRuntime::GpuRuntime(Machine machine)
-    : engine_(std::move(machine)), memory_(engine_.machine()) {
+    : GpuRuntime(std::move(machine), MemoryManager::kDefaultPageBytes) {}
+
+GpuRuntime::GpuRuntime(Machine machine, std::size_t page_bytes)
+    : engine_(std::move(machine)), memory_(engine_.machine(), page_bytes) {
   // Device 0's host-initiated transfers ride the default stream (the
   // single-GPU behaviour); peer devices get a service stream on demand.
   service_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
@@ -46,6 +83,9 @@ OpId GpuRuntime::issue_op(Op op, Submission::BindFn bind) {
     // begin_submit or after an implicit flush at a synchronization point.
     engine_.begin_transaction(host_now_);
   }
+  // Tee into an active recording before the op is consumed: the recorded
+  // list replays the exact same (op, bind) pairs.
+  if (record_ != nullptr) record_->enqueue(op, host_now_, bind);
   const OpId id = engine_.enqueue(std::move(op), host_now_);
   if (bind) bind(engine_, id);
   // Per-call mode: the implicit single-op transaction commits right here
@@ -59,6 +99,7 @@ void GpuRuntime::issue_record(EventId event, StreamId stream) {
   if (batch_open_ && !engine_.in_transaction()) {
     engine_.begin_transaction(host_now_);
   }
+  if (record_ != nullptr) record_->record_event(event, stream, host_now_);
   engine_.record_event(event, stream, host_now_);
   if (!batch_open_) engine_.advance_to(host_now_);
 }
@@ -67,8 +108,61 @@ void GpuRuntime::issue_wait(StreamId stream, EventId event) {
   if (batch_open_ && !engine_.in_transaction()) {
     engine_.begin_transaction(host_now_);
   }
+  if (record_ != nullptr) record_->wait_event(stream, event, host_now_);
   engine_.wait_event(stream, event, host_now_);
   if (!batch_open_) engine_.advance_to(host_now_);
+}
+
+void GpuRuntime::begin_record(Submission& sub) {
+  if (capture_ != nullptr) throw ApiError("begin_record: capture active");
+  if (record_ != nullptr) throw ApiError("begin_record: already recording");
+  if (!batch_open_) {
+    begin_submit();
+    record_owns_batch_ = true;
+  }
+  record_ = &sub;
+}
+
+std::size_t GpuRuntime::end_record() {
+  if (record_ == nullptr) throw ApiError("end_record: not recording");
+  record_ = nullptr;
+  if (record_owns_batch_) {
+    record_owns_batch_ = false;
+    return commit();
+  }
+  return 0;
+}
+
+void GpuRuntime::abort_record() {
+  record_ = nullptr;
+  if (record_owns_batch_) {
+    record_owns_batch_ = false;
+    // Close the batch begin_record opened: the ops lowered before the
+    // failure are real and already ingested, so commit them and return
+    // the runtime to per-call mode. A batch someone else opened is theirs
+    // to close.
+    if (batch_open_) commit();
+  }
+}
+
+std::size_t GpuRuntime::replay(const Submission& sub) {
+  if (capture_ != nullptr) throw ApiError("replay: capture active");
+  if (record_ != nullptr) throw ApiError("replay: recording active");
+  // One driver call relaunches the whole recorded list.
+  host_now_ += kLaunchCpuOverheadUs;
+  if (batch_open_) {
+    // Join an open batch instead of force-flushing it: the recorded items
+    // ingest into the open transaction and start at the batch's commit,
+    // exactly like a Batched graph launch joining the batch. The flush at
+    // the next observation point accounts the ops.
+    if (!engine_.in_transaction()) engine_.begin_transaction(host_now_);
+    return engine_.ingest(std::as_const(sub));
+  }
+  const std::size_t n = engine_.commit(std::as_const(sub));
+  batched_ops_ += static_cast<long>(n);
+  ++batch_commits_;
+  engine_.advance_to(host_now_);
+  return n;
 }
 
 void GpuRuntime::begin_submit() {
@@ -169,7 +263,105 @@ ArrayId GpuRuntime::alloc(std::size_t bytes, const std::string& name) {
 void GpuRuntime::free_array(ArrayId id) {
   flush_submission();
   engine_.advance_to(host_now_);
+  // Runtime-initiated page-outs of this array may still be in flight —
+  // traffic the caller never issued and cannot have synchronized. Drain
+  // those (a blocking stall, like the fault path); user ops still pending
+  // keep raising the missing-synchronization error below.
+  ArrayInfo& a = memory_.info(id);
+  for (;;) {
+    OpId pending_evict = kInvalidOp;
+    for (const OpId op : a.pending_reads) {
+      if (evict_inflight_.count(op) != 0) {
+        pending_evict = op;
+        break;
+      }
+    }
+    if (pending_evict == kInvalidOp) break;
+    const TimeUs t = engine_.run_until_op_done(pending_evict);
+    host_now_ = std::max(host_now_, t);
+  }
   memory_.free_array(id);
+}
+
+EventId GpuRuntime::price_eviction(const EvictionPlan& plan) {
+  bool any = false;
+  for (const PageOut& po : plan.page_outs) {
+    if (!po.writeback) continue;  // dropped pages move nothing
+    ArrayInfo& victim = memory_.info(po.array);
+    // A prior write-back of this array (another device's plan) may still
+    // be in flight; its host copy must land before this one overwrites
+    // the slot, so chain the new page-out behind it.
+    if (victim.host_ready_event != kInvalidEvent &&
+        !engine_.event_done(victim.host_ready_event)) {
+      issue_wait(service_stream(plan.device), victim.host_ready_event);
+    }
+    // A write-back is a real D2H transfer on the device's service stream:
+    // it rides the (device, CopyD2H) DMA class and contends with
+    // foreground copies for the link.
+    Op op;
+    op.kind = OpKind::CopyD2H;
+    op.stream = service_stream(plan.device);
+    op.name = "evict:" + victim.name;
+    op.bytes = static_cast<double>(po.bytes);
+    op.work = op.bytes;
+    // The page-out reads the device copy: register it like any other
+    // in-flight read so hazard checks, eviction eligibility, and free
+    // all see it (free_array drains runtime-initiated page-outs).
+    const ArrayId aid = po.array;
+    issue_op(std::move(op), [this, aid](Engine& eng, OpId op_id) {
+      if (!memory_.valid(aid)) return;
+      memory_.info(aid).pending_reads.insert(op_id);
+      evict_inflight_.insert(op_id);
+      eng.set_on_complete(op_id, [this, aid, op_id]() {
+        if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+        evict_inflight_.erase(op_id);
+      });
+    });
+    ++evict_ops_;
+    bytes_d2h_ += static_cast<double>(po.bytes);
+    any = true;
+  }
+  if (!any) return kInvalidEvent;
+  const EventId ev = engine_.create_event();
+  issue_record(ev, service_stream(plan.device));
+  // The victims' host copies materialize only when the page-outs drain:
+  // a later re-fault of the evicted pages (or a host access) must order
+  // behind this event, not just the faulting stream.
+  for (const PageOut& po : plan.page_outs) {
+    if (po.writeback && memory_.valid(po.array)) {
+      memory_.info(po.array).host_ready_event = ev;
+    }
+  }
+  return ev;
+}
+
+void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
+                                   DeviceId device, StreamId stream) {
+  EvictionPlan plan;
+  try {
+    plan = memory_.charge_residency(ids, device);
+  } catch (const OutOfMemoryError&) {
+    // Arrays of in-flight ops are not evictable, so a burst of async
+    // launches can pin more than the device holds. A real UM fault stalls
+    // until frames free; model the stall by draining the device and
+    // retrying — the retry throws only when this op's own working set
+    // exceeds the device.
+    if (engine_.all_idle() && !engine_.in_transaction()) throw;
+    flush_submission();
+    const TimeUs t = engine_.run_all();
+    host_now_ = std::max(host_now_, t);
+    plan = memory_.charge_residency(ids, device);
+  }
+  // Keep fault servicing out of any active recording: at replay nothing
+  // is admitted, so neither the page-outs nor the gate belong in the
+  // static op list.
+  const RecordSuspend no_tee(record_);
+  const EventId ev = price_eviction(plan);
+  // The incoming pages physically land only after the page-outs free their
+  // frames: the faulting stream's migrations/kernel wait for the last
+  // write-back. Under-capacity admissions take neither branch and leave
+  // the op sequence untouched.
+  if (ev != kInvalidEvent) issue_wait(stream, ev);
 }
 
 void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
@@ -187,54 +379,80 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
     }
     return;
   }
-  // Physical pages land on `dev`: charge its capacity before any engine
-  // mutation so an over-capacity migration rejects cleanly.
-  memory_.charge_residency(a, dev);
-  // Source selection: the host when its copy is newest (or nothing is
-  // device-resident yet), otherwise the lowest-indexed fresh peer device.
-  const bool from_host = a.host_sourced();
-  Op op;
-  op.stream = stream;
-  op.bytes = static_cast<double>(a.bytes);
-  op.work = op.bytes;
-  if (from_host) {
+  // Page-granular source resolution: sum the stale runs by source — the
+  // host for runs no device holds, the lowest-indexed fresh device
+  // otherwise. A fully-stale array folds into today's single whole-array
+  // op; a partial-fresh array (pages evicted earlier) fetches only the
+  // stale runs.
+  double host_bytes = 0;
+  std::vector<std::pair<DeviceId, double>> peer_bytes;  // ascending src
+  for (const PageExtent& e : a.extents) {
+    if (!a.run_stale_on(e, dev)) continue;
+    const auto run = static_cast<double>(a.run_bytes(e.first, e.count));
+    if (e.fresh_mask == 0) {
+      host_bytes += run;
+      continue;
+    }
+    const DeviceId src = static_cast<DeviceId>(std::countr_zero(e.fresh_mask));
+    add_source_bytes(peer_bytes, src, run);
+  }
+  std::sort(peer_bytes.begin(), peer_bytes.end());
+
+  const ArrayId aid = id;
+  const auto bind = [this, aid, dev](Engine& eng, OpId op_id) {
+    if (!memory_.valid(aid)) return;
+    ArrayInfo& ai = memory_.info(aid);
+    ai.pending_reads.insert(op_id);  // reads the source copy
+    // Freshness is issue-time state (later staging decisions branch on
+    // it); living in the bind, a recorded replay re-publishes the copy
+    // exactly like the original issue did.
+    ai.note_migrated(dev);
+    eng.set_on_complete(op_id, [this, aid, op_id]() {
+      if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+    });
+  };
+  if (host_bytes > 0) {
+    // The host copy may still be materializing from an in-flight eviction
+    // write-back: order the re-fault behind it.
+    const EventId host_ev = a.host_ready_event;
+    if (host_ev != kInvalidEvent && !engine_.event_done(host_ev)) {
+      issue_wait(stream, host_ev);
+    }
+    Op op;
+    op.stream = stream;
     op.kind = host_kind;
     op.name =
         std::string(host_kind == OpKind::Fault ? "fault:" : "h2d:") + a.name;
-  } else {
-    const DeviceId src = a.lowest_fresh();
-    op.kind = OpKind::CopyP2P;
-    op.peer = src;
-    op.name = "p2p:" + a.name;
+    op.bytes = host_bytes;
+    op.work = op.bytes;
+    issue_op(std::move(op), bind);
+    if (host_kind == OpKind::Fault) {
+      bytes_faulted_ += host_bytes;
+      ++fault_ops_;
+    } else {
+      bytes_h2d_ += host_bytes;
+    }
+  }
+  for (const auto& [src, bytes] : peer_bytes) {
     // The source copy may itself still be migrating: order behind it.
     const EventId src_ev = a.ready_event_on(src);
     if (src_ev != kInvalidEvent && !engine_.event_done(src_ev)) {
       issue_wait(stream, src_ev);
     }
+    Op op;
+    op.stream = stream;
+    op.kind = OpKind::CopyP2P;
+    op.peer = src;
+    op.name = "p2p:" + a.name;
+    op.bytes = bytes;
+    op.work = op.bytes;
+    issue_op(std::move(op), bind);
+    bytes_p2p_ += bytes;
   }
-  const ArrayId aid = id;
-  issue_op(std::move(op), [this, aid](Engine& eng, OpId op_id) {
-    if (!memory_.valid(aid)) return;
-    memory_.info(aid).pending_reads.insert(op_id);  // reads the source copy
-    eng.set_on_complete(op_id, [this, aid, op_id]() {
-      if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
-    });
-  });
 
-  a.on_device = true;
-  if (from_host) a.host_dirty = false;
-  a.mark_fresh(dev);
   EventId ev = engine_.create_event();
   issue_record(ev, stream);
   a.set_ready_event(dev, ev);
-
-  if (!from_host) {
-    bytes_p2p_ += static_cast<double>(a.bytes);
-  } else if (host_kind == OpKind::Fault) {
-    bytes_faulted_ += static_cast<double>(a.bytes);
-  } else {
-    bytes_h2d_ += static_cast<double>(a.bytes);
-  }
 }
 
 OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
@@ -245,6 +463,8 @@ OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
   note_api_call();
   ArrayInfo& a = memory_.info(id);
   if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  const ArrayId ids[] = {id};
+  admit_working_set(ids, engine_.stream_device(stream), stream);
   stage_to_device(id, stream, OpKind::CopyH2D);
   // The staged op is the newest op on `stream`.
   return kInvalidOp;  // callers use the array's ready events for ordering
@@ -258,6 +478,8 @@ OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
   note_api_call();
   ArrayInfo& a = memory_.info(id);
   if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  const ArrayId ids[] = {id};
+  admit_working_set(ids, engine_.stream_device(stream), stream);
   stage_to_device(id, stream, OpKind::CopyH2D);
   return kInvalidOp;
 }
@@ -266,10 +488,34 @@ void GpuRuntime::attach_array(ArrayId id, StreamId stream) {
   memory_.info(id).attached_stream = stream;
 }
 
+void GpuRuntime::advise_pin(ArrayId id, DeviceId device) {
+  memory_.set_pinned(memory_.info(id), device, true);
+}
+
+void GpuRuntime::advise_unpin(ArrayId id, DeviceId device) {
+  memory_.set_pinned(memory_.info(id), device, false);
+}
+
+std::size_t GpuRuntime::advise_evict(ArrayId id, DeviceId device) {
+  note_api_call();
+  const EvictionPlan plan = memory_.evict(memory_.info(id), device);
+  const RecordSuspend no_tee(record_);  // pressure traffic is not program
+  price_eviction(plan);                 // write-backs drain asynchronously
+  return plan.bytes_freed;
+}
+
 void GpuRuntime::note_host_access(ArrayId id, bool for_write) {
   flush_submission();
   engine_.advance_to(host_now_);
   ArrayInfo& a = memory_.info(id);
+  // An eviction write-back of this array may still be in flight: the host
+  // copy it advertises is not readable (or safely overwritable) until the
+  // page-out lands. Block like a page fault would.
+  if (a.host_ready_event != kInvalidEvent &&
+      !engine_.event_done(a.host_ready_event)) {
+    const TimeUs t = engine_.run_until_event(a.host_ready_event);
+    host_now_ = std::max(host_now_, t);
+  }
   // A host read may proceed concurrently with device *reads* on page-fault
   // architectures; pre-Pascal GPUs forbid any CPU access to managed arrays
   // the device is using. A host write conflicts with everything.
@@ -302,30 +548,40 @@ void GpuRuntime::host_read(ArrayId id) {
   note_host_access(id, /*for_write=*/false);
   ArrayInfo& a = memory_.info(id);
   if (!a.device_dirty) return;
-  // Migrate back to the host over PCIe; blocks the host. The source is the
-  // lowest-indexed device holding the newest copy (device 0 rides the
-  // default stream, preserving the single-GPU schedule).
-  const DeviceId src = a.fresh_mask != 0 ? a.lowest_fresh() : kDefaultDevice;
-  Op op;
-  op.kind = OpKind::CopyD2H;
-  op.stream = service_stream(src);
-  op.name = "d2h:" + a.name;
-  op.bytes = static_cast<double>(a.bytes);
-  op.work = op.bytes;
-  const OpId op_id = engine_.enqueue(std::move(op), host_now_);
-  const TimeUs t = engine_.run_until_op_done(op_id);
-  host_now_ = std::max(host_now_, t);
-  bytes_d2h_ += static_cast<double>(a.bytes);
-  a.device_dirty = false;
+  // Migrate the runs the host lacks back over PCIe; blocks the host. Each
+  // run's source is the lowest-indexed device holding its newest copy
+  // (device 0 rides the default stream, preserving the single-GPU
+  // schedule); a uniform array folds into one whole-array D2H as before.
+  std::vector<std::pair<DeviceId, double>> src_bytes;  // ascending src
+  for (const PageExtent& e : a.extents) {
+    if (e.host_fresh) continue;
+    const DeviceId src = e.fresh_mask != 0
+                             ? static_cast<DeviceId>(
+                                   std::countr_zero(e.fresh_mask))
+                             : kDefaultDevice;
+    add_source_bytes(src_bytes, src,
+                     static_cast<double>(a.run_bytes(e.first, e.count)));
+  }
+  std::sort(src_bytes.begin(), src_bytes.end());
+  for (const auto& [src, bytes] : src_bytes) {
+    Op op;
+    op.kind = OpKind::CopyD2H;
+    op.stream = service_stream(src);
+    op.name = "d2h:" + a.name;
+    op.bytes = bytes;
+    op.work = op.bytes;
+    const OpId op_id = engine_.enqueue(std::move(op), host_now_);
+    const TimeUs t = engine_.run_until_op_done(op_id);
+    host_now_ = std::max(host_now_, t);
+    bytes_d2h_ += bytes;
+  }
+  a.note_host_read_done();
 }
 
 void GpuRuntime::host_write(ArrayId id) {
   note_host_access(id, /*for_write=*/true);
   ArrayInfo& a = memory_.info(id);
-  a.host_touched = true;
-  a.host_dirty = true;
-  a.device_dirty = false;
-  a.fresh_mask = 0;  // every device copy is now stale
+  a.note_host_write();
   a.attached_stream = kInvalidStream;
 }
 
@@ -337,6 +593,15 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   note_api_call();
   const DeviceId dev = engine_.stream_device(stream);
 
+  // Admit the whole working set — staged inputs and never-touched outputs
+  // alike, which materialize at first kernel touch — with at most ONE
+  // eviction plan per launch (fault servicing is batched per committed op,
+  // not per page descriptor). The plan never victimizes the launch's own
+  // arrays; its write-backs are priced before any of the launch's ops.
+  admit_scratch_.clear();
+  for (const ArrayUse& use : spec.arrays) admit_scratch_.push_back(use.id);
+  admit_working_set(admit_scratch_, dev, stream);
+
   // Stage migrations for argument arrays the launch device lacks. A stale
   // host-side array moves over the fault path on Pascal+ (or ahead of
   // execution on pre-Pascal, no fault mechanism); an array fresh on a peer
@@ -345,12 +610,6 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
       engine_.spec(dev).page_fault_um ? OpKind::Fault : OpKind::CopyH2D;
   for (const ArrayUse& use : spec.arrays) {
     stage_to_device(use.id, stream, migration_kind);
-  }
-  // Every argument array has (or is getting) pages on the launch device —
-  // including never-touched outputs, which materialize at first kernel
-  // touch. Charge capacity before the kernel op is issued.
-  for (const ArrayUse& use : spec.arrays) {
-    memory_.charge_residency(memory_.info(use.id), dev);
   }
 
   const KernelDemand demand =
@@ -369,7 +628,11 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
 
   // Per-op tracking (hazard sets, completion bookkeeping, the functional
   // closure) binds once the id is assigned at commit — before the op can
-  // start — in both the per-call and the batched mode.
+  // start — in both the per-call and the batched mode. The kernel-write
+  // residency transition lives in the bind too: it is issue-time state
+  // (the next call's staging decisions must see it even while a batch is
+  // open), and a recorded replay re-runs binds, so replayed write-kernels
+  // re-invalidate host/peer copies exactly like the original issue did.
   struct Use {
     ArrayId id;
     bool write;
@@ -377,10 +640,14 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   std::vector<Use> used;
   used.reserve(spec.arrays.size());
   for (const ArrayUse& use : spec.arrays) used.push_back({use.id, use.write});
-  auto bind = [this, used, fn = spec.functional](Engine& eng, OpId op_id) {
+  auto bind = [this, used, dev, fn = spec.functional](Engine& eng,
+                                                      OpId op_id) {
     for (const Use& u : used) {
       ArrayInfo& a = memory_.info(u.id);
       (u.write ? a.pending_writes : a.pending_reads).insert(op_id);
+      // The kernel materializes the array on `dev`, which now owns the
+      // only current copy of every page; host and peer copies are stale.
+      if (u.write) a.note_kernel_write(dev);
     }
     eng.set_on_complete(op_id, [this, used, op_id, fn]() {
       for (const Use& u : used) {
@@ -391,15 +658,9 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   };
   const OpId op_id = issue_op(std::move(op), std::move(bind));
 
-  // Residency transitions are host-side issue-time state: the next call's
-  // staging decisions must see them even while a batch is open.
   for (const ArrayUse& use : spec.arrays) {
     if (!use.write) continue;
     ArrayInfo& a = memory_.info(use.id);
-    a.device_dirty = true;
-    a.on_device = true;  // the kernel materializes the array on device
-    a.host_dirty = false;      // the device now owns the newest version
-    a.fresh_mask = 1u << dev;  // ... and peers' copies are stale
     if (engine_.num_devices() > 1) {
       // Peer transfers sourced from this copy must not start before the
       // kernel produces it: publish the write as the device's ready

@@ -22,6 +22,16 @@
 // device (CopyP2P over the directed link class) when another GPU holds the
 // freshest copy. A kernel write invalidates every other device's copy.
 //
+// Oversubscription: device memory is paged (see sim/memory.hpp). Each
+// launch admits its whole working set with at most one eviction plan;
+// LRU victim pages whose only current copy lives on the device are written
+// back as real D2H ops on the device's service stream, and the faulting
+// stream waits for those page-outs before its own migrations/kernel start.
+// A device can therefore run working sets beyond its capacity — it
+// thrashes (visible in bytes_evicted / evict_ops and the D2H class solve
+// counters) instead of raising OutOfMemoryError, which remains only for a
+// single op whose working set exceeds the device.
+//
 // Host accesses (host_read / host_write) perform hazard detection: accessing
 // an array while device ops on it are still pending means the caller failed
 // to synchronize — a correctness bug in the scheduler under test.
@@ -37,9 +47,12 @@
 // boundaries align with host observation points.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/device_spec.hpp"
@@ -72,6 +85,9 @@ class GpuRuntime {
   /// Single-GPU convenience: GpuRuntime(Machine::single(spec)).
   explicit GpuRuntime(DeviceSpec spec);
   explicit GpuRuntime(Machine machine);
+  /// `page_bytes` sets the unified-memory paging granule (tests shrink it
+  /// to exercise partial-array residency runs).
+  GpuRuntime(Machine machine, std::size_t page_bytes);
   ~GpuRuntime();
 
   GpuRuntime(const GpuRuntime&) = delete;
@@ -117,6 +133,17 @@ class GpuRuntime {
   /// Pre-Pascal visibility restriction bookkeeping.
   void attach_array(ArrayId id, StreamId stream);
 
+  // --- unified-memory advice (oversubscription control) ---
+  /// Pin the array's pages on `device`: exempt from LRU eviction until
+  /// unpinned (cudaMemAdvise-style preferred-location + accessed-by).
+  void advise_pin(ArrayId id, DeviceId device);
+  void advise_unpin(ArrayId id, DeviceId device);
+  /// Voluntarily page the array out of `device` now. Pages whose only
+  /// current copy lives on the device are written back over the D2H DMA
+  /// class (real ops); stale pages are dropped for free. Arrays with
+  /// in-flight device ops are left untouched. Returns the bytes released.
+  std::size_t advise_evict(ArrayId id, DeviceId device);
+
   // --- host access (caller must have synchronized; we check) ---
   /// Blocking read: migrates D2H if the device copy is newer.
   void host_read(ArrayId id);
@@ -149,6 +176,29 @@ class GpuRuntime {
   [[nodiscard]] long batch_commits() const { return batch_commits_; }
   [[nodiscard]] long batched_ops() const { return batched_ops_; }
 
+  // --- recorded submissions (replayable; see TaskGraph::Replay::Recorded) --
+  /// Tee every subsequent async call into `sub` *in addition to* normal
+  /// execution (a batch is opened if none is). The recorded list can then
+  /// be re-committed with replay() — repeatedly, without re-validation or
+  /// rebuilding — like a CUDA graph relaunch. Mutually exclusive with
+  /// stream capture and with an already-active recording.
+  void begin_record(Submission& sub);
+  /// Stop recording; commits the batch begin_record opened (if it opened
+  /// one) and returns the ops that batch carried.
+  std::size_t end_record();
+  /// Abandon an active recording (exception-safety path): detaches the
+  /// recording target and, if begin_record opened the batch, commits it —
+  /// ops already issued are real and the runtime returns to per-call
+  /// mode. The caller discards the partial recording (Submission::clear).
+  void abort_record();
+  [[nodiscard]] bool recording() const { return record_ != nullptr; }
+  /// Re-commit a previously recorded submission as one engine transaction
+  /// (one driver-call host charge). The recorded ops replay verbatim —
+  /// staging decisions are NOT re-derived, matching CUDA Graphs' static
+  /// replay — so keep the referenced arrays alive (and pinned, if the
+  /// device is oversubscribed). Returns the number of ops committed.
+  std::size_t replay(const Submission& sub);
+
   // --- introspection ---
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
@@ -167,6 +217,22 @@ class GpuRuntime {
   [[nodiscard]] double bytes_d2h() const { return bytes_d2h_; }
   [[nodiscard]] double bytes_faulted() const { return bytes_faulted_; }
   [[nodiscard]] double bytes_p2p() const { return bytes_p2p_; }
+  /// Bytes paged out of device `d` under memory pressure (LRU drops plus
+  /// write-backs) and across the roster.
+  [[nodiscard]] std::size_t device_bytes_evicted(DeviceId d) const {
+    return memory_.device_evicted_bytes(d);
+  }
+  [[nodiscard]] std::size_t bytes_evicted() const {
+    std::size_t n = 0;
+    for (DeviceId d = 0; d < num_devices(); ++d) {
+      n += memory_.device_evicted_bytes(d);
+    }
+    return n;
+  }
+  /// Eviction write-back ops issued (D2H page-outs priced on the DMA
+  /// classes) and fault-path migration ops issued.
+  [[nodiscard]] long evict_ops() const { return evict_ops_; }
+  [[nodiscard]] long fault_ops() const { return fault_ops_; }
   /// Per-device physical-residency accounting (see MemoryManager): bytes
   /// currently charged to device `d` and the high-water mark.
   [[nodiscard]] std::size_t device_bytes_used(DeviceId d) const {
@@ -183,11 +249,22 @@ class GpuRuntime {
   static constexpr TimeUs kBatchedCallCpuOverheadUs = 0.2;
 
  private:
-  /// Ensure the array is (or will be) resident on `stream`'s device;
-  /// creates a migration op if needed — sourced from the host (`host_kind`:
-  /// CopyH2D or Fault) when the host copy is newest, from the
-  /// lowest-indexed fresh peer device (CopyP2P) otherwise.
+  /// Stage migrations bringing the array current on `stream`'s device,
+  /// resolving sources at page granularity: every stale run is fetched from
+  /// the host (`host_kind`: CopyH2D or Fault) when only the host holds it,
+  /// or from the lowest-indexed fresh peer device (CopyP2P) — one op per
+  /// distinct source, partial-fresh arrays fetch only their stale runs.
+  /// Residency must already be admitted (see admit_working_set).
   void stage_to_device(ArrayId id, StreamId stream, OpKind host_kind);
+  /// Admit the working set of one operation to `device` in a single
+  /// eviction plan, price the plan's write-backs as D2H ops on the
+  /// device's service stream, and make `stream` wait for the page-outs to
+  /// drain before its own ops may start.
+  void admit_working_set(std::span<const ArrayId> ids, DeviceId device,
+                         StreamId stream);
+  /// Issue the plan's write-backs; returns an event completing when the
+  /// last page-out drains (kInvalidEvent if the plan carries none).
+  EventId price_eviction(const EvictionPlan& plan);
   void note_host_access(ArrayId id, bool for_write);
   [[nodiscard]] bool spec_page_fault() const;
   /// Internal per-device stream used for host-initiated transfers (D2H
@@ -222,7 +299,15 @@ class GpuRuntime {
   double bytes_d2h_ = 0;
   double bytes_faulted_ = 0;
   double bytes_p2p_ = 0;
+  long evict_ops_ = 0;
+  long fault_ops_ = 0;
   TaskGraph* capture_ = nullptr;
+  Submission* record_ = nullptr;
+  bool record_owns_batch_ = false;
+  std::vector<ArrayId> admit_scratch_;  ///< per-launch working-set ids
+  /// In-flight eviction write-back ops: runtime-initiated traffic that
+  /// free_array drains instead of reporting as a missing user sync.
+  std::unordered_set<OpId> evict_inflight_;
 };
 
 }  // namespace psched::sim

@@ -49,12 +49,43 @@ class ApiError : public Error {
   using Error::Error;
 };
 
-/// Raised when an allocation or migration exceeds a device's memory
-/// capacity. An ApiError: exceeding DeviceSpec::memory_bytes is a host
-/// programming error in this model (no oversubscription/eviction yet).
+/// Raised when a memory demand cannot be satisfied even after eviction.
+/// Device memory is oversubscribable (the paged unified-memory model evicts
+/// LRU pages to make room), so this fires only when the working set of a
+/// single operation exceeds a device's capacity — or when a managed
+/// allocation exceeds the host-side managed heap. Carries the structured
+/// accounting that produced the verdict.
 class OutOfMemoryError : public ApiError {
  public:
-  using ApiError::ApiError;
+  explicit OutOfMemoryError(const std::string& what)
+      : ApiError(what) {}
+  /// `device` is the over-committed GPU, or kInvalidDevice for the
+  /// host-side managed heap. `requested` is the incoming demand (bytes not
+  /// yet resident), `in_use` the bytes currently charged, `capacity` the
+  /// hard limit, and `evictable` how many of the charged bytes eviction
+  /// could have reclaimed (pinned pages and pages of the faulting
+  /// operation itself are not evictable).
+  OutOfMemoryError(DeviceId device_, std::size_t requested_,
+                   std::size_t in_use_, std::size_t capacity_,
+                   std::size_t evictable_, const std::string& what_prefix)
+      : ApiError(what_prefix + ": requested " + std::to_string(requested_) +
+                 " bytes, resident " + std::to_string(in_use_) + " of " +
+                 std::to_string(capacity_) + ", evictable " +
+                 std::to_string(evictable_) +
+                 (device_ == kInvalidDevice
+                      ? std::string(" (managed heap)")
+                      : " (device " + std::to_string(device_) + ")")),
+        device(device_),
+        requested(requested_),
+        in_use(in_use_),
+        capacity(capacity_),
+        evictable(evictable_) {}
+
+  DeviceId device = kInvalidDevice;
+  std::size_t requested = 0;
+  std::size_t in_use = 0;
+  std::size_t capacity = 0;
+  std::size_t evictable = 0;
 };
 
 /// CUDA-like 3D extent for grids and blocks.

@@ -145,5 +145,39 @@ TEST(DeviceArray, ReadResultMigratesBackOnce) {
   EXPECT_DOUBLE_EQ(f.gpu->bytes_d2h(), d2h);
 }
 
+TEST(DeviceArray, AdviseEvictPagesOutAndPreservesData) {
+  Fixture f;
+  auto a = f.ctx->array<float>(256, "a");
+  auto init = f.ctx->build_kernel("init", "pointer, sint32, double");
+  init(4, 64)(a, 256L, 7.0);
+  f.ctx->synchronize();
+  EXPECT_TRUE(a.resident_on(0));
+  ASSERT_GT(f.gpu->device_bytes_used(0), 0u);
+
+  // The device held the only current copy: eviction writes it back and
+  // nothing is lost.
+  const std::size_t freed = a.advise_evict(0);
+  EXPECT_EQ(freed, a.bytes());
+  EXPECT_FALSE(a.resident_on(0));
+  EXPECT_EQ(f.gpu->device_bytes_used(0), 0u);
+  EXPECT_EQ(f.ctx->stats().advised_evictions, 1);
+  f.ctx->synchronize();  // drain the write-back
+  EXPECT_DOUBLE_EQ(a.get(5), 7.0);
+}
+
+TEST(DeviceArray, PinExemptsFromAdviseEvict) {
+  Fixture f;
+  auto a = f.ctx->array<float>(256, "a");
+  auto init = f.ctx->build_kernel("init", "pointer, sint32, double");
+  init(4, 64)(a, 256L, 1.0);
+  f.ctx->synchronize();
+  a.pin(0);
+  EXPECT_EQ(a.advise_evict(0), 0u);  // pinned pages stay put
+  EXPECT_TRUE(a.resident_on(0));
+  a.unpin(0);
+  EXPECT_EQ(a.advise_evict(0), a.bytes());
+  EXPECT_FALSE(a.resident_on(0));
+}
+
 }  // namespace
 }  // namespace psched::rt

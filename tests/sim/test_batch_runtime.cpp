@@ -198,9 +198,10 @@ TEST_F(BatchRuntimeTest, SingleDeviceResidencyCounters) {
   EXPECT_EQ(rt_.device_bytes_peak(0), 12345u);
 }
 
-TEST_F(BatchRuntimeTest, OverCapacityMigrationThrowsOutOfMemory) {
-  // Two 60k arrays fit the roster's combined managed capacity but not one
-  // 100k device: the second migration to device 0 rejects.
+TEST_F(BatchRuntimeTest, OverCapacityMigrationEvictsInsteadOfThrowing) {
+  // Two 60k arrays against a 100k device: the second migration stalls on
+  // the first launch's in-flight ops, pages `a` out, and completes —
+  // oversubscription is a priced event, not an error.
   DeviceSpec spec = DeviceSpec::test_device();
   spec.memory_bytes = 100000;
   GpuRuntime rt{Machine::uniform(spec, 2)};
@@ -209,10 +210,17 @@ TEST_F(BatchRuntimeTest, OverCapacityMigrationThrowsOutOfMemory) {
   rt.host_write(a);
   rt.host_write(b);
   rt.launch(kDefaultStream, simple_kernel("k1", {{a, false}}));
-  EXPECT_THROW(rt.launch(kDefaultStream, simple_kernel("k2", {{b, false}})),
-               OutOfMemoryError);
+  EXPECT_NO_THROW(
+      rt.launch(kDefaultStream, simple_kernel("k2", {{b, false}})));
   rt.synchronize_device();
-  EXPECT_EQ(rt.device_bytes_used(0), 60000u);  // only `a` landed
+  EXPECT_EQ(rt.device_bytes_evicted(0), 60000u);  // `a` paged out
+  EXPECT_EQ(rt.device_bytes_used(0), 60000u);     // only `b` resident
+
+  // OutOfMemoryError remains for a single op that can never fit.
+  const ArrayId big = rt.alloc(120000, "big");
+  rt.host_write(big);
+  EXPECT_THROW(rt.launch(kDefaultStream, simple_kernel("k3", {{big, false}})),
+               OutOfMemoryError);
 }
 
 }  // namespace

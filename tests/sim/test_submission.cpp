@@ -5,6 +5,7 @@
 // multi-device.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -297,6 +298,83 @@ TEST(Submission, EmptyCommitIsNoop) {
   Submission sub;
   EXPECT_TRUE(eng.commit(sub).empty());
   EXPECT_TRUE(eng.all_idle());
+}
+
+// --- recorded (re-committable) submissions ---
+
+TEST(RecordedSubmission, RecommitsWithoutRevalidationOrReallocation) {
+  Engine eng(DeviceSpec::test_device());
+  const StreamId s1 = eng.create_stream();
+  const EventId ev = eng.create_event();
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  sub.record_event(ev, kDefaultStream, 0);
+  sub.wait_event(s1, ev, 0);
+  sub.enqueue(raw_kernel(s1, 5, 2, 1.0), 0);
+  const void* buffer = sub.buffer_id();
+  const std::size_t items = sub.size();
+
+  // Const-view commit: the recording is validated once (sealed), applied,
+  // and left fully intact — no draining, no reallocation.
+  const std::size_t n1 = eng.commit(std::as_const(sub));
+  EXPECT_EQ(n1, 3u);
+  EXPECT_TRUE(sub.sealed());
+  EXPECT_EQ(sub.validations(), 1);
+  EXPECT_EQ(sub.size(), items);
+  EXPECT_EQ(sub.buffer_id(), buffer);
+  eng.run_all();
+
+  // Replays skip the validation pre-pass and reuse the same buffer.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(eng.commit(std::as_const(sub)), 3u);
+    eng.run_all();
+  }
+  EXPECT_EQ(sub.validations(), 1);
+  EXPECT_EQ(sub.buffer_id(), buffer);
+  EXPECT_EQ(sub.size(), items);
+  // Every replay really executed: four commits x two kernels each.
+  long kernels = 0;
+  for (const auto& e : eng.timeline().entries()) {
+    if (e.kind == OpKind::Kernel) ++kernels;
+  }
+  EXPECT_EQ(kernels, 8);
+}
+
+TEST(RecordedSubmission, MutationUnsealsAndForcesRevalidation) {
+  Engine eng(DeviceSpec::test_device());
+  Submission sub;
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  eng.commit(std::as_const(sub));
+  EXPECT_TRUE(sub.sealed());
+  sub.enqueue(raw_kernel(kDefaultStream, 5, 2, 1.0), 0);
+  EXPECT_FALSE(sub.sealed());
+  eng.commit(std::as_const(sub));
+  EXPECT_EQ(sub.validations(), 2);
+  // A recording sealed by one engine is re-validated by another.
+  Engine other(DeviceSpec::test_device());
+  other.create_stream();
+  other.commit(std::as_const(sub));
+  EXPECT_EQ(sub.validations(), 3);
+}
+
+TEST(RecordedSubmission, ConstCommitMatchesDrainingCommitBitExact) {
+  // The same recorded list through the const-view path and the draining
+  // path: identical timelines.
+  Engine drained(DeviceSpec::test_device());
+  build_contention_via_submission(drained, 300, 8);
+  drained.run_all();
+
+  Engine replayed(DeviceSpec::test_device());
+  Submission sub;
+  emit_contention_dag(
+      replayed, 300, 8, [&](Op op) { sub.enqueue(std::move(op), 0); },
+      [&](EventId ev, StreamId s) { sub.record_event(ev, s, 0); },
+      [&](StreamId s, EventId ev) { sub.wait_event(s, ev, 0); });
+  replayed.commit(std::as_const(sub));
+  replayed.run_all();
+  EXPECT_FALSE(sub.empty());  // const commit does not drain
+
+  expect_identical(replayed.timeline(), drained.timeline());
 }
 
 // --- batched solver-work amortization ---
