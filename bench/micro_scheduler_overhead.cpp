@@ -32,6 +32,7 @@
 #include <string>
 
 #include "kernels/registry.hpp"
+#include "multi_app_scenario.hpp"
 #include "runtime/dependency.hpp"
 #include "sim/synthetic.hpp"
 
@@ -516,13 +517,69 @@ void write_bench_json(const char* path, bool smoke) {
                  "\"contention_dag_waves\", \"n_ops\": %d, \"n_streams\": "
                  "32, \"ops_per_txn\": 20000, \"ops_per_sec\": %.0f, "
                  "\"solves_per_op\": %.4f, \"solved_ops_per_op\": %.4f, "
-                 "\"peak_resident_ops\": %ld, \"makespan_us\": %.6f}\n",
+                 "\"peak_resident_ops\": %ld, \"makespan_us\": %.6f},\n",
                  big_ops, big.ops_per_sec, big.solves_per_op,
                  big.solved_ops_per_op, big.peak_resident_ops,
                  big.makespan_us);
     std::printf("million-op waves: %.0f ops/s over %d ops, peak resident "
                 "%ld\n",
                 big.ops_per_sec, big_ops, big.peak_resident_ops);
+  }
+
+  // Concurrent multi-app rows: {2, 4, 8} tenants through the TenantManager
+  // on one capped device — per-tenant throughput, Jain's fairness index
+  // over the equal-demand tenants, and eviction attribution (the
+  // oversubscribed tenant must bear the brunt; bench_check gates it).
+  std::fprintf(f, "  \"multi_app\": [\n");
+  {
+    bool first_row = true;
+    for (const int n : {2, 4, 8}) {
+      const bench::MultiAppMetrics ma = bench::run_multi_app(n, smoke);
+      std::fprintf(f,
+                   "%s    {\"scenario\": \"multi_app\", \"n_tenants\": %d, "
+                   "\"n_kernels\": %ld, \"ops_per_sec\": %.0f, "
+                   "\"makespan_us\": %.6f, \"jain_equal\": %.4f, "
+                   "\"jain_all\": %.4f, \"bytes_evicted\": %zu, "
+                   "\"heavy_bytes_evicted\": %zu,\n      \"per_tenant\": [",
+                   first_row ? "" : ",\n", ma.n_tenants, ma.kernels_launched,
+                   ma.ops_per_sec, ma.makespan_us, ma.jain_equal, ma.jain_all,
+                   ma.bytes_evicted, ma.heavy_bytes_evicted);
+      for (std::size_t i = 0; i < ma.tenants.size(); ++i) {
+        const bench::TenantMetrics& t = ma.tenants[i];
+        std::fprintf(f,
+                     "%s{\"tenant\": %d, \"weight\": %.1f, \"ops\": %ld, "
+                     "\"work_us\": %.1f, \"finish_us\": %.1f, "
+                     "\"work_per_ms\": %.3f, \"bytes_evicted\": %zu, "
+                     "\"oversubscribed\": %s}",
+                     i == 0 ? "" : ",\n        ", t.id, t.weight, t.ops,
+                     t.work_us, t.finish_us, t.work_per_ms, t.bytes_evicted,
+                     t.oversubscribed ? "true" : "false");
+      }
+      std::fprintf(f, "]}");
+      first_row = false;
+      std::printf("multi_app %d tenants: %.0f launches/s, jain(equal) %.3f, "
+                  "%.0f MB evicted (heavy tenant %.0f MB)\n",
+                  ma.n_tenants, ma.ops_per_sec, ma.jain_equal,
+                  static_cast<double>(ma.bytes_evicted) / 1e6,
+                  static_cast<double>(ma.heavy_bytes_evicted) / 1e6);
+    }
+  }
+  std::fprintf(f, "\n  ],\n");
+
+  // Weighted fair-sharing acceptance: two tenants, weights {2, 1}, one
+  // saturated kernel class — completed-work ratio at a mid-run horizon
+  // must sit at 2.0 +- 10% (bench_check enforces the band).
+  {
+    const bench::WeightedPairMetrics w = bench::run_weighted_pair(smoke);
+    std::fprintf(f,
+                 "  \"weighted_pair\": {\"scenario\": \"multi_app_weighted\","
+                 " \"weights\": [%.1f, %.1f], \"horizon_us\": %.1f, "
+                 "\"work_hi_us\": %.3f, \"work_lo_us\": %.3f, "
+                 "\"work_ratio\": %.4f}\n",
+                 w.weight_hi, w.weight_lo, w.horizon_us, w.work_hi, w.work_lo,
+                 w.work_ratio);
+    std::printf("weighted pair (2:1): work ratio %.3f at t=%.0f us\n",
+                w.work_ratio, w.horizon_us);
   }
 
   std::fprintf(f, "}\n");

@@ -1,0 +1,53 @@
+// Concurrent multi-app harness: {2, 4, 8} synthetic applications sharing
+// one engine through TenantManager handles, plus the weighted {2:1} fair-
+// sharing pair. Prints per-tenant throughput, Jain's fairness index, and
+// eviction attribution; the same scenarios feed BENCH_scheduler.json via
+// micro_scheduler_overhead (the `bench` target), which the bench-ratchet
+// gates.
+//
+//   multi_app [--smoke]
+#include <cstdio>
+#include <cstring>
+
+#include "multi_app_scenario.hpp"
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  using namespace psched;
+  for (const int n : {2, 4, 8}) {
+    const bench::MultiAppMetrics m = bench::run_multi_app(n, smoke);
+    std::printf(
+        "multi_app n=%d: %ld kernels, makespan %.0f us, %.0f launches/s, "
+        "jain(equal)=%.3f jain(all)=%.3f, evicted %.1f MB "
+        "(heavy %.1f MB, light %.1f MB)\n",
+        m.n_tenants, m.kernels_launched, m.makespan_us, m.ops_per_sec,
+        m.jain_equal, m.jain_all, static_cast<double>(m.bytes_evicted) / 1e6,
+        static_cast<double>(m.heavy_bytes_evicted) / 1e6,
+        static_cast<double>(m.light_bytes_evicted) / 1e6);
+    for (const bench::TenantMetrics& t : m.tenants) {
+      std::printf(
+          "  tenant %d%s: w=%.1f ws=%.1f MB  ops=%ld  work=%.0f us "
+          "(%.1f work-us/ms)  evicted %.1f MB\n",
+          t.id, t.oversubscribed ? " (oversubscribed)" : "", t.weight,
+          static_cast<double>(t.working_set_bytes) / 1e6, t.ops, t.work_us,
+          t.work_per_ms, static_cast<double>(t.bytes_evicted) / 1e6);
+    }
+  }
+
+  const bench::WeightedPairMetrics w = bench::run_weighted_pair(smoke);
+  std::printf(
+      "weighted pair (2:1) at t=%.0f us: hi %.0f us vs lo %.0f us work "
+      "-> ratio %.3f (target 2.0 +- 10%%)\n",
+      w.horizon_us, w.work_hi, w.work_lo, w.work_ratio);
+  const bool ok = w.work_ratio > 1.8 && w.work_ratio < 2.2;
+  if (!ok) {
+    std::fprintf(stderr, "weighted pair ratio %.3f outside [1.8, 2.2]\n",
+                 w.work_ratio);
+    return 1;
+  }
+  return 0;
+}

@@ -10,7 +10,18 @@ default) and exits nonzero when any headline regresses by more than the
 tolerance (default 20%). Higher-is-better rows only; makespans and solver
 counters are informational. Also validates completeness: the fresh run must
 carry every section the reference does (sweep, ingest_pair, shapes,
-oversubscription, million_op), so a silently skipped axis fails the gate.
+oversubscription, million_op, multi_app, weighted_pair), so a silently
+skipped axis fails the gate.
+
+Multi-app acceptance facts (deterministic in virtual time, so the bounds
+are tight):
+  * every multi_app row's Jain fairness index over the equal-weight,
+    equal-demand tenants must be >= 0.85;
+  * the oversubscribed tenant must evict, and must evict at least as many
+    bytes as any other single tenant (the quota bias directs the pressure
+    at the over-quota app);
+  * the weighted {2:1} pair's completed-work ratio must sit in
+    [1.8, 2.2] (2.0 +- 10%).
 
 The `bench-ratchet` CMake target wires this as:
     cmake --build build --target bench bench-ratchet
@@ -43,6 +54,9 @@ def headline_rows(doc):
                row["ops_per_sec"])
     if "million_op" in doc:
         yield ("million_op", doc["million_op"]["ops_per_sec"])
+    for row in doc.get("multi_app", []):
+        yield ("multi_app n_tenants={}".format(row["n_tenants"]),
+               row["ops_per_sec"])
 
 
 def check_oversubscription(doc):
@@ -66,6 +80,62 @@ def check_oversubscription(doc):
         if ratio > 1.0 and row["evict_ops"] <= 0:
             errors.append(
                 "ratio {}x issued no eviction write-backs".format(ratio))
+    return errors
+
+
+def check_multi_app(doc, reference):
+    """The multi-tenant acceptance facts the bench must reproduce."""
+    errors = []
+    rows = doc.get("multi_app", [])
+    if reference.get("multi_app") and len(rows) < len(reference["multi_app"]):
+        errors.append("multi_app sweep incomplete: {} rows, want {}".format(
+            len(rows), len(reference["multi_app"])))
+    for row in rows:
+        n = row["n_tenants"]
+        # jain_equal is vacuous (identically 1.0) when only one
+        # equal-demand tenant exists (n=2: everyone but the one
+        # oversubscribed app), so only gate it when it can move.
+        if n > 2 and row["jain_equal"] < 0.85:
+            errors.append(
+                "multi_app n={}: Jain index {:.3f} over equal-weight "
+                "tenants below 0.85".format(n, row["jain_equal"]))
+        if row["jain_all"] < 0.85:
+            errors.append(
+                "multi_app n={}: Jain index {:.3f} over all tenants "
+                "below 0.85".format(n, row["jain_all"]))
+        per_tenant = row.get("per_tenant", [])
+        # Jain's index degenerates to 1.0 on all-zero input, so the
+        # fairness gates above are only meaningful if every tenant
+        # actually got attributed work.
+        if any(t["work_us"] <= 0 for t in per_tenant):
+            errors.append(
+                "multi_app n={}: a tenant completed zero attributed work "
+                "(fairness gates would be vacuous)".format(n))
+        heavy = [t for t in per_tenant if t.get("oversubscribed")]
+        light = [t for t in per_tenant if not t.get("oversubscribed")]
+        if not heavy:
+            errors.append("multi_app n={}: no oversubscribed tenant".format(n))
+            continue
+        if heavy[0]["bytes_evicted"] <= 0:
+            errors.append(
+                "multi_app n={}: oversubscribed tenant evicted nothing; "
+                "its working set must not fit".format(n))
+        worst_light = max((t["bytes_evicted"] for t in light), default=0)
+        if heavy[0]["bytes_evicted"] < worst_light:
+            errors.append(
+                "multi_app n={}: quota bias violated — oversubscribed "
+                "tenant evicted {} bytes but an in-quota tenant evicted "
+                "{}".format(n, heavy[0]["bytes_evicted"], worst_light))
+    pair = doc.get("weighted_pair")
+    if pair is None:
+        if reference.get("weighted_pair"):
+            errors.append("weighted_pair section missing")
+    else:
+        ratio = pair["work_ratio"]
+        if not 1.8 <= ratio <= 2.2:
+            errors.append(
+                "weighted_pair: work ratio {:.3f} outside [1.8, 2.2] "
+                "(weight-2 tenant must get 2x +- 10%)".format(ratio))
     return errors
 
 
@@ -102,6 +172,7 @@ def main():
                     label, got, floor, ref_ops, args.tolerance))
 
     failures.extend(check_oversubscription(fresh))
+    failures.extend(check_multi_app(fresh, ref))
 
     if failures:
         print("\nbench_check FAILED:")

@@ -17,6 +17,9 @@ Context::Context(sim::GpuRuntime& gpu, Options opts)
 Context::~Context() {
   // Drain in-flight work so functional closures never outlive the context.
   try {
+    // Same invariant as every public entry point: the flush below must
+    // not run with another context's tenant ambient.
+    activate();
     if (opts_.batch_submit && gpu_->submitting()) gpu_->commit();
     gpu_->synchronize_device();
   } catch (...) {
@@ -26,6 +29,7 @@ Context::~Context() {
 }
 
 DeviceArray Context::array(DType dtype, std::size_t n, std::string name) {
+  activate();
   auto state = std::make_shared<ArrayState>();
   state->ctx = this;
   state->dtype = dtype;
@@ -37,6 +41,7 @@ DeviceArray Context::array(DType dtype, std::size_t n, std::string name) {
 }
 
 void Context::free(DeviceArray& a) {
+  activate();
   if (!a.valid()) throw sim::ApiError("free: empty DeviceArray");
   ArrayState* s = a.state();
   // Retire every computation still operating on this array.
@@ -72,6 +77,7 @@ LibraryFunction Context::bind_library(LibraryFunctionDef def) {
 }
 
 void Context::synchronize() {
+  activate();
   gpu_->synchronize_device();
   ++stats_.blocking_syncs;
   for (Computation* c : active_) {
@@ -139,6 +145,7 @@ std::vector<Computation::Use> Context::collect_uses(
 
 void Context::submit_kernel(const Kernel& kernel, const sim::LaunchConfig& cfg,
                             std::vector<Value> values) {
+  activate();
   check_args(kernel.name(), kernel.signature(), values);
   const KernelDef* def = kernel.def_;
 
@@ -174,6 +181,7 @@ void Context::submit_kernel(const Kernel& kernel, const sim::LaunchConfig& cfg,
 
 void Context::submit_library(const LibraryFunctionDef& def,
                              std::vector<Value> values) {
+  activate();
   check_args(def.name, def.params, values);
   ++stats_.library_calls;
 
@@ -350,6 +358,11 @@ void Context::schedule_serial(Computation& c, const sim::LaunchConfig& cfg,
 }
 
 void Context::wait_for(Computation& c) {
+  // Re-assert the tenant even though draining issues nothing today: a
+  // caller may interleave contexts between the entry point and this
+  // wait, and future retire-triggered runtime work must not land on
+  // whichever tenant happened to be ambient.
+  activate();
   if (c.event != sim::kInvalidEvent) {
     gpu_->synchronize_event(c.event);
     ++stats_.blocking_syncs;
@@ -358,6 +371,7 @@ void Context::wait_for(Computation& c) {
 }
 
 std::size_t Context::advise_evict(DeviceArray& a, sim::DeviceId d) {
+  activate();
   if (!a.valid()) throw sim::ApiError("advise_evict: empty array handle");
   // Retire finished computations first so quiescent arrays are actually
   // seen as quiescent (GpuRuntime skips arrays with in-flight ops).
@@ -369,11 +383,13 @@ std::size_t Context::advise_evict(DeviceArray& a, sim::DeviceId d) {
 }
 
 void Context::pin(DeviceArray& a, sim::DeviceId d) {
+  activate();
   if (!a.valid()) throw sim::ApiError("pin: empty array handle");
   gpu_->advise_pin(a.state()->sim_id, d);
 }
 
 void Context::unpin(DeviceArray& a, sim::DeviceId d) {
+  activate();
   if (!a.valid()) throw sim::ApiError("unpin: empty array handle");
   gpu_->advise_unpin(a.state()->sim_id, d);
 }
@@ -390,6 +406,7 @@ void Context::sweep_finished() {
 }
 
 void Context::on_host_read(ArrayState* array) {
+  activate();
   if (opts_.policy == SchedulePolicy::Serial) {
     ++stats_.immediate_accesses;
     gpu_->host_read(array->sim_id);
@@ -449,6 +466,7 @@ void Context::on_host_read(ArrayState* array) {
 }
 
 void Context::on_host_write(ArrayState* array) {
+  activate();
   if (opts_.policy == SchedulePolicy::Serial) {
     ++stats_.immediate_accesses;
     gpu_->host_write(array->sim_id);

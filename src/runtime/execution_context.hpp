@@ -38,6 +38,12 @@ struct Options {
   /// Multi-GPU placement (applies when the runtime's Machine roster holds
   /// more than one device; single-device rosters ignore it).
   DevicePolicy device_policy = DevicePolicy::SingleDevice;
+  /// Tenant this context's computations, streams, and arrays belong to
+  /// (multi-app runs sharing one GpuRuntime give each app its own Context
+  /// with a distinct tenant — typically a TenantManager-created id). The
+  /// context activates it on the runtime before every operation. Tenant 0
+  /// is the default single-app tenant.
+  sim::TenantId tenant = sim::kDefaultTenant;
   /// Automatic unified-memory prefetching ahead of kernels (Pascal+ only;
   /// pre-Pascal architectures always transfer ahead of execution).
   bool prefetch = true;
@@ -151,6 +157,11 @@ class Context {
   void on_host_write(ArrayState* array);
 
  private:
+  /// Make this context's tenant the runtime's ambient tenant. Called at
+  /// every public entry point: contexts of different tenants interleave
+  /// on one runtime, so the ambient tenant must be re-asserted before
+  /// streams are created or ops issued on this context's behalf.
+  void activate() { gpu_->set_active_tenant(opts_.tenant); }
   Computation& new_computation(Computation::Kind kind, std::string label);
   /// Validate invocation values against a NIDL signature.
   static void check_args(const std::string& name,

@@ -2,7 +2,9 @@
 // multi-GPU placement).
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "sim/types.hpp"
 
@@ -47,6 +49,13 @@ enum class DevicePolicy {
   /// Place where the computation's input arrays already reside: pick the
   /// device with the fewest bytes to migrate (ties cycle round-robin).
   MinTransfer,
+  /// Pressure- and tenant-aware placement: steer a tenant's computations
+  /// away from devices where its *own* pages are being evicted. The
+  /// per-(tenant, device) bytes_evicted counters are sampled over a
+  /// sliding placement window (a rate, not an all-time total, so a device
+  /// that stopped thrashing becomes eligible again); among devices at the
+  /// minimum pressure the MinTransfer cost decides, then round-robin.
+  MinPressure,
 };
 
 /// Chooses the device for each computation according to a DevicePolicy.
@@ -62,11 +71,26 @@ class DevicePlacer {
   [[nodiscard]] DevicePolicy policy() const { return policy_; }
 
  private:
+  /// Bytes each roster device would have to migrate to run `c` now
+  /// (shared by MinTransfer and MinPressure's tie-break).
+  void transfer_costs(const Computation& c, std::vector<double>& cost);
   [[nodiscard]] sim::DeviceId min_transfer_device(const Computation& c);
+  [[nodiscard]] sim::DeviceId min_pressure_device(const Computation& c);
+  /// Pick among `ties` round-robin (single entry short-circuits).
+  [[nodiscard]] sim::DeviceId pick_tie(const std::vector<sim::DeviceId>& t);
+
+  /// Placements between pressure-baseline refreshes: the window that
+  /// turns the monotone eviction counters into a recent-pressure rate.
+  static constexpr int kPressureWindow = 64;
 
   sim::GpuRuntime* gpu_;
   DevicePolicy policy_;
   int next_rr_ = 0;
+  int pressure_tick_ = 0;
+  /// Eviction-counter baseline of the current window, per device, for
+  /// the placing tenant observed at the window start.
+  std::vector<std::size_t> pressure_base_;
+  sim::TenantId pressure_tenant_ = sim::kInvalidTenant;
 };
 
 [[nodiscard]] inline const char* to_string(SchedulePolicy p) {
@@ -87,6 +111,7 @@ class DevicePlacer {
     case DevicePolicy::SingleDevice: return "single-device";
     case DevicePolicy::RoundRobin: return "round-robin";
     case DevicePolicy::MinTransfer: return "min-transfer";
+    case DevicePolicy::MinPressure: return "min-pressure";
   }
   return "?";
 }

@@ -17,6 +17,14 @@
 // earliest-created candidate in O(log pool), and a candidate that became
 // busy again since it drained (a completion callback may re-enqueue work)
 // is lazily discarded on pop.
+//
+// Multi-tenant sharing: several managers — one per app Context, each with
+// its own tenant — may coexist on one GpuRuntime. The engine broadcasts
+// every stream drain to every registered observer; note_idle() drops
+// streams outside this manager's pool (the pool_device_ map doubles as
+// the ownership test), so tenants never reuse each other's streams, and
+// a stream created here inherits the runtime's ambient tenant (the
+// owning Context asserts its tenant before every submission).
 #pragma once
 
 #include <queue>

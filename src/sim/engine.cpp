@@ -51,6 +51,7 @@ Engine::Engine(Machine machine)
   class_work_.resize(static_cast<std::size_t>(num_classes_));
   class_rate_.resize(static_cast<std::size_t>(num_classes_));
   class_pred_.resize(static_cast<std::size_t>(num_classes_));
+  class_tenant_.resize(static_cast<std::size_t>(num_classes_));
   class_since_.assign(static_cast<std::size_t>(num_classes_), 0);
   class_next_.assign(static_cast<std::size_t>(num_classes_), kTimeInfinity);
   class_dirty_.assign(static_cast<std::size_t>(num_classes_), 0);
@@ -61,12 +62,17 @@ Engine::Engine(Machine machine)
 
 StreamId Engine::create_stream() { return create_stream(kDefaultDevice); }
 
-StreamId Engine::create_stream(DeviceId device) {
+StreamId Engine::create_stream(DeviceId device, TenantId tenant) {
   if (!machine_.valid_device(device)) {
     throw ApiError("create_stream: invalid device " + std::to_string(device));
   }
+  if (tenant < 0 || tenant >= kMaxTenants) {
+    throw ApiError("create_stream: invalid tenant " + std::to_string(tenant));
+  }
   StreamState st;
   st.device = device;
+  st.tenant = tenant;
+  if (tenant != kDefaultTenant) tenancy_active_ = true;
   streams_.push_back(std::move(st));
   return static_cast<StreamId>(streams_.size() - 1);
 }
@@ -76,6 +82,70 @@ DeviceId Engine::stream_device(StreamId stream) const {
     throw ApiError("stream_device: invalid stream " + std::to_string(stream));
   }
   return streams_[static_cast<std::size_t>(stream)].device;
+}
+
+TenantId Engine::stream_tenant(StreamId stream) const {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw ApiError("stream_tenant: invalid stream " + std::to_string(stream));
+  }
+  return streams_[static_cast<std::size_t>(stream)].tenant;
+}
+
+void Engine::set_tenant_weight(TenantId t, double weight) {
+  if (t < 0 || t >= kMaxTenants) {
+    throw ApiError("set_tenant_weight: invalid tenant " + std::to_string(t));
+  }
+  if (!(weight > 0)) {
+    throw ApiError("set_tenant_weight: weight must be > 0");
+  }
+  if (tenant_weights_.size() <= static_cast<std::size_t>(t)) {
+    tenant_weights_.resize(static_cast<std::size_t>(t) + 1, 1.0);
+  }
+  tenant_weights_[static_cast<std::size_t>(t)] = weight;
+  // Re-price running ops under the new weight now, not at the next
+  // unrelated membership churn: dirty every populated class so the next
+  // advance re-solves it (dynamic re-weighting — the QoS entry point —
+  // must take effect at the call, like every other rate change).
+  if (tenancy_active_) {
+    for (int cls = 0; cls < num_classes_; ++cls) {
+      if (!class_members_[static_cast<std::size_t>(cls)].empty()) {
+        mark_class_dirty(cls);
+      }
+    }
+  }
+}
+
+double Engine::tenant_weight(TenantId t) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_weights_.size()) {
+    return 1.0;
+  }
+  return tenant_weights_[static_cast<std::size_t>(t)];
+}
+
+long Engine::tenant_completed_ops(TenantId t) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_done_ops_.size()) {
+    return 0;
+  }
+  return tenant_done_ops_[static_cast<std::size_t>(t)];
+}
+
+double Engine::tenant_completed_work(TenantId t) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_done_work_.size()) {
+    return 0;
+  }
+  return tenant_done_work_[static_cast<std::size_t>(t)];
+}
+
+double Engine::tenant_inflight_work(TenantId t) const {
+  double sum = 0;
+  for (const Op& op : slab_) {
+    if (op.state != OpState::Running || op.kind != OpKind::Kernel ||
+        op.tenant != t) {
+      continue;
+    }
+    sum += op.work - live_remaining(op);
+  }
+  return sum;
 }
 
 const ResourceModel& Engine::model(DeviceId d) const {
@@ -158,6 +228,7 @@ OpId Engine::enqueue(Op op, TimeUs host_time) {
     ++txn_ops_;
   }
   op.device = streams_[static_cast<std::size_t>(op.stream)].device;
+  op.tenant = streams_[static_cast<std::size_t>(op.stream)].tenant;
   if (op.kind != OpKind::CopyP2P) op.peer = kInvalidDevice;
   op.id = next_op_id_++;
   op.enqueue_time = std::max(host_time, op.enqueue_time);
@@ -511,6 +582,15 @@ void Engine::complete_op(Op& op) {
   op.state = OpState::Done;
   op.end_time = now_;
   ++completed_count_;
+  if (op.tenant >= 0) {
+    const auto t = static_cast<std::size_t>(op.tenant);
+    if (tenant_done_ops_.size() <= t) {
+      tenant_done_ops_.resize(t + 1, 0);
+      tenant_done_work_.resize(t + 1, 0);
+    }
+    ++tenant_done_ops_[t];
+    if (op.kind == OpKind::Kernel) tenant_done_work_[t] += op.work;
+  }
 
   OpRecord& rec = records_[static_cast<std::size_t>(op.id - 1)];
   rec.start = op.start_time;
@@ -546,6 +626,7 @@ void Engine::complete_op(Op& op) {
     auto& wrk = class_work_[static_cast<std::size_t>(cls)];
     auto& rate = class_rate_[static_cast<std::size_t>(cls)];
     auto& pred = class_pred_[static_cast<std::size_t>(cls)];
+    auto& tnt = class_tenant_[static_cast<std::size_t>(cls)];
     rem[pos] = rem.back();
     rem.pop_back();
     wrk[pos] = wrk.back();
@@ -554,6 +635,8 @@ void Engine::complete_op(Op& op) {
     rate.pop_back();
     pred[pos] = pred.back();
     pred.pop_back();
+    tnt[pos] = tnt.back();
+    tnt.pop_back();
     op.class_pos = -1;
     mark_class_dirty(cls);
     if (is_dma_copy(op.kind)) {
@@ -729,6 +812,7 @@ void Engine::check_stream_head(StreamId stream) {
     class_work_[static_cast<std::size_t>(cls)].push_back(op.work);
     class_rate_[static_cast<std::size_t>(cls)].push_back(0);
     class_pred_[static_cast<std::size_t>(cls)].push_back(kTimeInfinity);
+    class_tenant_[static_cast<std::size_t>(cls)].push_back(op.tenant);
     mark_class_dirty(cls);
   }
   if (op.remaining() <= kWorkEps) {
@@ -804,6 +888,24 @@ void Engine::recompute_rates() {
                   .class_share(kSlotKind[cls % kSlotsPerDevice],
                                members.size());
     }
+    // Tenancy: a class whose members span several tenants re-shares its
+    // aggregate bandwidth weight-proportionally across them. An engine
+    // with only default-tenant streams skips the uniformity scan on one
+    // branch; with tenancy active the scan is O(members), dwarfed by the
+    // solve itself, and a uniform tenant column never leaves the
+    // historical arithmetic.
+    bool multi_tenant = false;
+    if (tenancy_active_) {
+      const auto& tenants = class_tenant_[static_cast<std::size_t>(cls)];
+      for (std::size_t i = 1; i < tenants.size(); ++i) {
+        if (tenants[i] != tenants[0]) {
+          multi_tenant = true;
+          break;
+        }
+      }
+    }
+    if (multi_tenant) apply_tenant_shares(cls, kernel_class, share);
+    const bool per_member = kernel_class || multi_tenant;
     auto& rem = class_remaining_[static_cast<std::size_t>(cls)];
     const auto& wrk = class_work_[static_cast<std::size_t>(cls)];
     auto& rate = class_rate_[static_cast<std::size_t>(cls)];
@@ -816,7 +918,7 @@ void Engine::recompute_rates() {
         // Progress accrued at the old rate since the last fold.
         rem[i] = std::max(0.0, rem[i] - rate[i] * dt);
       }
-      const double r = kernel_class ? solve_rates_[i] : share;
+      const double r = per_member ? solve_rates_[i] : share;
       rate[i] = r;
       if (rem[i] <= kWorkEps * std::max(1.0, wrk[i])) {
         pred[i] = now_;  // residue below the work epsilon: due now
@@ -831,6 +933,125 @@ void Engine::recompute_rates() {
     class_next_[static_cast<std::size_t>(cls)] = next;
   }
   dirty_classes_.clear();
+}
+
+void Engine::apply_tenant_shares(int cls, bool kernel_class, double share) {
+  const auto& tenants = class_tenant_[static_cast<std::size_t>(cls)];
+  const std::size_t n = tenants.size();
+  // Equal-share classes materialize their scalar into the rate vector so
+  // both class families re-share through the same per-member path.
+  if (!kernel_class) solve_rates_.assign(n, share);
+
+  // Distinct-tenant table (linear probe: concurrent tenants are few).
+  share_tenant_.clear();
+  share_weight_.clear();
+  share_rate_sum_.clear();
+  share_cap_.clear();
+  double total_weight = 0;
+  double total_rate = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TenantId t = tenants[i];
+    std::size_t j = 0;
+    while (j < share_tenant_.size() && share_tenant_[j] != t) ++j;
+    if (j == share_tenant_.size()) {
+      share_tenant_.push_back(t);
+      share_weight_.push_back(tenant_weight(t));
+      share_rate_sum_.push_back(0);
+      share_cap_.push_back(0);
+      total_weight += share_weight_.back();
+    }
+    share_rate_sum_[j] += solve_rates_[i];
+    share_cap_[j] += 1.0;  // a kernel member absorbs at most rate 1.0
+    total_rate += solve_rates_[i];
+  }
+  if (total_weight <= 0 || total_rate <= 0) return;
+  const std::size_t nt = share_tenant_.size();
+
+  if (!kernel_class) {
+    // Transfers carry no per-member ceiling: a one-shot weighted split
+    // of the aggregate (equal within a tenant — share_cap_ holds the
+    // member count) is already work-conserving.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t j = 0;
+      while (share_tenant_[j] != tenants[i]) ++j;
+      solve_rates_[i] =
+          total_rate * share_weight_[j] / (total_weight * share_cap_[j]);
+    }
+    return;
+  }
+
+  // Kernels: weighted water-fill of the aggregate over tenants, each
+  // capped by what its members can absorb (rate 1.0 apiece — never
+  // faster than solo). Base rates are <= 1.0, so the aggregate always
+  // fits under the caps: the class total is conserved, and a high-weight
+  // tenant that saturates at solo speed hands its surplus to the others
+  // instead of idling the device.
+  share_budget_.assign(nt, 0);
+  share_active_.assign(nt, 1);
+  double remaining = total_rate;
+  double active_weight = total_weight;
+  for (std::size_t pass = 0; pass < nt && active_weight > 0; ++pass) {
+    bool any_capped = false;
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (!share_active_[j]) continue;
+      const double target = remaining * share_weight_[j] / active_weight;
+      if (target >= share_cap_[j]) {
+        share_budget_[j] = share_cap_[j];
+        share_active_[j] = 0;
+        any_capped = true;
+      }
+    }
+    if (!any_capped) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        if (share_active_[j]) {
+          share_budget_[j] = remaining * share_weight_[j] / active_weight;
+        }
+      }
+      break;
+    }
+    // Rebuild the active aggregate after removing the capped tenants.
+    remaining = total_rate;
+    active_weight = 0;
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (share_active_[j]) {
+        active_weight += share_weight_[j];
+      } else {
+        remaining -= share_budget_[j];
+      }
+    }
+  }
+
+  // Intra-tenant: spread each budget over the tenant's members in
+  // proportion to their base-solve rates, member rates capped at 1.0 —
+  // a bounded water-fill converging in <= n_t passes (a capped member's
+  // overflow re-spreads over the rest).
+  share_capped_.assign(n, 0);
+  for (std::size_t j = 0; j < nt; ++j) {
+    const TenantId t = share_tenant_[j];
+    double budget = share_budget_[j];
+    double unc_sum = share_rate_sum_[j];
+    for (;;) {
+      if (unc_sum <= 0) break;
+      const double f = budget / unc_sum;
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (tenants[i] != t || share_capped_[i]) continue;
+        if (f * solve_rates_[i] >= 1.0) {
+          budget -= 1.0;
+          unc_sum -= solve_rates_[i];
+          solve_rates_[i] = 1.0;
+          share_capped_[i] = 1;
+          any = true;
+        }
+      }
+      if (!any) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (tenants[i] == t && !share_capped_[i]) solve_rates_[i] *= f;
+        }
+        break;
+      }
+    }
+  }
 }
 
 TimeUs Engine::earliest_completion() const {

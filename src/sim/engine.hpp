@@ -137,14 +137,38 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // --- topology ---
-  /// Streams are created lazily; stream 0 (default, device 0) always
-  /// exists. The no-argument overload creates on device 0.
+  /// Streams are created lazily; stream 0 (default, device 0, tenant 0)
+  /// always exists. The no-argument overload creates on device 0. Streams
+  /// carry their owning tenant: every op enqueued on a stream inherits its
+  /// tenant (like its device), so tenant tagging survives transactions and
+  /// recorded replays without per-op plumbing.
   StreamId create_stream();
-  StreamId create_stream(DeviceId device);
+  StreamId create_stream(DeviceId device, TenantId tenant = kDefaultTenant);
   EventId create_event();
   [[nodiscard]] std::size_t num_streams() const { return streams_.size(); }
   [[nodiscard]] DeviceId stream_device(StreamId stream) const;
+  [[nodiscard]] TenantId stream_tenant(StreamId stream) const;
   [[nodiscard]] int num_devices() const { return machine_.num_devices(); }
+
+  // --- tenancy (weighted fair sharing; see docs/engine-internals.md) ---
+  /// Set tenant `t`'s fair-share weight (default 1.0; must be > 0). Within
+  /// a saturated resource class holding ops of several tenants, bandwidth
+  /// is split across tenants in proportion to weight, then equally among a
+  /// tenant's own ops. Classes occupied by a single tenant keep today's
+  /// arithmetic bit-for-bit — single-app runs never pay for tenancy.
+  void set_tenant_weight(TenantId t, double weight);
+  [[nodiscard]] double tenant_weight(TenantId t) const;
+  /// Completed-op count / completed kernel work (solo-us) per tenant —
+  /// the per-tenant throughput the multi-app harness reports.
+  [[nodiscard]] long tenant_completed_ops(TenantId t) const;
+  [[nodiscard]] double tenant_completed_work(TenantId t) const;
+  /// Kernel work the tenant's *running* ops have progressed through as of
+  /// now() (solo-us, folded from the class progress mirrors). Added to
+  /// tenant_completed_work this gives a completion-quantization-free
+  /// progress reading at any virtual instant — what the weighted-share
+  /// acceptance ratio is measured on. O(live ops): introspection, not a
+  /// hot path.
+  [[nodiscard]] double tenant_inflight_work(TenantId t) const;
 
   // --- host-side API (host_time is the caller's current virtual time) ---
   /// Enqueue an op on `op.stream`; returns its id. The op executes on the
@@ -280,6 +304,7 @@ class Engine {
   struct StreamState {
     std::deque<OpId> fifo;  ///< queued + running ops, in issue order
     DeviceId device = kDefaultDevice;
+    TenantId tenant = kDefaultTenant;  ///< ops inherit this at enqueue
     bool pending = false;   ///< queued for a head ready-check
   };
   struct EventState {
@@ -373,6 +398,18 @@ class Engine {
   /// Re-solve rates for every dirty resource class, refreshing each
   /// member's predicted completion and the class minimum.
   void recompute_rates();
+  /// Weighted per-tenant fair sharing of one class whose members span
+  /// several tenants: rewrites solve_rates_ (sized to the class) so each
+  /// tenant's aggregate rate is weight-proportional, conserving the
+  /// class's aggregate. Equal-share classes split the capacity
+  /// `share * n` outright; kernel classes run a bounded water-fill —
+  /// tenants are capped by what their members can absorb (rate 1.0
+  /// apiece, never faster than solo) and a capped tenant's surplus flows
+  /// to the others instead of idling the device, then each tenant's
+  /// budget spreads over its members in proportion to their base-solve
+  /// rates (again capped at 1.0). Called only on the multi-tenant path —
+  /// a single-tenant class never reaches it.
+  void apply_tenant_shares(int cls, bool kernel_class, double share);
   /// Push a start-heap entry for `op` (displacing its previous entry, if
   /// any, into staleness) and compact the heap when stale entries outnumber
   /// live ones.
@@ -462,6 +499,10 @@ class Engine {
   std::vector<std::vector<double>> class_work_;
   std::vector<std::vector<double>> class_rate_;
   std::vector<std::vector<TimeUs>> class_pred_;
+  /// Owning tenant of each member (same indexing as class_members_). The
+  /// re-solve scans it to detect multi-tenant classes; a uniform column
+  /// keeps the historical single-tenant arithmetic untouched.
+  std::vector<std::vector<TenantId>> class_tenant_;
   std::vector<TimeUs> class_since_;
   /// Minimum pred_end over each class's members (infinity when empty);
   /// valid for clean classes, refreshed by recompute_rates() for dirty
@@ -481,6 +522,26 @@ class Engine {
   std::vector<StreamId> batch_;
   std::vector<OpId> due_;
   std::vector<double> solve_rates_;
+  /// Distinct-tenant table of the class being re-solved (weighted path
+  /// only): tenant id, weight, base-rate sum, absorbable cap (member
+  /// count — rate 1.0 apiece), water-filled budget, still-active flag;
+  /// plus a per-member capped flag for the intra-tenant distribution.
+  std::vector<TenantId> share_tenant_;
+  std::vector<double> share_weight_;
+  std::vector<double> share_rate_sum_;
+  std::vector<double> share_cap_;
+  std::vector<double> share_budget_;
+  std::vector<char> share_active_;
+  std::vector<char> share_capped_;
+
+  // --- tenancy ---
+  std::vector<double> tenant_weights_;     ///< indexed by TenantId; 1.0 gap
+  std::vector<long> tenant_done_ops_;      ///< completions per tenant
+  std::vector<double> tenant_done_work_;   ///< completed kernel solo-us
+  /// True once any stream with a non-default tenant exists. Single-app
+  /// engines (every stream tenant 0) skip the per-solve tenant-
+  /// uniformity scan on this one branch — tenancy costs them nothing.
+  bool tenancy_active_ = false;
 
   long solve_count_ = 0;
   long solved_ops_ = 0;

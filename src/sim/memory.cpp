@@ -65,6 +65,60 @@ long MemoryManager::device_evictions(DeviceId d) const {
   return device_evictions_[static_cast<std::size_t>(d)];
 }
 
+void MemoryManager::ensure_tenant(TenantId t) {
+  if (t < 0 || t >= kMaxTenants) {
+    throw ApiError("invalid tenant id " + std::to_string(t));
+  }
+  const auto n = static_cast<std::size_t>(t) + 1;
+  if (tenant_used_.size() >= n) return;
+  tenant_quota_.resize(
+      n, std::vector<std::size_t>(device_capacity_.size(), kNoQuota));
+  tenant_used_.resize(n,
+                      std::vector<std::size_t>(device_capacity_.size(), 0));
+  tenant_evicted_.resize(
+      n, std::vector<std::size_t>(device_capacity_.size(), 0));
+  tenant_alloc_.resize(n, 0);
+}
+
+void MemoryManager::set_tenant_quota(TenantId t, DeviceId d,
+                                     std::size_t bytes) {
+  check_device(d, "set_tenant_quota");
+  ensure_tenant(t);
+  tenant_quota_[static_cast<std::size_t>(t)][static_cast<std::size_t>(d)] =
+      bytes;
+}
+
+std::size_t MemoryManager::tenant_quota(TenantId t, DeviceId d) const {
+  check_device(d, "tenant_quota");
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_quota_.size()) {
+    return kNoQuota;
+  }
+  return tenant_quota_[static_cast<std::size_t>(t)]
+                      [static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::tenant_used_bytes(TenantId t, DeviceId d) const {
+  check_device(d, "tenant_used_bytes");
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_used_.size()) return 0;
+  return tenant_used_[static_cast<std::size_t>(t)]
+                     [static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::tenant_evicted_bytes(TenantId t,
+                                                DeviceId d) const {
+  check_device(d, "tenant_evicted_bytes");
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_evicted_.size()) {
+    return 0;
+  }
+  return tenant_evicted_[static_cast<std::size_t>(t)]
+                        [static_cast<std::size_t>(d)];
+}
+
+std::size_t MemoryManager::tenant_alloc_bytes(TenantId t) const {
+  if (t < 0 || static_cast<std::size_t>(t) >= tenant_alloc_.size()) return 0;
+  return tenant_alloc_[static_cast<std::size_t>(t)];
+}
+
 void MemoryManager::touch(ArrayInfo& a, DeviceId d) {
   check_device(d, "touch");
   if (a.lru_stamp.size() < device_capacity_.size()) {
@@ -111,6 +165,11 @@ void MemoryManager::apply_page_out(const PageOut& po, DeviceId d) {
   });
   device_used_[static_cast<std::size_t>(d)] -= po.bytes;
   device_evicted_[static_cast<std::size_t>(d)] += po.bytes;
+  ensure_tenant(a.owner);
+  tenant_used_[static_cast<std::size_t>(a.owner)]
+              [static_cast<std::size_t>(d)] -= po.bytes;
+  tenant_evicted_[static_cast<std::size_t>(a.owner)]
+                 [static_cast<std::size_t>(d)] += po.bytes;
   if (po.writeback) {
     device_writeback_[static_cast<std::size_t>(d)] += po.bytes;
     a.host_touched = true;  // the host now holds real data for these pages
@@ -119,13 +178,17 @@ void MemoryManager::apply_page_out(const PageOut& po, DeviceId d) {
 
 EvictionPlan MemoryManager::build_and_apply_plan(
     DeviceId d, std::size_t shortfall, std::size_t requested,
-    std::span<const ArrayId> protect) {
+    std::span<const ArrayId> protect, TenantId requester) {
   const std::uint32_t bit = 1u << d;
   // Victim candidates: every resident extent of every live, unpinned,
-  // quiescent array outside the faulting working set. `fresh` selects the
-  // eviction tier: stale copies (a current copy exists elsewhere — free to
-  // drop) go before fresh ones (may need a write-back).
+  // quiescent array outside the faulting working set. `over_quota` selects
+  // the outermost eviction tier: runs owned by a tenant resident beyond
+  // its soft quota are victimized before anyone else's (the quota's only
+  // enforcement). `fresh` selects the tier inside it: stale copies (a
+  // current copy exists elsewhere — free to drop) go before fresh ones
+  // (may need a write-back).
   struct Candidate {
+    bool over_quota = false;
     bool fresh = false;
     std::uint64_t stamp = 0;
     ArrayId id = kInvalidArray;
@@ -142,9 +205,13 @@ EvictionPlan MemoryManager::build_and_apply_plan(
         static_cast<std::size_t>(d) < a.lru_stamp.size()
             ? a.lru_stamp[static_cast<std::size_t>(d)]
             : 0;
+    // Quota standing is judged once, at plan-build entry: a deterministic
+    // order even though applying the plan drains the over-quota tenant.
+    const bool over = tenant_over_quota(a.owner, d);
     for (const PageExtent& e : a.extents) {
       if ((e.resident_mask & bit) == 0) continue;
       Candidate c;
+      c.over_quota = over;
       c.fresh = (e.fresh_mask & bit) != 0;
       // A write-back is needed only when this device holds the *only*
       // current copy of the run.
@@ -159,15 +226,22 @@ EvictionPlan MemoryManager::build_and_apply_plan(
     }
   }
   if (evictable < shortfall) {
+    if (requester == kInvalidTenant && !protect.empty()) {
+      requester = info(protect.front()).owner;
+    }
     throw OutOfMemoryError(
         d, requested, device_used_[static_cast<std::size_t>(d)],
-        device_capacity_[static_cast<std::size_t>(d)], evictable,
+        device_capacity_[static_cast<std::size_t>(d)], evictable, requester,
+        tenant_used_bytes(requester, d),
         "device " + std::to_string(d) + " out of memory");
   }
-  // Deterministic LRU order: stale runs first, then by last-access stamp,
-  // ties by (array id, first page).
+  // Deterministic quota-biased LRU order: over-quota tenants' runs first,
+  // then stale runs before fresh, then by last-access stamp, ties by
+  // (array id, first page). With no quotas configured nobody is over
+  // quota and the order is the historical one.
   std::sort(cands.begin(), cands.end(),
             [](const Candidate& x, const Candidate& y) {
+              if (x.over_quota != y.over_quota) return x.over_quota;
               if (x.fresh != y.fresh) return !x.fresh;
               if (x.stamp != y.stamp) return x.stamp < y.stamp;
               if (x.id != y.id) return x.id < y.id;
@@ -222,6 +296,9 @@ void MemoryManager::charge_pages(ArrayInfo& a, DeviceId d) {
   used += charged;
   auto& peak = device_peak_[static_cast<std::size_t>(d)];
   peak = std::max(peak, used);
+  ensure_tenant(a.owner);
+  tenant_used_[static_cast<std::size_t>(a.owner)]
+              [static_cast<std::size_t>(d)] += charged;
   touch(a, d);
 }
 
@@ -231,7 +308,7 @@ EvictionPlan MemoryManager::charge_residency(ArrayInfo& a, DeviceId d) {
 }
 
 EvictionPlan MemoryManager::charge_residency(std::span<const ArrayId> ids,
-                                             DeviceId d) {
+                                             DeviceId d, TenantId requester) {
   check_device(d, "charge_residency");
   std::size_t needed = 0;
   for (std::size_t i = 0; i < ids.size(); ++i) {
@@ -251,7 +328,8 @@ EvictionPlan MemoryManager::charge_residency(std::span<const ArrayId> ids,
     // One eviction plan for the whole working set (the faulting op's own
     // arrays are never victims): this is what makes a 2x-capacity working
     // set thrash instead of die.
-    plan = build_and_apply_plan(d, used + needed - cap, needed, ids);
+    plan = build_and_apply_plan(d, used + needed - cap, needed, ids,
+                                requester);
   }
   for (const ArrayId id : ids) charge_pages(info(id), d);
   return plan;
@@ -286,15 +364,19 @@ EvictionPlan MemoryManager::evict(ArrayInfo& a, DeviceId d) {
   return plan;
 }
 
-ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
+ArrayId MemoryManager::alloc(std::size_t bytes, std::string name,
+                             TenantId owner) {
   if (bytes == 0) throw ApiError("alloc: zero-byte allocation");
+  ensure_tenant(owner);
   if (used_ + bytes > host_capacity_) {
     throw OutOfMemoryError(kInvalidDevice, bytes, used_, host_capacity_, 0,
+                           owner, tenant_alloc_bytes(owner),
                            "managed heap out of memory");
   }
   ArrayInfo info;
   info.id = next_id_++;
   info.name = std::move(name);
+  info.owner = owner;
   info.bytes = bytes;
   info.page_size = page_bytes_;
   info.num_pages =
@@ -302,6 +384,7 @@ ArrayId MemoryManager::alloc(std::size_t bytes, std::string name) {
   info.extents.push_back({0, info.num_pages, 0, 0, true});
   info.lru_stamp.assign(device_capacity_.size(), 0);
   used_ += bytes;
+  tenant_alloc_[static_cast<std::size_t>(owner)] += bytes;
   const ArrayId id = info.id;
   arrays_.emplace(id, std::move(info));
   return id;
@@ -318,6 +401,8 @@ void MemoryManager::free_array(ArrayId id) {
                    "' still in use by device operations");
   }
   used_ -= a.bytes;
+  ensure_tenant(a.owner);
+  tenant_alloc_[static_cast<std::size_t>(a.owner)] -= a.bytes;
   // Release every device's per-run residency charge.
   for (const PageExtent& e : a.extents) {
     std::uint32_t mask = e.resident_mask;
@@ -326,6 +411,8 @@ void MemoryManager::free_array(ArrayId id) {
       const int d = std::countr_zero(mask);
       mask &= mask - 1;
       device_used_[static_cast<std::size_t>(d)] -= run;
+      tenant_used_[static_cast<std::size_t>(a.owner)]
+                  [static_cast<std::size_t>(d)] -= run;
     }
   }
   // Erase outright: the eviction scan walks the live map on every

@@ -29,6 +29,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -60,6 +61,9 @@ struct PageExtent {
 struct ArrayInfo {
   ArrayId id = kInvalidArray;
   std::string name;
+  /// Owning application (set at alloc). Residency charges, eviction
+  /// accounting, and quota checks are attributed to this tenant.
+  TenantId owner = kDefaultTenant;
   std::size_t bytes = 0;
   /// Paging geometry (set at alloc): fixed page size, last page partial.
   std::size_t page_size = 0;
@@ -328,6 +332,9 @@ class MemoryManager {
   /// Managed-heap bound when none is given: oversubscription needs the
   /// logical heap to exceed device memory, like UM bounded by host RAM.
   static constexpr std::size_t kHostHeapMultiple = 4;
+  /// "No quota" sentinel: the tenant may use the whole device.
+  static constexpr std::size_t kNoQuota =
+      std::numeric_limits<std::size_t>::max();
 
   /// Single-device roster (legacy entry point).
   explicit MemoryManager(const DeviceSpec& spec)
@@ -340,10 +347,12 @@ class MemoryManager {
                          std::size_t page_bytes = kDefaultPageBytes,
                          std::size_t host_heap_bytes = 0);
 
-  /// Reserve managed (logical) capacity. Throws OutOfMemoryError only when
-  /// the *host* managed heap is exhausted — device memory is
-  /// oversubscribable and enforced at admission (charge_residency).
-  ArrayId alloc(std::size_t bytes, std::string name);
+  /// Reserve managed (logical) capacity for `owner`. Throws
+  /// OutOfMemoryError only when the *host* managed heap is exhausted —
+  /// device memory is oversubscribable and enforced at admission
+  /// (charge_residency).
+  ArrayId alloc(std::size_t bytes, std::string name,
+                TenantId owner = kDefaultTenant);
   /// Free the array, releasing its logical reservation and every device's
   /// residency charge.
   void free_array(ArrayId id);
@@ -358,8 +367,11 @@ class MemoryManager {
   /// One-plan admission of a whole operation's working set: the combined
   /// shortfall of `ids` is evicted in one LRU pass (never evicting pages
   /// of `ids` themselves), then every array is charged. This is the
-  /// transaction-batched fault-servicing entry the runtime uses per launch.
-  EvictionPlan charge_residency(std::span<const ArrayId> ids, DeviceId d);
+  /// transaction-batched fault-servicing entry the runtime uses per
+  /// launch. `requester` attributes an OutOfMemoryError to the admitting
+  /// tenant (kInvalidTenant falls back to the first array's owner).
+  EvictionPlan charge_residency(std::span<const ArrayId> ids, DeviceId d,
+                                TenantId requester = kInvalidTenant);
 
   /// Voluntarily page out every resident page of `a` on `d` (advise
   /// hook). Returns the applied plan; arrays with in-flight device ops are
@@ -405,6 +417,26 @@ class MemoryManager {
   [[nodiscard]] std::size_t evictable_bytes(
       DeviceId d, std::span<const ArrayId> protect = {}) const;
 
+  // --- tenancy: soft quotas and per-tenant accounting ---
+  /// Soft residency quota of `t` on device `d` (kNoQuota = unlimited).
+  /// Quotas never block an admission; they bias eviction: a tenant
+  /// resident beyond its quota has its pages victimized before any
+  /// under-quota tenant's (pinned / pending / own-working-set exemptions
+  /// unchanged). With no quotas set the victim order is untouched.
+  void set_tenant_quota(TenantId t, DeviceId d, std::size_t bytes);
+  [[nodiscard]] std::size_t tenant_quota(TenantId t, DeviceId d) const;
+  /// Bytes tenant `t` has resident (charged) on device `d` right now.
+  [[nodiscard]] std::size_t tenant_used_bytes(TenantId t, DeviceId d) const;
+  /// Bytes of tenant `t`'s pages evicted from device `d` so far — the
+  /// live per-tenant pressure signal DevicePolicy::MinPressure steers on.
+  [[nodiscard]] std::size_t tenant_evicted_bytes(TenantId t,
+                                                 DeviceId d) const;
+  /// Logical managed-heap bytes tenant `t` has allocated.
+  [[nodiscard]] std::size_t tenant_alloc_bytes(TenantId t) const;
+  [[nodiscard]] bool tenant_over_quota(TenantId t, DeviceId d) const {
+    return tenant_used_bytes(t, d) > tenant_quota(t, d);
+  }
+
  private:
   void check_device(DeviceId d, const char* who) const;
   /// The one victim-eligibility rule (shared by the plan builder and
@@ -413,10 +445,15 @@ class MemoryManager {
   [[nodiscard]] static bool eviction_candidate(
       const ArrayInfo& a, DeviceId d, std::span<const ArrayId> protect);
   /// Build (and apply) an LRU plan freeing >= `shortfall` bytes on `d`;
-  /// throws OutOfMemoryError(d, requested, ...) when impossible.
+  /// throws OutOfMemoryError(d, requested, ..., requester, ...) when
+  /// impossible. Victim order is quota-biased: over-quota tenants' runs
+  /// (judged once, at plan-build entry) go before everyone else's.
   EvictionPlan build_and_apply_plan(DeviceId d, std::size_t shortfall,
                                     std::size_t requested,
-                                    std::span<const ArrayId> protect);
+                                    std::span<const ArrayId> protect,
+                                    TenantId requester);
+  /// Grow the per-tenant accounting vectors to cover tenant `t`.
+  void ensure_tenant(TenantId t);
   /// Apply one page-out: clear residency/freshness, hand the only-copy
   /// data to the host on write-back, release the charge.
   void apply_page_out(const PageOut& po, DeviceId d);
@@ -437,6 +474,12 @@ class MemoryManager {
   std::vector<std::size_t> device_evicted_;
   std::vector<std::size_t> device_writeback_;
   std::vector<long> device_evictions_;
+  // --- per-(tenant, device) accounting (grown on demand; tenant ids are
+  // small dense integers handed out by the TenantManager) ---
+  std::vector<std::vector<std::size_t>> tenant_quota_;    ///< kNoQuota gap
+  std::vector<std::vector<std::size_t>> tenant_used_;
+  std::vector<std::vector<std::size_t>> tenant_evicted_;
+  std::vector<std::size_t> tenant_alloc_;  ///< logical heap bytes
 };
 
 }  // namespace psched::sim

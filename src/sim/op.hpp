@@ -60,6 +60,11 @@ struct Op {
   /// CopyP2P only: the *source* device (the destination is `device`, the
   /// stream's device). Selects the directed link class (peer -> device).
   DeviceId peer = kInvalidDevice;
+  /// Owning application — inherited from the stream at enqueue (like
+  /// `device`), so recorded replays and transactions re-derive it
+  /// consistently. Drives per-tenant weighted fair sharing and the
+  /// per-tenant completion counters.
+  TenantId tenant = kDefaultTenant;
   std::string name;
 
   TimeUs enqueue_time = 0;  ///< host time of the API call; earliest start

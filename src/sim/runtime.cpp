@@ -48,18 +48,22 @@ GpuRuntime::GpuRuntime(Machine machine)
 
 GpuRuntime::GpuRuntime(Machine machine, std::size_t page_bytes)
     : engine_(std::move(machine)), memory_(engine_.machine(), page_bytes) {
-  // Device 0's host-initiated transfers ride the default stream (the
-  // single-GPU behaviour); peer devices get a service stream on demand.
+  // Device 0's host-initiated transfers for the default tenant ride the
+  // default stream (the single-GPU, single-app behaviour); peer devices
+  // and other tenants get a service stream on demand.
   service_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
-                          kInvalidStream);
-  service_streams_[0] = kDefaultStream;
+                          {});
+  service_streams_[0].push_back(kDefaultStream);
 }
 
 GpuRuntime::~GpuRuntime() = default;
 
 StreamId GpuRuntime::service_stream(DeviceId device) {
-  StreamId& s = service_streams_[static_cast<std::size_t>(device)];
-  if (s == kInvalidStream) s = engine_.create_stream(device);
+  auto& per_device = service_streams_[static_cast<std::size_t>(device)];
+  const auto t = static_cast<std::size_t>(active_tenant_);
+  if (per_device.size() <= t) per_device.resize(t + 1, kInvalidStream);
+  StreamId& s = per_device[t];
+  if (s == kInvalidStream) s = engine_.create_stream(device, active_tenant_);
   return s;
 }
 
@@ -197,10 +201,15 @@ void GpuRuntime::poll() {
   engine_.advance_to(host_now_);
 }
 
-StreamId GpuRuntime::create_stream() { return engine_.create_stream(); }
+StreamId GpuRuntime::create_stream() {
+  return create_stream(kDefaultDevice);
+}
 
 StreamId GpuRuntime::create_stream(DeviceId device) {
-  return engine_.create_stream(device);
+  // Streams belong to the ambient tenant: ops enqueued on them inherit it
+  // inside the engine, so tenant tagging rides transactions and recorded
+  // replays for free.
+  return engine_.create_stream(device, active_tenant_);
 }
 
 EventId GpuRuntime::create_event() { return engine_.create_event(); }
@@ -257,7 +266,7 @@ bool GpuRuntime::event_done(EventId event) {
 }
 
 ArrayId GpuRuntime::alloc(std::size_t bytes, const std::string& name) {
-  return memory_.alloc(bytes, name);
+  return memory_.alloc(bytes, name, active_tenant_);
 }
 
 void GpuRuntime::free_array(ArrayId id) {
@@ -339,7 +348,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
                                    DeviceId device, StreamId stream) {
   EvictionPlan plan;
   try {
-    plan = memory_.charge_residency(ids, device);
+    plan = memory_.charge_residency(ids, device, active_tenant_);
   } catch (const OutOfMemoryError&) {
     // Arrays of in-flight ops are not evictable, so a burst of async
     // launches can pin more than the device holds. A real UM fault stalls
@@ -350,7 +359,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
     flush_submission();
     const TimeUs t = engine_.run_all();
     host_now_ = std::max(host_now_, t);
-    plan = memory_.charge_residency(ids, device);
+    plan = memory_.charge_residency(ids, device, active_tenant_);
   }
   // Keep fault servicing out of any active recording: at replay nothing
   // is admitted, so neither the page-outs nor the gate belong in the

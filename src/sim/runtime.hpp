@@ -98,6 +98,20 @@ class GpuRuntime {
   /// Model host-side computation taking `dt` microseconds.
   void host_advance(TimeUs dt);
 
+  // --- tenancy (see sim/tenant.hpp for the multi-app handles) ---
+  /// The ambient tenant subsequently created streams and allocations are
+  /// attributed to (ops inherit their stream's tenant inside the engine).
+  /// Single-app programs never touch this and stay on tenant 0. The
+  /// TenantManager's handles set it before every forwarded call.
+  void set_active_tenant(TenantId t) {
+    if (t < 0 || t >= kMaxTenants) {
+      throw ApiError("set_active_tenant: invalid tenant " +
+                     std::to_string(t));
+    }
+    active_tenant_ = t;
+  }
+  [[nodiscard]] TenantId active_tenant() const { return active_tenant_; }
+
   // --- streams and events ---
   /// Process device completions up to the current host time (non-blocking).
   /// Lets pollers (e.g. the stream manager's idle free-list) observe
@@ -222,6 +236,12 @@ class GpuRuntime {
   [[nodiscard]] std::size_t device_bytes_evicted(DeviceId d) const {
     return memory_.device_evicted_bytes(d);
   }
+  /// Bytes of tenant `t`'s pages paged out of device `d` — the live
+  /// per-tenant pressure signal behind DevicePolicy::MinPressure.
+  [[nodiscard]] std::size_t tenant_bytes_evicted(TenantId t,
+                                                 DeviceId d) const {
+    return memory_.tenant_evicted_bytes(t, d);
+  }
   [[nodiscard]] std::size_t bytes_evicted() const {
     std::size_t n = 0;
     for (DeviceId d = 0; d < num_devices(); ++d) {
@@ -267,8 +287,13 @@ class GpuRuntime {
   EventId price_eviction(const EvictionPlan& plan);
   void note_host_access(ArrayId id, bool for_write);
   [[nodiscard]] bool spec_page_fault() const;
-  /// Internal per-device stream used for host-initiated transfers (D2H
-  /// reads); device 0 maps to the default stream, others are lazily made.
+  /// Internal per-(device, tenant) stream used for runtime-initiated
+  /// transfers (eviction write-backs, host-read D2H). Keyed by the
+  /// *ambient* tenant so the traffic — and its weighted share of the D2H
+  /// class — is charged to the tenant whose admission or read caused it,
+  /// never to a shared system tenant. (Device 0, tenant 0) maps to the
+  /// default stream, the historical single-app behaviour; others are
+  /// lazily made.
   [[nodiscard]] StreamId service_stream(DeviceId device);
 
   /// Charge one async API call to the host clock (full per-call overhead,
@@ -288,7 +313,7 @@ class GpuRuntime {
 
   Engine engine_;
   MemoryManager memory_;
-  std::vector<StreamId> service_streams_;
+  std::vector<std::vector<StreamId>> service_streams_;  ///< [device][tenant]
   bool batch_open_ = false;
   long batch_commits_ = 0;
   long batched_ops_ = 0;
@@ -301,6 +326,7 @@ class GpuRuntime {
   double bytes_p2p_ = 0;
   long evict_ops_ = 0;
   long fault_ops_ = 0;
+  TenantId active_tenant_ = kDefaultTenant;
   TaskGraph* capture_ = nullptr;
   Submission* record_ = nullptr;
   bool record_owns_batch_ = false;

@@ -1,0 +1,133 @@
+#include "sim/tenant.hpp"
+
+#include <utility>
+
+namespace psched::sim {
+
+GpuRuntime& Tenant::gpu() {
+  mgr_->gpu_->set_active_tenant(id_);
+  return *mgr_->gpu_;
+}
+
+StreamId Tenant::create_stream(DeviceId device) {
+  const StreamId s = gpu().create_stream(device);
+  streams_.push_back(s);
+  return s;
+}
+
+EventId Tenant::create_event() { return gpu().create_event(); }
+
+ArrayId Tenant::alloc(std::size_t bytes, const std::string& name) {
+  return gpu().alloc(bytes, name);
+}
+
+void Tenant::free_array(ArrayId id) { gpu().free_array(id); }
+
+OpId Tenant::launch(StreamId stream, const LaunchSpec& spec) {
+  return gpu().launch(stream, spec);
+}
+
+OpId Tenant::mem_prefetch_async(ArrayId id, StreamId stream) {
+  return gpu().mem_prefetch_async(id, stream);
+}
+
+void Tenant::host_write(ArrayId id) { gpu().host_write(id); }
+
+void Tenant::host_read(ArrayId id) { gpu().host_read(id); }
+
+void Tenant::record_event(EventId event, StreamId stream) {
+  gpu().record_event(event, stream);
+}
+
+void Tenant::stream_wait_event(StreamId stream, EventId event) {
+  gpu().stream_wait_event(stream, event);
+}
+
+void Tenant::synchronize_stream(StreamId stream) {
+  gpu().synchronize_stream(stream);
+}
+
+void Tenant::synchronize() {
+  GpuRuntime& rt = gpu();
+  // Draining one stream can run the clock past completions on another,
+  // but never *adds* work to a drained stream (the host is here, not
+  // issuing), so one ascending pass reaches a tenant-idle state.
+  for (const StreamId s : streams_) rt.synchronize_stream(s);
+}
+
+long Tenant::ops_completed() const {
+  return mgr_->gpu_->engine().tenant_completed_ops(id_);
+}
+
+double Tenant::work_completed() const {
+  return mgr_->gpu_->engine().tenant_completed_work(id_);
+}
+
+double Tenant::work_progress() const {
+  const Engine& eng = mgr_->gpu_->engine();
+  return eng.tenant_completed_work(id_) + eng.tenant_inflight_work(id_);
+}
+
+std::size_t Tenant::bytes_evicted(DeviceId d) const {
+  return mgr_->gpu_->memory().tenant_evicted_bytes(id_, d);
+}
+
+std::size_t Tenant::bytes_evicted() const {
+  std::size_t n = 0;
+  for (DeviceId d = 0; d < mgr_->gpu_->num_devices(); ++d) {
+    n += bytes_evicted(d);
+  }
+  return n;
+}
+
+std::size_t Tenant::device_bytes_used(DeviceId d) const {
+  return mgr_->gpu_->memory().tenant_used_bytes(id_, d);
+}
+
+Tenant& TenantManager::create_tenant(TenantSpec spec) {
+  const auto id = static_cast<TenantId>(tenants_.size());
+  if (spec.name.empty()) spec.name = "tenant" + std::to_string(id);
+  gpu_->engine().set_tenant_weight(id, spec.weight);
+  if (spec.device_quota_bytes != MemoryManager::kNoQuota) {
+    for (DeviceId d = 0; d < gpu_->num_devices(); ++d) {
+      gpu_->memory().set_tenant_quota(id, d, spec.device_quota_bytes);
+    }
+  }
+  tenants_.push_back(
+      std::unique_ptr<Tenant>(new Tenant(*this, id, std::move(spec))));
+  return *tenants_.back();
+}
+
+Tenant& TenantManager::tenant(TenantId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= tenants_.size()) {
+    throw ApiError("tenant: unknown tenant " + std::to_string(id));
+  }
+  return *tenants_[static_cast<std::size_t>(id)];
+}
+
+const Tenant& TenantManager::tenant(TenantId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= tenants_.size()) {
+    throw ApiError("tenant: unknown tenant " + std::to_string(id));
+  }
+  return *tenants_[static_cast<std::size_t>(id)];
+}
+
+double TenantManager::jain_index(std::span<const double> xs) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (xs.empty() || sum_sq <= 0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+double TenantManager::work_fairness() const {
+  std::vector<double> work;
+  work.reserve(tenants_.size());
+  for (const auto& t : tenants_) work.push_back(t->work_completed());
+  return jain_index(work);
+}
+
+}  // namespace psched::sim

@@ -25,6 +25,10 @@ using EventId = std::int64_t;
 using ArrayId = std::int64_t;
 /// GPU index inside a Machine roster. Device 0 always exists.
 using DeviceId = std::int32_t;
+/// Tenant (application) identifier for multi-app scheduling. Tenant 0 is
+/// the default tenant every untagged entity belongs to, so single-app
+/// programs never see tenancy at all.
+using TenantId = std::int32_t;
 
 inline constexpr OpId kInvalidOp = -1;
 inline constexpr StreamId kInvalidStream = -1;
@@ -33,8 +37,16 @@ inline constexpr EventId kInvalidEvent = -1;
 inline constexpr ArrayId kInvalidArray = -1;
 inline constexpr DeviceId kInvalidDevice = -1;
 inline constexpr DeviceId kDefaultDevice = 0;
+inline constexpr TenantId kInvalidTenant = -1;
+inline constexpr TenantId kDefaultTenant = 0;
 /// Residency masks are 32-bit; a Machine holds at most this many GPUs.
 inline constexpr int kMaxDevices = 32;
+/// Upper bound on tenant ids. Tenant ids index dense accounting vectors
+/// (engine counters, per-(tenant, device) quota/usage tables), so they
+/// must stay small integers — the TenantManager hands them out densely
+/// from 0, and the bound turns a wild id into ApiError instead of a
+/// multi-gigabyte resize.
+inline constexpr TenantId kMaxTenants = 4096;
 inline constexpr TimeUs kTimeInfinity = std::numeric_limits<TimeUs>::infinity();
 
 /// Base class for every error raised by the simulator or the runtime.
@@ -68,10 +80,25 @@ class OutOfMemoryError : public ApiError {
   OutOfMemoryError(DeviceId device_, std::size_t requested_,
                    std::size_t in_use_, std::size_t capacity_,
                    std::size_t evictable_, const std::string& what_prefix)
+      : OutOfMemoryError(device_, requested_, in_use_, capacity_, evictable_,
+                         kInvalidTenant, 0, what_prefix) {}
+
+  /// Multi-tenant form: `tenant` is the requesting application and
+  /// `tenant_in_use` the bytes that tenant alone has charged on `device`
+  /// (or allocated from the managed heap), so multi-app OOMs are
+  /// attributable without replaying the run.
+  OutOfMemoryError(DeviceId device_, std::size_t requested_,
+                   std::size_t in_use_, std::size_t capacity_,
+                   std::size_t evictable_, TenantId tenant_,
+                   std::size_t tenant_in_use_, const std::string& what_prefix)
       : ApiError(what_prefix + ": requested " + std::to_string(requested_) +
                  " bytes, resident " + std::to_string(in_use_) + " of " +
                  std::to_string(capacity_) + ", evictable " +
                  std::to_string(evictable_) +
+                 (tenant_ == kInvalidTenant
+                      ? std::string()
+                      : ", tenant " + std::to_string(tenant_) + " holds " +
+                            std::to_string(tenant_in_use_)) +
                  (device_ == kInvalidDevice
                       ? std::string(" (managed heap)")
                       : " (device " + std::to_string(device_) + ")")),
@@ -79,13 +106,19 @@ class OutOfMemoryError : public ApiError {
         requested(requested_),
         in_use(in_use_),
         capacity(capacity_),
-        evictable(evictable_) {}
+        evictable(evictable_),
+        tenant(tenant_),
+        tenant_in_use(tenant_in_use_) {}
 
   DeviceId device = kInvalidDevice;
   std::size_t requested = 0;
   std::size_t in_use = 0;
   std::size_t capacity = 0;
   std::size_t evictable = 0;
+  /// Requesting tenant (kInvalidTenant when the caller did not attribute
+  /// the demand) and the bytes that tenant had in use at the throw.
+  TenantId tenant = kInvalidTenant;
+  std::size_t tenant_in_use = 0;
 };
 
 /// CUDA-like 3D extent for grids and blocks.

@@ -529,5 +529,52 @@ TEST(Context, BatchedSubmitFlushesAtHostReads) {
   EXPECT_GE(ctx.stats().batch_commits, 2);
 }
 
+TEST(Context, TenantedContextsShareOneRuntimeWithAttribution) {
+  // Two app contexts — distinct tenants — interleave on one GpuRuntime:
+  // each context's streams and arrays carry its tenant, completed work
+  // is attributed per tenant, and the functional results are unaffected
+  // by the sharing.
+  sim::GpuRuntime gpu(sim::DeviceSpec::test_device());
+  Options opts_a;
+  opts_a.registry = &test::test_registry();
+  opts_a.tenant = 1;
+  Options opts_b = opts_a;
+  opts_b.tenant = 2;
+  Context ctx_a(gpu, opts_a);
+  Context ctx_b(gpu, opts_b);
+
+  const std::size_t n = 1 << 12;
+  auto xa = ctx_a.array<float>(n, "xa");
+  auto xb = ctx_b.array<float>(n, "xb");
+  EXPECT_EQ(gpu.memory().info(xa.state()->sim_id).owner, 1);
+  EXPECT_EQ(gpu.memory().info(xb.state()->sim_id).owner, 2);
+
+  auto init_a = ctx_a.build_kernel("init", "pointer, sint32, float");
+  auto init_b = ctx_b.build_kernel("init", "pointer, sint32, float");
+  init_a(4, 64)(xa, static_cast<long>(n), 2.0);
+  init_b(4, 64)(xb, static_cast<long>(n), 3.0);
+  init_a(4, 64)(xa, static_cast<long>(n), 5.0);
+  ctx_a.synchronize();
+  ctx_b.synchronize();
+
+  EXPECT_DOUBLE_EQ(xa.get(0), 5.0);
+  EXPECT_DOUBLE_EQ(xb.get(0), 3.0);
+  // Streams created on each context's behalf carry its tenant.
+  for (const sim::StreamId s : ctx_a.stream_manager().streams()) {
+    EXPECT_EQ(gpu.engine().stream_tenant(s), 1);
+  }
+  for (const sim::StreamId s : ctx_b.stream_manager().streams()) {
+    EXPECT_EQ(gpu.engine().stream_tenant(s), 2);
+  }
+  // Each tenant's kernels PLUS its own get(0) read-back (host-initiated
+  // D2H rides the reading tenant's service stream, not a shared system
+  // stream): 2 kernels + 1 read for tenant 1, 1 + 1 for tenant 2.
+  EXPECT_EQ(gpu.engine().tenant_completed_ops(1), 3);
+  EXPECT_EQ(gpu.engine().tenant_completed_ops(2), 2);
+  // Nothing — neither ops nor kernel work — lands on the default tenant.
+  EXPECT_EQ(gpu.engine().tenant_completed_ops(0), 0);
+  EXPECT_DOUBLE_EQ(gpu.engine().tenant_completed_work(0), 0.0);
+}
+
 }  // namespace
 }  // namespace psched::rt

@@ -256,6 +256,46 @@ TEST(MultiGpu, BatchedContextMatchesPerCallResults) {
   EXPECT_GT(batched.batch_commits, 0);
 }
 
+TEST(MultiGpu, MinPressureSteersAwayFromThrashingDevice) {
+  // Thrash tenant 0 on device 0 (working set 2x its capacity, raw
+  // runtime launches), then place a fresh root computation under the
+  // MinPressure policy: the tenant's own eviction pressure on device 0
+  // must push it to device 1 even though round-robin/min-transfer ties
+  // would have started at device 0.
+  sim::DeviceSpec spec = sim::DeviceSpec::test_device();
+  spec.memory_bytes = 1 << 20;  // 1 MiB per device
+  sim::GpuRuntime gpu(sim::Machine::uniform(spec, 2, true),
+                      /*page_bytes=*/64 << 10);
+  const sim::StreamId s0 = gpu.create_stream(0);
+  std::vector<sim::ArrayId> ws;
+  for (int i = 0; i < 4; ++i) {
+    ws.push_back(gpu.alloc(512 << 10, "w" + std::to_string(i)));
+    gpu.host_write(ws.back());
+  }
+  sim::LaunchSpec k;
+  k.name = "thrash";
+  k.config = sim::LaunchConfig::linear(4, 64);
+  k.profile.flops_sp = 1e5;
+  for (int round = 0; round < 2; ++round) {
+    for (const sim::ArrayId a : ws) {
+      k.arrays = {{a, true}};
+      gpu.launch(s0, k);
+      gpu.synchronize_device();
+    }
+  }
+  ASSERT_GT(gpu.tenant_bytes_evicted(0, 0), 0u);
+  ASSERT_EQ(gpu.tenant_bytes_evicted(0, 1), 0u);
+
+  Options opts;
+  opts.device_policy = DevicePolicy::MinPressure;
+  opts.registry = &test::test_registry();
+  Context ctx(gpu, opts);
+  auto x = ctx.array<float>(1024, "x");
+  launch_init(ctx, x, 1.0);
+  ctx.synchronize();
+  EXPECT_EQ(ctx.computations().front()->device, 1);
+}
+
 TEST(MultiGpu, PerDeviceStreamPoolsReuseIndependently) {
   Options opts;
   opts.device_policy = DevicePolicy::RoundRobin;

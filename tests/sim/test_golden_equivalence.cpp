@@ -74,6 +74,41 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return sanitized(benchsuite::name(info.param)); });
 
 // ---------------------------------------------------------------------
+// Single-tenant fast path (tenancy guardrail): with one tenant, all of
+// the fairness accounting — tenant columns in the solver mirrors, the
+// weight table, quota bookkeeping — must compile down to today's
+// behaviour. Not "within tolerance": the two runs execute the identical
+// arithmetic on one engine build, so every time must match bit for bit.
+// ---------------------------------------------------------------------
+
+TEST(GoldenEquivalence, SingleTenantFastPathBitIdentical) {
+  const GoldenRun base = run_contention_scenario();
+
+  Engine eng(DeviceSpec::test_device());
+  // Configure tenancy aggressively — a non-default weight for the only
+  // tenant and a registered but op-less second tenant — none of which
+  // may perturb a single-tenant schedule.
+  eng.set_tenant_weight(0, 7.0);
+  eng.set_tenant_weight(5, 0.25);
+  build_contention_dag(eng, 1000, 16);
+  GoldenRun run;
+  run.makespan = eng.run_all();
+  run.entries = eng.timeline().entries();
+
+  EXPECT_EQ(run.makespan, base.makespan);  // exact, not approximate
+  ASSERT_EQ(run.entries.size(), base.entries.size());
+  for (std::size_t i = 0; i < base.entries.size(); ++i) {
+    const TimelineEntry& got = run.entries[i];
+    const TimelineEntry& want = base.entries[i];
+    ASSERT_EQ(got.kind, want.kind) << "entry " << i;
+    ASSERT_EQ(got.stream, want.stream) << "entry " << i;
+    ASSERT_EQ(got.name, want.name) << "entry " << i;
+    ASSERT_EQ(got.start, want.start) << "entry " << i;  // bit-identical
+    ASSERT_EQ(got.end, want.end) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
 // Solver-work regression (Fig. 9 contention scenario): the incremental
 // per-class re-solve must do strictly less rate-assignment work than the
 // seed's full re-solve on every running-set change, and must never regress
