@@ -17,10 +17,15 @@
 // trajectory of the event-heap engine is tracked run over run:
 //
 //   micro_scheduler_overhead --bench_json=BENCH_scheduler.json [--smoke]
+//                            [--section=<name>]
 //
 // (the `bench` CMake target does exactly this into the build directory;
 // `bench-smoke` runs the same sweep at tiny scale as a bitrot canary and
-// is registered with ctest).
+// is registered with ctest). `--section=<name>` (headline, sweep,
+// ingest_pair, shapes, oversubscription, million_op, multi_app,
+// weighted_pair, concurrent_ingest) restricts the JSON to one section for
+// local iteration; the full sweep stays the default and is what
+// `bench-ratchet` diffs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -29,12 +34,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "kernels/registry.hpp"
 #include "multi_app_scenario.hpp"
 #include "runtime/dependency.hpp"
+#include "sim/ingest_queue.hpp"
 #include "sim/synthetic.hpp"
+#include "sim/tenant.hpp"
 
 namespace {
 
@@ -360,68 +370,229 @@ EngineCoreMetrics measure_shape(sim::DagShape shape, int n_ops, int n_streams,
   return m;
 }
 
-void write_bench_json(const char* path, bool smoke) {
+// ---------------------------------------------------------------------
+// Contended concurrent-ingestion pair: the same multi_app flood — N
+// tenants sustaining launches onto their own streams while the device is
+// saturated with long-running kernels — submitted (a) per call from one
+// thread (one engine transaction per launch, the pre-front-end pattern)
+// and (b) from N producer OS threads posting into the sharded MPSC
+// ingestion front-end, whose drain folds whole batches into one engine
+// transaction. The timed window covers submission through commit in both
+// modes (flush_all_and_wait helps drain inline, so the commit work stays
+// inside the window); the drain to device-idle is untimed. The win is
+// transaction amortization: one begin/ready-drain/commit bracket per
+// drained batch instead of per API call.
+// ---------------------------------------------------------------------
+
+struct ConcurrentIngestMetrics {
+  int n_producers = 0;
+  int n_shards = 0;
+  int rounds = 0;
+  long total_ops = 0;
+  double single_ops_per_sec = 0;
+  double concurrent_ops_per_sec = 0;
+  double speedup = 0;
+};
+
+/// N tenants, each with the multi_app-style round: a two-stream kernel
+/// chain joined by a cross-stream event edge. The round is issued per
+/// call in the single-thread baseline and rides as one recorded
+/// Submission per queue item through the concurrent front-end — the
+/// "whole recorded Submission" enqueue path, which is how a real app
+/// thread hands a repeated round to the ingest shard.
+struct IngestRig {
+  std::unique_ptr<sim::GpuRuntime> rt;
+  std::unique_ptr<sim::TenantManager> mgr;
+  std::vector<sim::Tenant*> tenants;
+  std::vector<sim::Submission> subs;  ///< one recorded round per tenant
+  std::vector<std::vector<sim::StreamId>> streams;  ///< per tenant
+  sim::LaunchSpec k;
+  long ops_per_round = 0;
+};
+
+/// Wide rounds: one kernel per stream, so every submission joins the
+/// running set immediately and the per-(device,class) solver re-prices
+/// the whole class on each join — the dominant per-call cost the batched
+/// drain coalesces into one re-solve per transaction.
+constexpr int kIngestStreamsPerTenant = 64;
+
+/// One round via the per-call API — the identical op sequence the
+/// recorded Submission carries.
+void issue_ingest_round(sim::Tenant& ten, const IngestRig& rig, int t) {
+  for (const sim::StreamId s : rig.streams[static_cast<std::size_t>(t)])
+    ten.launch(s, rig.k);
+}
+
+IngestRig make_ingest_rig(int n_tenants) {
+  IngestRig rig;
+  rig.rt = std::make_unique<sim::GpuRuntime>(sim::DeviceSpec::test_device());
+  rig.mgr = std::make_unique<sim::TenantManager>(*rig.rt);
+  rig.subs.resize(static_cast<std::size_t>(n_tenants));
+  rig.k.name = "app_k";
+  rig.k.config = sim::LaunchConfig::linear(8, 128);
+  rig.k.profile.flops_sp = 1e7;
+  for (int t = 0; t < n_tenants; ++t) {
+    sim::Tenant& ten =
+        rig.mgr->create_tenant({.name = "app" + std::to_string(t)});
+    rig.tenants.push_back(&ten);
+    std::vector<sim::StreamId> ss;
+    for (int w = 0; w < kIngestStreamsPerTenant; ++w)
+      ss.push_back(ten.create_stream());
+    rig.streams.push_back(std::move(ss));
+    sim::GpuRuntime& g = ten.gpu();
+    g.begin_record(rig.subs[static_cast<std::size_t>(t)]);
+    issue_ingest_round(ten, rig, t);
+    rig.ops_per_round = static_cast<long>(g.end_record());
+    ten.synchronize();
+  }
+  return rig;
+}
+
+ConcurrentIngestMetrics measure_concurrent_ingest(int n_producers,
+                                                  int n_shards, int rounds,
+                                                  int reps) {
+  ConcurrentIngestMetrics m;
+  m.n_producers = n_producers;
+  m.n_shards = n_shards;
+  m.rounds = rounds;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    // (a) Single-thread baseline: the round issued per API call —
+    // every call pays the full transaction bracket plus whatever
+    // completion churn its advance interleaves.
+    double single_sec = 0;
+    {
+      IngestRig rig = make_ingest_rig(n_producers);
+      m.total_ops = rig.ops_per_round * rounds * n_producers;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < rounds; ++r) {
+        for (int t = 0; t < n_producers; ++t) {
+          issue_ingest_round(*rig.tenants[static_cast<std::size_t>(t)], rig,
+                             t);
+        }
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      single_sec = std::chrono::duration<double>(t1 - t0).count();
+      rig.rt->synchronize_device();  // untimed in both modes
+    }
+    // (b) Contended flood: one producer OS thread per tenant posting its
+    // recorded round into the tenant's shard (default modulo mapping:
+    // one shard per two tenants); the window closes when every shard has
+    // drained and committed.
+    double conc_sec = 0;
+    {
+      IngestRig rig = make_ingest_rig(n_producers);
+      sim::IngestService svc(*rig.rt,
+                             {.shards = n_shards, .max_batch = 256});
+      rig.mgr->attach_ingest(svc);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::thread> producers;
+      producers.reserve(static_cast<std::size_t>(n_producers));
+      for (int p = 0; p < n_producers; ++p) {
+        producers.emplace_back([&rig, rounds, p] {
+          sim::Tenant& ten = *rig.tenants[static_cast<std::size_t>(p)];
+          const sim::Submission& sub = rig.subs[static_cast<std::size_t>(p)];
+          for (int r = 0; r < rounds; ++r) ten.post_replay(sub);
+        });
+      }
+      for (auto& th : producers) th.join();
+      svc.flush_all_and_wait();
+      const auto t1 = std::chrono::steady_clock::now();
+      conc_sec = std::chrono::duration<double>(t1 - t0).count();
+      rig.rt->synchronize_device();
+    }
+    if (rep == 0) continue;  // warm-up
+    const auto ops = static_cast<double>(m.total_ops);
+    m.single_ops_per_sec = std::max(m.single_ops_per_sec, ops / single_sec);
+    m.concurrent_ops_per_sec =
+        std::max(m.concurrent_ops_per_sec, ops / conc_sec);
+  }
+  m.speedup = m.single_ops_per_sec > 0
+                  ? m.concurrent_ops_per_sec / m.single_ops_per_sec
+                  : 0.0;
+  return m;
+}
+
+void write_bench_json(const char* path, bool smoke,
+                      const char* only_section) {
+  // `--section=<name>` restricts the run to one section for quick
+  // iteration; the default (full) sweep is what the bench ratchet diffs.
+  const auto want = [only_section](const char* name) {
+    return only_section == nullptr || std::strcmp(only_section, name) == 0;
+  };
   // Headline configuration: the PR-1 acceptance scenario, kept identical
   // so ops_per_sec stays comparable run over run.
   const int n_ops = smoke ? 500 : 10000;
   const int reps = smoke ? 1 : 3;
-  const EngineCoreMetrics m = measure_engine_core(n_ops, 32, 1, reps);
+  // The sweep's (32, 1) cell doubles as the headline configuration, so
+  // either section triggers the measurement.
+  EngineCoreMetrics m;
+  const bool have_headline = want("headline") || want("sweep");
+  if (have_headline) m = measure_engine_core(n_ops, 32, 1, reps);
 
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     std::exit(1);
   }
+  // Unconditional leading fields keep the JSON valid under any --section
+  // filter; every section below prints its own leading comma.
   std::fprintf(f,
                "{\n"
                "  \"scenario\": \"contention_dag\",\n"
                "  \"n_ops\": %d,\n"
-               "  \"n_streams\": 32,\n"
-               "  \"ops_per_sec\": %.0f,\n"
-               "  \"solves_per_op\": %.4f,\n"
-               "  \"solved_ops_per_op\": %.4f,\n"
-               "  \"peak_resident_ops\": %ld,\n"
-               "  \"makespan_us\": %.6f,\n"
-               "  \"seed_reference_ops_per_sec\": 213460,\n"
-               "  \"seed_reference_note\": \"scan-per-step seed engine on "
-               "the PR-1 dev host (gcc 12, -O3); fixed reference, not "
-               "re-measured per run — compare ops_per_sec run-over-run on "
-               "one host, not against this constant\",\n"
-               "  \"sweep\": [\n",
-               n_ops, m.ops_per_sec, m.solves_per_op, m.solved_ops_per_op,
-               m.peak_resident_ops, m.makespan_us);
+               "  \"n_streams\": 32",
+               n_ops);
+  if (want("headline")) {
+    std::fprintf(f,
+                 ",\n"
+                 "  \"ops_per_sec\": %.0f,\n"
+                 "  \"solves_per_op\": %.4f,\n"
+                 "  \"solved_ops_per_op\": %.4f,\n"
+                 "  \"peak_resident_ops\": %ld,\n"
+                 "  \"makespan_us\": %.6f,\n"
+                 "  \"seed_reference_ops_per_sec\": 213460,\n"
+                 "  \"seed_reference_note\": \"scan-per-step seed engine on "
+                 "the PR-1 dev host (gcc 12, -O3); fixed reference, not "
+                 "re-measured per run — compare ops_per_sec run-over-run on "
+                 "one host, not against this constant\"",
+                 m.ops_per_sec, m.solves_per_op, m.solved_ops_per_op,
+                 m.peak_resident_ops, m.makespan_us);
+  }
 
   // Stream-count x device-count sweep over the (multi-device) contention
   // DAG; solves_per_op per configuration tracks solver-work isolation as
   // the roster grows.
-  const int stream_counts[] = {8, 32, 128};
-  const int device_counts[] = {1, 2, 4};
-  bool first = true;
-  for (const int n_streams : stream_counts) {
-    for (const int n_devices : device_counts) {
-      // The (32, 1) cell is the headline configuration measured above:
-      // reuse it so the JSON carries one authoritative number for it.
-      const EngineCoreMetrics s =
-          (n_streams == 32 && n_devices == 1)
-              ? m
-              : measure_engine_core(n_ops, n_streams, n_devices, reps);
-      std::fprintf(f,
-                   "%s    {\"scenario\": \"multi_device_contention_dag\", "
-                   "\"n_ops\": %d, \"n_streams\": %d, \"n_devices\": %d, "
-                   "\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
-                   "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f}",
-                   first ? "" : ",\n", n_ops, n_streams, n_devices,
-                   s.ops_per_sec, s.solves_per_op, s.solved_ops_per_op,
-                   s.makespan_us);
-      first = false;
+  if (want("sweep")) {
+    std::fprintf(f, ",\n  \"sweep\": [\n");
+    const int stream_counts[] = {8, 32, 128};
+    const int device_counts[] = {1, 2, 4};
+    bool first = true;
+    for (const int n_streams : stream_counts) {
+      for (const int n_devices : device_counts) {
+        // The (32, 1) cell is the headline configuration measured above:
+        // reuse it so the JSON carries one authoritative number for it.
+        const EngineCoreMetrics s =
+            (n_streams == 32 && n_devices == 1)
+                ? m
+                : measure_engine_core(n_ops, n_streams, n_devices, reps);
+        std::fprintf(f,
+                     "%s    {\"scenario\": \"multi_device_contention_dag\", "
+                     "\"n_ops\": %d, \"n_streams\": %d, \"n_devices\": %d, "
+                     "\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
+                     "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f}",
+                     first ? "" : ",\n", n_ops, n_streams, n_devices,
+                     s.ops_per_sec, s.solves_per_op, s.solved_ops_per_op,
+                     s.makespan_us);
+        first = false;
+      }
     }
+    std::fprintf(f, "\n  ]");
   }
-  std::fprintf(f, "\n  ],\n");
 
   // Per-call vs batched ingestion pair on the 128-stream contention DAG
   // (the acceptance comparison): identical op sequence, one driven through
   // the per-call host pattern, one through a single engine transaction.
-  {
+  if (want("ingest_pair")) {
     const int pair_streams = 128;
     // PR-2's recorded value of the 128-stream/10k-op sweep row on this
     // reference host — the bar the batched drive must beat by >= 1.5x.
@@ -435,7 +606,7 @@ void write_bench_json(const char* path, bool smoke) {
         measure_ingest_batched(n_ops, pair_streams, pair_reps);
     std::fprintf(
         f,
-        "  \"ingest_pair\": {\"scenario\": \"contention_dag_ingest\", "
+        ",\n  \"ingest_pair\": {\"scenario\": \"contention_dag_ingest\", "
         "\"n_ops\": %d, \"n_streams\": %d, \"ops_per_txn\": 1024,\n"
         "    \"per_call\": {\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
         "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f},\n"
@@ -443,7 +614,7 @@ void write_bench_json(const char* path, bool smoke) {
         "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f},\n"
         "    \"batched_vs_per_call\": %.3f,\n"
         "    \"pr2_reference_ops_per_sec\": %.0f,\n"
-        "    \"batched_speedup_vs_pr2\": %.3f},\n",
+        "    \"batched_speedup_vs_pr2\": %.3f}",
         n_ops, pair_streams, pc.ops_per_sec, pc.solves_per_op,
         pc.solved_ops_per_op, pc.makespan_us, ba.ops_per_sec,
         ba.solves_per_op, ba.solved_ops_per_op, ba.makespan_us,
@@ -457,8 +628,8 @@ void write_bench_json(const char* path, bool smoke) {
   }
 
   // DAG-shape axis: the same kernel mix wired wide / deep / diamond.
-  std::fprintf(f, "  \"shapes\": [\n");
-  {
+  if (want("shapes")) {
+    std::fprintf(f, ",\n  \"shapes\": [\n");
     const sim::DagShape shapes[] = {sim::DagShape::Wide, sim::DagShape::Deep,
                                     sim::DagShape::Diamond};
     bool first_shape = true;
@@ -474,14 +645,14 @@ void write_bench_json(const char* path, bool smoke) {
                    s.makespan_us);
       first_shape = false;
     }
+    std::fprintf(f, "\n  ]");
   }
-  std::fprintf(f, "\n  ],\n");
 
   // Oversubscription sweep: working set {0.5, 1, 1.5, 2}x device
   // capacity through the paged unified-memory runtime. Over-capacity
   // ratios must complete with nonzero evicted bytes and no OOM.
-  std::fprintf(f, "  \"oversubscription\": [\n");
-  {
+  if (want("oversubscription")) {
+    std::fprintf(f, ",\n  \"oversubscription\": [\n");
     const double ratios[] = {0.5, 1.0, 1.5, 2.0};
     bool first_ratio = true;
     for (const double ratio : ratios) {
@@ -501,23 +672,23 @@ void write_bench_json(const char* path, bool smoke) {
                   o.ratio, o.ops_per_sec, o.bytes_evicted / 1e6, o.evict_ops,
                   o.fault_ops);
     }
+    std::fprintf(f, "\n  ]");
   }
-  std::fprintf(f, "\n  ],\n");
 
   // Million-op Fig. 9-style entry: sustained throughput with the DAG
   // ingested in 20k-op transactions, each drained before the next (live
   // ops stay bounded by the transaction size). Smoke runs shrink it.
-  {
+  if (want("million_op")) {
     const int big_ops = smoke ? 2000 : 1000000;
     const EngineCoreMetrics big =
         measure_ingest_batched(big_ops, 32, /*reps=*/1, /*ops_per_txn=*/20000,
                                /*drain_between=*/true);
     std::fprintf(f,
-                 "  \"million_op\": {\"scenario\": "
+                 ",\n  \"million_op\": {\"scenario\": "
                  "\"contention_dag_waves\", \"n_ops\": %d, \"n_streams\": "
                  "32, \"ops_per_txn\": 20000, \"ops_per_sec\": %.0f, "
                  "\"solves_per_op\": %.4f, \"solved_ops_per_op\": %.4f, "
-                 "\"peak_resident_ops\": %ld, \"makespan_us\": %.6f},\n",
+                 "\"peak_resident_ops\": %ld, \"makespan_us\": %.6f}",
                  big_ops, big.ops_per_sec, big.solves_per_op,
                  big.solved_ops_per_op, big.peak_resident_ops,
                  big.makespan_us);
@@ -530,8 +701,8 @@ void write_bench_json(const char* path, bool smoke) {
   // on one capped device — per-tenant throughput, Jain's fairness index
   // over the equal-demand tenants, and eviction attribution (the
   // oversubscribed tenant must bear the brunt; bench_check gates it).
-  std::fprintf(f, "  \"multi_app\": [\n");
-  {
+  if (want("multi_app")) {
+    std::fprintf(f, ",\n  \"multi_app\": [\n");
     bool first_row = true;
     for (const int n : {2, 4, 8}) {
       const bench::MultiAppMetrics ma = bench::run_multi_app(n, smoke);
@@ -563,44 +734,74 @@ void write_bench_json(const char* path, bool smoke) {
                   static_cast<double>(ma.bytes_evicted) / 1e6,
                   static_cast<double>(ma.heavy_bytes_evicted) / 1e6);
     }
+    std::fprintf(f, "\n  ]");
   }
-  std::fprintf(f, "\n  ],\n");
 
   // Weighted fair-sharing acceptance: two tenants, weights {2, 1}, one
   // saturated kernel class — completed-work ratio at a mid-run horizon
   // must sit at 2.0 +- 10% (bench_check enforces the band).
-  {
+  if (want("weighted_pair")) {
     const bench::WeightedPairMetrics w = bench::run_weighted_pair(smoke);
     std::fprintf(f,
-                 "  \"weighted_pair\": {\"scenario\": \"multi_app_weighted\","
+                 ",\n  \"weighted_pair\": {\"scenario\": "
+                 "\"multi_app_weighted\","
                  " \"weights\": [%.1f, %.1f], \"horizon_us\": %.1f, "
                  "\"work_hi_us\": %.3f, \"work_lo_us\": %.3f, "
-                 "\"work_ratio\": %.4f}\n",
+                 "\"work_ratio\": %.4f}",
                  w.weight_hi, w.weight_lo, w.horizon_us, w.work_hi, w.work_lo,
                  w.work_ratio);
     std::printf("weighted pair (2:1): work ratio %.3f at t=%.0f us\n",
                 w.work_ratio, w.horizon_us);
   }
 
-  std::fprintf(f, "}\n");
+  // Contended concurrent-ingestion acceptance: 8 producer threads x 4
+  // shards flooding recorded multi_app rounds through the MPSC front-end
+  // versus the same schedule replayed per call from one thread. The
+  // speedup is commit amortization (bench_check gates it at >= 3x).
+  if (want("concurrent_ingest")) {
+    const int rounds = smoke ? 5 : 400;
+    const ConcurrentIngestMetrics ci =
+        measure_concurrent_ingest(8, 4, rounds, reps);
+    std::fprintf(f,
+                 ",\n  \"concurrent_ingest\": {\"scenario\": "
+                 "\"multi_app_flood\", \"n_producers\": %d, \"n_shards\": %d, "
+                 "\"rounds\": %d, \"ops\": %ld,\n"
+                 "    \"single_thread\": {\"ops_per_sec\": %.0f},\n"
+                 "    \"concurrent\": {\"ops_per_sec\": %.0f},\n"
+                 "    \"speedup\": %.3f}",
+                 ci.n_producers, ci.n_shards, ci.rounds, ci.total_ops,
+                 ci.single_ops_per_sec, ci.concurrent_ops_per_sec, ci.speedup);
+    std::printf("concurrent ingest (%d producers, %d shards): single %.0f "
+                "ops/s, concurrent %.0f ops/s (%.2fx)\n",
+                ci.n_producers, ci.n_shards, ci.single_ops_per_sec,
+                ci.concurrent_ops_per_sec, ci.speedup);
+  }
+
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
-  std::printf("engine core: %.0f ops/s (seed scan-per-step engine: ~213k), "
-              "%.2f solved ops/op, peak resident %ld, %zu sweep rows -> %s\n",
-              m.ops_per_sec, m.solved_ops_per_op, m.peak_resident_ops,
-              std::size(stream_counts) * std::size(device_counts), path);
+  if (have_headline) {
+    std::printf("engine core: %.0f ops/s (seed scan-per-step engine: ~213k), "
+                "%.2f solved ops/op, peak resident %ld -> %s\n",
+                m.ops_per_sec, m.solved_ops_per_op, m.peak_resident_ops, path);
+  } else {
+    std::printf("section %s -> %s\n", only_section, path);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off --bench_json=<path> / --smoke before google-benchmark sees
-  // the argv.
+  // Peel off --bench_json=<path> / --smoke / --section=<name> before
+  // google-benchmark sees the argv.
   const char* json_path = nullptr;
+  const char* section = nullptr;
   bool smoke = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
       json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--section=", 10) == 0) {
+      section = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
@@ -610,7 +811,7 @@ int main(int argc, char** argv) {
   argc = out;
 
   if (json_path != nullptr) {
-    write_bench_json(json_path, smoke);
+    write_bench_json(json_path, smoke, section);
     return 0;
   }
   benchmark::Initialize(&argc, argv);

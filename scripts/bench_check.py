@@ -10,8 +10,8 @@ default) and exits nonzero when any headline regresses by more than the
 tolerance (default 20%). Higher-is-better rows only; makespans and solver
 counters are informational. Also validates completeness: the fresh run must
 carry every section the reference does (sweep, ingest_pair, shapes,
-oversubscription, million_op, multi_app, weighted_pair), so a silently
-skipped axis fails the gate.
+oversubscription, million_op, multi_app, weighted_pair,
+concurrent_ingest), so a silently skipped axis fails the gate.
 
 Multi-app acceptance facts (deterministic in virtual time, so the bounds
 are tight):
@@ -57,6 +57,32 @@ def headline_rows(doc):
     for row in doc.get("multi_app", []):
         yield ("multi_app n_tenants={}".format(row["n_tenants"]),
                row["ops_per_sec"])
+    ci = doc.get("concurrent_ingest", {})
+    if ci:
+        yield ("concurrent_ingest single_thread",
+               ci["single_thread"]["ops_per_sec"])
+        yield ("concurrent_ingest concurrent",
+               ci["concurrent"]["ops_per_sec"])
+
+
+def check_concurrent_ingest(doc, reference):
+    """The concurrent ingestion front-end acceptance fact: an 8-producer
+    contended flood through the sharded MPSC queue must sustain at least
+    3x the single-thread per-call submission throughput of the same
+    workload (the drain batches whole rounds into one engine transaction,
+    amortizing the per-call bracket and coalescing class re-solves)."""
+    errors = []
+    ci = doc.get("concurrent_ingest")
+    if ci is None:
+        if reference.get("concurrent_ingest"):
+            errors.append("concurrent_ingest section missing")
+        return errors
+    if ci["speedup"] < 3.0:
+        errors.append(
+            "concurrent_ingest: {}-producer flood speedup {:.2f}x below "
+            "3x single-thread submission throughput".format(
+                ci["n_producers"], ci["speedup"]))
+    return errors
 
 
 def check_oversubscription(doc):
@@ -173,6 +199,7 @@ def main():
 
     failures.extend(check_oversubscription(fresh))
     failures.extend(check_multi_app(fresh, ref))
+    failures.extend(check_concurrent_ingest(fresh, ref))
 
     if failures:
         print("\nbench_check FAILED:")

@@ -19,6 +19,7 @@ Context::~Context() {
   try {
     // Same invariant as every public entry point: the flush below must
     // not run with another context's tenant ambient.
+    flush_ingest();
     activate();
     if (opts_.batch_submit && gpu_->submitting()) gpu_->commit();
     gpu_->synchronize_device();
@@ -77,6 +78,7 @@ LibraryFunction Context::bind_library(LibraryFunctionDef def) {
 }
 
 void Context::synchronize() {
+  flush_ingest();
   activate();
   gpu_->synchronize_device();
   ++stats_.blocking_syncs;
@@ -358,6 +360,7 @@ void Context::schedule_serial(Computation& c, const sim::LaunchConfig& cfg,
 }
 
 void Context::wait_for(Computation& c) {
+  flush_ingest();
   // Re-assert the tenant even though draining issues nothing today: a
   // caller may interleave contexts between the entry point and this
   // wait, and future retire-triggered runtime work must not land on

@@ -162,6 +162,13 @@ class Context {
   /// on one runtime, so the ambient tenant must be re-asserted before
   /// streams are created or ops issued on this context's behalf.
   void activate() { gpu_->set_active_tenant(opts_.tenant); }
+  /// Drain *this context's* tenant shard of the concurrent ingestion
+  /// front-end (sim/ingest_queue.hpp), if one is attached. The runtime's
+  /// blocking entry points flush whichever tenant is ambient at call
+  /// time; a context about to observe engine state pins the flush to its
+  /// own tenant instead, so work another thread queued for this tenant
+  /// is committed before the observation no matter who is ambient.
+  void flush_ingest() { gpu_->flush_ingest(opts_.tenant); }
   Computation& new_computation(Computation::Kind kind, std::string label);
   /// Validate invocation values against a NIDL signature.
   static void check_args(const std::string& name,

@@ -342,7 +342,8 @@ void Submission::wait_event(StreamId stream, EventId event, TimeUs host_time) {
 
 void Engine::begin_transaction(TimeUs host_time) {
   if (txn_open_) {
-    throw ApiError("begin_transaction: a transaction is already open");
+    throw TransactionError(TransactionError::Kind::AlreadyOpen,
+                           "begin_transaction", txn_ops_);
   }
   // The transaction's one pre-ingest advance: process device activity the
   // host already observed, then freeze the clock for the batch.
@@ -354,7 +355,8 @@ void Engine::begin_transaction(TimeUs host_time) {
 
 std::size_t Engine::commit_transaction() {
   if (!txn_open_) {
-    throw ApiError("commit_transaction: no open transaction");
+    throw TransactionError(TransactionError::Kind::NotOpen,
+                           "commit_transaction", 0);
   }
   const std::size_t n = txn_ops_;
   txn_open_ = false;
@@ -402,7 +404,8 @@ std::vector<OpId> Engine::commit(Submission& sub) {
   // engine state (including the open-transaction check begin_transaction
   // would otherwise hit after the items were already drained).
   if (txn_open_) {
-    throw ApiError("commit: a transaction is already open");
+    throw TransactionError(TransactionError::Kind::AlreadyOpen, "commit",
+                           txn_ops_);
   }
   validate_submission(sub);
 
@@ -478,7 +481,8 @@ std::size_t Engine::apply_submission(const Submission& sub) {
 std::size_t Engine::commit(const Submission& sub) {
   if (sub.items_.empty()) return 0;
   if (txn_open_) {
-    throw ApiError("commit: a transaction is already open");
+    throw TransactionError(TransactionError::Kind::AlreadyOpen, "commit",
+                           txn_ops_);
   }
   begin_transaction(sub.items_.front().host_time);
   const std::size_t n = apply_submission(sub);
@@ -488,7 +492,7 @@ std::size_t Engine::commit(const Submission& sub) {
 
 std::size_t Engine::ingest(const Submission& sub) {
   if (!txn_open_) {
-    throw ApiError("ingest: no open transaction (begin_transaction first)");
+    throw TransactionError(TransactionError::Kind::NotOpen, "ingest", 0);
   }
   if (sub.items_.empty()) return 0;
   return apply_submission(sub);

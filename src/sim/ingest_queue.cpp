@@ -1,0 +1,481 @@
+#include "sim/ingest_queue.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace psched::sim {
+
+namespace {
+/// Drain-recursion depth of the current thread (any service). Non-zero
+/// while a drain batch executes, so blocking calls made from inside a
+/// drained closure skip the flush-and-help path: they *are* the drain.
+thread_local int tl_drain_depth = 0;
+/// The service whose dedicated ingest thread this is, if any.
+thread_local const IngestService* tl_ingest_service = nullptr;
+}  // namespace
+
+/// One queued unit of work. Producers allocate, the draining thread frees
+/// after resolving the completion token. Intrusively linked for the
+/// lock-free MPSC queue.
+struct IngestService::Item {
+  enum class Kind : unsigned char { Op, Record, Wait, Replay, Task, Flush };
+
+  Kind kind = Kind::Flush;
+  bool want_token = false;
+  TenantId tenant = kDefaultTenant;
+  TimeUs host_time = 0;          // producer stamp (Op / Record / Wait)
+  sim::Op op;                    // Op
+  EventId event = kInvalidEvent; // Record / Wait
+  StreamId stream = kInvalidStream;
+  const Submission* replay = nullptr;      // Replay
+  std::function<void(GpuRuntime&)> task;   // Task
+  OpId result_id = kInvalidOp;             // assigned at drain (Op)
+  std::exception_ptr error;                // per-item recoverable failure
+  std::promise<OpId> op_token;             // Op
+  std::promise<void> done_token;           // Replay / Task / Flush
+  std::atomic<Item*> next{nullptr};
+};
+
+/// One tenant shard: a Vyukov-style intrusive MPSC queue plus its
+/// dedicated ingest thread and the shard's determinism state (the
+/// monotone host-time floor). Producer side (push, `queued`) is lock-free;
+/// consumer side (`head`, `floor`) is only ever touched under the runtime
+/// api gate, which serializes the ingest thread with helping flushers.
+struct IngestService::Shard {
+  std::atomic<Item*> tail{nullptr};  // producers' exchange point
+  Item* head = nullptr;              // gate-protected consumer cursor
+  Item stub;
+  /// Items pushed but not yet fully processed (committed). Drives the
+  /// ingest thread's sleep decision and help_drain's termination.
+  std::atomic<long> queued{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> sleeping{false};
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  /// Monotone host-time clamp floor: producer stamps may arrive out of
+  /// order, the drained sequence may not. t' = max(t, floor); floor = t'.
+  TimeUs floor = 0;
+
+  std::atomic<long> items{0}, batches{0}, ops{0}, clamped{0}, errors{0};
+};
+
+IngestService::IngestService(GpuRuntime& rt, Config cfg)
+    : rt_(&rt),
+      cfg_(cfg),
+      shards_count_(cfg.shards < 1 ? 1 : cfg.shards),
+      shard_map_(static_cast<std::size_t>(kMaxTenants)) {
+  if (cfg_.max_batch == 0) cfg_.max_batch = 1;
+  for (auto& m : shard_map_) m.store(-1, std::memory_order_relaxed);
+  shards_.reserve(static_cast<std::size_t>(shards_count_));
+  for (int i = 0; i < shards_count_; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->head = &s->stub;
+    s->tail.store(&s->stub, std::memory_order_relaxed);
+    shards_.push_back(std::move(s));
+  }
+  rt_->attach_ingest(this);
+  for (auto& s : shards_) {
+    Shard* shard = s.get();
+    shard->thread = std::thread([this, shard] { run_shard(*shard); });
+  }
+}
+
+IngestService::~IngestService() {
+  // Drain everything still queued (producers must have quiesced), then
+  // stop and join the ingest threads before detaching from the runtime.
+  flush_all_and_wait();
+  stopping_.store(true, std::memory_order_seq_cst);
+  for (auto& s : shards_) {
+    s->stop.store(true, std::memory_order_seq_cst);
+    {
+      std::lock_guard<std::mutex> lk(s->mu);
+    }
+    s->cv.notify_all();
+  }
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  rt_->detach_ingest(this);
+}
+
+int IngestService::shard_of(TenantId tenant) const {
+  if (tenant < 0 || tenant >= kMaxTenants) {
+    throw ApiError("ingest: invalid tenant " + std::to_string(tenant));
+  }
+  const int s =
+      shard_map_[static_cast<std::size_t>(tenant)].load(std::memory_order_relaxed);
+  if (s >= 0) return s;
+  return static_cast<int>(tenant % shards_count_);
+}
+
+void IngestService::assign_shard(TenantId tenant, int shard) {
+  if (tenant < 0 || tenant >= kMaxTenants) {
+    throw ApiError("assign_shard: invalid tenant " + std::to_string(tenant));
+  }
+  if (shard < 0 || shard >= shards_count_) {
+    throw ApiError("assign_shard: invalid shard " + std::to_string(shard));
+  }
+  shard_map_[static_cast<std::size_t>(tenant)].store(shard,
+                                                     std::memory_order_relaxed);
+}
+
+IngestService::Shard& IngestService::shard_for(TenantId tenant) {
+  return *shards_[static_cast<std::size_t>(shard_of(tenant))];
+}
+
+bool IngestService::on_ingest_thread() const {
+  return tl_ingest_service == this || tl_drain_depth > 0;
+}
+
+IngestStats IngestService::stats() const {
+  IngestStats out;
+  for (const auto& s : shards_) {
+    out.items += s->items.load(std::memory_order_relaxed);
+    out.batches += s->batches.load(std::memory_order_relaxed);
+    out.ops += s->ops.load(std::memory_order_relaxed);
+    out.clamped += s->clamped.load(std::memory_order_relaxed);
+    out.errors += s->errors.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Queue primitives (Vyukov intrusive MPSC)
+// ---------------------------------------------------------------------
+
+void IngestService::push(Shard& s, Item* it) {
+  // Count before linking: a flush that observes this increment will wait
+  // for the item, so "enqueued before the flush call" is always covered.
+  s.queued.fetch_add(1, std::memory_order_acq_rel);
+  it->next.store(nullptr, std::memory_order_relaxed);
+  Item* prev = s.tail.exchange(it, std::memory_order_acq_rel);
+  prev->next.store(it, std::memory_order_release);
+  // Wake the ingest thread if it is (about to be) asleep. A push landing
+  // exactly in the flag's blind spot is netted by the consumer's bounded
+  // wait timeout.
+  if (s.sleeping.load(std::memory_order_seq_cst)) {
+    {
+      std::lock_guard<std::mutex> lk(s.mu);
+    }
+    s.cv.notify_one();
+  }
+}
+
+IngestService::Item* IngestService::pop(Shard& s) {
+  Item* head = s.head;
+  Item* next = head->next.load(std::memory_order_acquire);
+  if (head == &s.stub) {
+    if (next == nullptr) return nullptr;  // empty (or a push mid-link)
+    s.head = next;
+    head = next;
+    next = next->next.load(std::memory_order_acquire);
+  }
+  if (next != nullptr) {
+    s.head = next;
+    return head;
+  }
+  if (s.tail.load(std::memory_order_acquire) != head) {
+    return nullptr;  // a producer is mid-link; its node appears shortly
+  }
+  // `head` is the last live node: reinsert the stub behind it so the
+  // consumer cursor never dangles, then hand the node out.
+  s.stub.next.store(nullptr, std::memory_order_relaxed);
+  Item* prev = s.tail.exchange(&s.stub, std::memory_order_acq_rel);
+  prev->next.store(&s.stub, std::memory_order_release);
+  next = head->next.load(std::memory_order_acquire);
+  if (next != nullptr) {
+    s.head = next;
+    return head;
+  }
+  return nullptr;  // another producer slipped in mid-link; retry later
+}
+
+// ---------------------------------------------------------------------
+// Drain side
+// ---------------------------------------------------------------------
+
+void IngestService::drain_batch(Shard& s, std::vector<Item*>& batch) {
+  GpuRuntime& rt = *rt_;
+  Engine& eng = rt.engine();
+  ++tl_drain_depth;
+  const TenantId ambient = rt.active_tenant();
+
+  // Clamp a producer host stamp against the shard's monotone floor.
+  const auto clamp = [&s](TimeUs t) {
+    if (t < s.floor) {
+      s.clamped.fetch_add(1, std::memory_order_relaxed);
+      return s.floor;
+    }
+    s.floor = t;
+    return t;
+  };
+
+  // The drain owns the batch bracket unless the application left its own
+  // explicit batch open — then items fold into that batch and tokens
+  // promise ingestion only (commit timing belongs to the batch owner).
+  std::exception_ptr batch_error;
+  bool own_batch = false;
+  const long ops_before = rt.batched_ops();
+  try {
+    if (!rt.submitting()) {
+      rt.begin_submit();
+      own_batch = true;
+    }
+  } catch (...) {
+    batch_error = std::current_exception();
+  }
+
+  if (batch_error == nullptr) {
+    for (Item* it : batch) {
+      try {
+        switch (it->kind) {
+          case Item::Kind::Op: {
+            const TimeUs t = clamp(it->host_time);
+            if (!eng.in_transaction()) eng.begin_transaction(t);
+            it->result_id = eng.enqueue(std::move(it->op), t);
+            break;
+          }
+          case Item::Kind::Record: {
+            const TimeUs t = clamp(it->host_time);
+            if (!eng.in_transaction()) eng.begin_transaction(t);
+            eng.record_event(it->event, it->stream, t);
+            break;
+          }
+          case Item::Kind::Wait: {
+            const TimeUs t = clamp(it->host_time);
+            if (!eng.in_transaction()) eng.begin_transaction(t);
+            eng.wait_event(it->stream, it->event, t);
+            break;
+          }
+          case Item::Kind::Replay:
+            rt.set_active_tenant(it->tenant);
+            rt.replay(*it->replay);
+            break;
+          case Item::Kind::Task:
+            rt.set_active_tenant(it->tenant);
+            it->task(rt);
+            break;
+          case Item::Kind::Flush:
+            break;  // resolves with the batch
+        }
+      } catch (...) {
+        // Engine misuse throws (TransactionError, ApiError) before state
+        // changes: fail this item's token, keep draining.
+        it->error = std::current_exception();
+        s.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    rt.set_active_tenant(ambient);
+    if (own_batch) {
+      try {
+        rt.commit();
+      } catch (...) {
+        batch_error = std::current_exception();
+      }
+    }
+  }
+
+  s.ops.fetch_add(rt.batched_ops() - ops_before, std::memory_order_relaxed);
+  s.items.fetch_add(static_cast<long>(batch.size()),
+                    std::memory_order_relaxed);
+  s.batches.fetch_add(1, std::memory_order_relaxed);
+  --tl_drain_depth;
+
+  // Tokens resolve only after the commit (or with the failure): a resolved
+  // future always means the work is real engine state.
+  for (Item* it : batch) {
+    if (it->want_token) {
+      const std::exception_ptr err = it->error ? it->error : batch_error;
+      if (it->kind == Item::Kind::Op) {
+        if (err) {
+          it->op_token.set_exception(err);
+        } else {
+          it->op_token.set_value(it->result_id);
+        }
+      } else {
+        if (err) {
+          it->done_token.set_exception(err);
+        } else {
+          it->done_token.set_value();
+        }
+      }
+    }
+    delete it;
+  }
+  s.queued.fetch_sub(static_cast<long>(batch.size()),
+                     std::memory_order_acq_rel);
+}
+
+void IngestService::run_shard(Shard& s) {
+  tl_ingest_service = this;
+  std::vector<Item*> batch;
+  batch.reserve(cfg_.max_batch);
+  for (;;) {
+    if (s.queued.load(std::memory_order_acquire) == 0) {
+      if (s.stop.load(std::memory_order_acquire)) break;
+      std::unique_lock<std::mutex> lk(s.mu);
+      s.sleeping.store(true, std::memory_order_seq_cst);
+      if (s.queued.load(std::memory_order_seq_cst) == 0 &&
+          !s.stop.load(std::memory_order_acquire)) {
+        s.cv.wait_for(lk, std::chrono::milliseconds(1));
+      }
+      s.sleeping.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    bool progressed = false;
+    {
+      const auto gate = rt_->api_guard();
+      batch.clear();
+      while (batch.size() < cfg_.max_batch) {
+        Item* it = pop(s);
+        if (it == nullptr) break;
+        batch.push_back(it);
+      }
+      if (!batch.empty()) {
+        drain_batch(s, batch);
+        progressed = true;
+      }
+    }
+    // Nothing popped despite queued > 0: a helping flusher beat us to the
+    // items, or a producer is mid-link. Either resolves imminently.
+    if (!progressed) std::this_thread::yield();
+  }
+  tl_ingest_service = nullptr;
+}
+
+void IngestService::help_drain(Shard& s) {
+  std::vector<Item*> batch;
+  batch.reserve(cfg_.max_batch);
+  while (s.queued.load(std::memory_order_acquire) != 0) {
+    bool progressed = false;
+    {
+      const auto gate = rt_->api_guard();
+      batch.clear();
+      while (batch.size() < cfg_.max_batch) {
+        Item* it = pop(s);
+        if (it == nullptr) break;
+        batch.push_back(it);
+      }
+      if (!batch.empty()) {
+        drain_batch(s, batch);
+        progressed = true;
+      }
+    }
+    if (!progressed) std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Producer API
+// ---------------------------------------------------------------------
+
+std::future<OpId> IngestService::submit(TenantId tenant, Op op,
+                                        TimeUs host_time) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Op;
+  it->tenant = tenant;
+  it->op = std::move(op);
+  it->host_time = host_time;
+  it->want_token = true;
+  std::future<OpId> token = it->op_token.get_future();
+  push(shard_for(tenant), it);
+  return token;
+}
+
+void IngestService::post(TenantId tenant, Op op, TimeUs host_time) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Op;
+  it->tenant = tenant;
+  it->op = std::move(op);
+  it->host_time = host_time;
+  push(shard_for(tenant), it);
+}
+
+void IngestService::post_record(TenantId tenant, EventId event,
+                                StreamId stream, TimeUs host_time) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Record;
+  it->tenant = tenant;
+  it->event = event;
+  it->stream = stream;
+  it->host_time = host_time;
+  push(shard_for(tenant), it);
+}
+
+void IngestService::post_wait(TenantId tenant, StreamId stream, EventId event,
+                              TimeUs host_time) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Wait;
+  it->tenant = tenant;
+  it->event = event;
+  it->stream = stream;
+  it->host_time = host_time;
+  push(shard_for(tenant), it);
+}
+
+std::future<void> IngestService::submit_replay(TenantId tenant,
+                                               const Submission* sub) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Replay;
+  it->tenant = tenant;
+  it->replay = sub;
+  it->want_token = true;
+  std::future<void> token = it->done_token.get_future();
+  push(shard_for(tenant), it);
+  return token;
+}
+
+void IngestService::post_replay(TenantId tenant, const Submission* sub) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Replay;
+  it->tenant = tenant;
+  it->replay = sub;
+  push(shard_for(tenant), it);
+}
+
+std::future<void> IngestService::submit_task(
+    TenantId tenant, std::function<void(GpuRuntime&)> fn) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Task;
+  it->tenant = tenant;
+  it->task = std::move(fn);
+  it->want_token = true;
+  std::future<void> token = it->done_token.get_future();
+  push(shard_for(tenant), it);
+  return token;
+}
+
+void IngestService::post_task(TenantId tenant,
+                              std::function<void(GpuRuntime&)> fn) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Task;
+  it->tenant = tenant;
+  it->task = std::move(fn);
+  push(shard_for(tenant), it);
+}
+
+std::future<void> IngestService::flush(TenantId tenant) {
+  Item* it = new Item;
+  it->kind = Item::Kind::Flush;
+  it->tenant = tenant;
+  it->want_token = true;
+  std::future<void> token = it->done_token.get_future();
+  push(shard_for(tenant), it);
+  return token;
+}
+
+void IngestService::flush_and_wait(TenantId tenant) {
+  if (on_ingest_thread()) return;  // the drain cannot wait on itself
+  help_drain(shard_for(tenant));
+}
+
+void IngestService::flush_all_and_wait() {
+  if (on_ingest_thread()) return;
+  for (auto& s : shards_) help_drain(*s);
+}
+
+}  // namespace psched::sim

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/graph.hpp"
+#include "sim/ingest_queue.hpp"
 
 namespace psched::sim {
 
@@ -58,12 +59,35 @@ GpuRuntime::GpuRuntime(Machine machine, std::size_t page_bytes)
 
 GpuRuntime::~GpuRuntime() = default;
 
+void GpuRuntime::attach_ingest(IngestService* svc) {
+  const auto gate = api_guard();
+  if (ingest_.load(std::memory_order_relaxed) != nullptr) {
+    throw ApiError("attach_ingest: an ingest service is already attached");
+  }
+  ingest_.store(svc, std::memory_order_release);
+}
+
+void GpuRuntime::detach_ingest(IngestService* svc) {
+  const auto gate = api_guard();
+  if (ingest_.load(std::memory_order_relaxed) == svc) {
+    ingest_.store(nullptr, std::memory_order_release);
+  }
+}
+
+void GpuRuntime::flush_ingest(TenantId tenant) {
+  IngestService* svc = ingest_.load(std::memory_order_acquire);
+  if (svc != nullptr) svc->flush_and_wait(tenant);
+}
+
+void GpuRuntime::ingest_flush() { flush_ingest(active_tenant()); }
+
 StreamId GpuRuntime::service_stream(DeviceId device) {
   auto& per_device = service_streams_[static_cast<std::size_t>(device)];
-  const auto t = static_cast<std::size_t>(active_tenant_);
+  const TenantId tenant = active_tenant();
+  const auto t = static_cast<std::size_t>(tenant);
   if (per_device.size() <= t) per_device.resize(t + 1, kInvalidStream);
   StreamId& s = per_device[t];
-  if (s == kInvalidStream) s = engine_.create_stream(device, active_tenant_);
+  if (s == kInvalidStream) s = engine_.create_stream(device, tenant);
   return s;
 }
 
@@ -118,6 +142,7 @@ void GpuRuntime::issue_wait(StreamId stream, EventId event) {
 }
 
 void GpuRuntime::begin_record(Submission& sub) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) throw ApiError("begin_record: capture active");
   if (record_ != nullptr) throw ApiError("begin_record: already recording");
   if (!batch_open_) {
@@ -128,6 +153,7 @@ void GpuRuntime::begin_record(Submission& sub) {
 }
 
 std::size_t GpuRuntime::end_record() {
+  const auto gate = api_guard();
   if (record_ == nullptr) throw ApiError("end_record: not recording");
   record_ = nullptr;
   if (record_owns_batch_) {
@@ -138,6 +164,7 @@ std::size_t GpuRuntime::end_record() {
 }
 
 void GpuRuntime::abort_record() {
+  const auto gate = api_guard();
   record_ = nullptr;
   if (record_owns_batch_) {
     record_owns_batch_ = false;
@@ -150,6 +177,7 @@ void GpuRuntime::abort_record() {
 }
 
 std::size_t GpuRuntime::replay(const Submission& sub) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) throw ApiError("replay: capture active");
   if (record_ != nullptr) throw ApiError("replay: recording active");
   // One driver call relaunches the whole recorded list.
@@ -170,6 +198,7 @@ std::size_t GpuRuntime::replay(const Submission& sub) {
 }
 
 void GpuRuntime::begin_submit() {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     throw ApiError("begin_submit: stream capture active");
   }
@@ -178,6 +207,7 @@ void GpuRuntime::begin_submit() {
 }
 
 std::size_t GpuRuntime::commit() {
+  const auto gate = api_guard();
   if (!batch_open_) throw ApiError("commit: no open batch");
   std::size_t n = 0;
   if (engine_.in_transaction()) {
@@ -192,11 +222,14 @@ std::size_t GpuRuntime::commit() {
 
 void GpuRuntime::host_advance(TimeUs dt) {
   if (dt < 0) throw ApiError("host_advance: negative time");
+  const auto gate = api_guard();
   host_now_ += dt;
   if (!batch_open_) engine_.advance_to(host_now_);
 }
 
 void GpuRuntime::poll() {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
 }
@@ -206,15 +239,20 @@ StreamId GpuRuntime::create_stream() {
 }
 
 StreamId GpuRuntime::create_stream(DeviceId device) {
+  const auto gate = api_guard();
   // Streams belong to the ambient tenant: ops enqueued on them inherit it
   // inside the engine, so tenant tagging rides transactions and recorded
   // replays for free.
-  return engine_.create_stream(device, active_tenant_);
+  return engine_.create_stream(device, active_tenant());
 }
 
-EventId GpuRuntime::create_event() { return engine_.create_event(); }
+EventId GpuRuntime::create_event() {
+  const auto gate = api_guard();
+  return engine_.create_event();
+}
 
 void GpuRuntime::record_event(EventId event, StreamId stream) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     capture_->on_captured_record_event(event, stream);
     return;
@@ -224,6 +262,7 @@ void GpuRuntime::record_event(EventId event, StreamId stream) {
 }
 
 void GpuRuntime::stream_wait_event(StreamId stream, EventId event) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     capture_->on_captured_wait_event(stream, event);
     return;
@@ -233,12 +272,16 @@ void GpuRuntime::stream_wait_event(StreamId stream, EventId event) {
 }
 
 bool GpuRuntime::stream_idle(StreamId stream) {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   return engine_.stream_idle(stream);
 }
 
 void GpuRuntime::synchronize_stream(StreamId stream) {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_until_stream_idle(stream);
@@ -246,6 +289,8 @@ void GpuRuntime::synchronize_stream(StreamId stream) {
 }
 
 void GpuRuntime::synchronize_event(EventId event) {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_until_event(event);
@@ -253,6 +298,8 @@ void GpuRuntime::synchronize_event(EventId event) {
 }
 
 void GpuRuntime::synchronize_device() {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   const TimeUs t = engine_.run_all();
@@ -260,16 +307,21 @@ void GpuRuntime::synchronize_device() {
 }
 
 bool GpuRuntime::event_done(EventId event) {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   return engine_.event_done(event);
 }
 
 ArrayId GpuRuntime::alloc(std::size_t bytes, const std::string& name) {
-  return memory_.alloc(bytes, name, active_tenant_);
+  const auto gate = api_guard();
+  return memory_.alloc(bytes, name, active_tenant());
 }
 
 void GpuRuntime::free_array(ArrayId id) {
+  ingest_flush();
+  const auto gate = api_guard();
   flush_submission();
   engine_.advance_to(host_now_);
   // Runtime-initiated page-outs of this array may still be in flight —
@@ -348,7 +400,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
                                    DeviceId device, StreamId stream) {
   EvictionPlan plan;
   try {
-    plan = memory_.charge_residency(ids, device, active_tenant_);
+    plan = memory_.charge_residency(ids, device, active_tenant());
   } catch (const OutOfMemoryError&) {
     // Arrays of in-flight ops are not evictable, so a burst of async
     // launches can pin more than the device holds. A real UM fault stalls
@@ -359,7 +411,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
     flush_submission();
     const TimeUs t = engine_.run_all();
     host_now_ = std::max(host_now_, t);
-    plan = memory_.charge_residency(ids, device, active_tenant_);
+    plan = memory_.charge_residency(ids, device, active_tenant());
   }
   // Keep fault servicing out of any active recording: at replay nothing
   // is admitted, so neither the page-outs nor the gate belong in the
@@ -465,6 +517,7 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
 }
 
 OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     capture_->on_captured_prefetch(stream, id);
     return kInvalidOp;
@@ -480,6 +533,7 @@ OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
 }
 
 OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     capture_->on_captured_h2d(stream, id, memory_.info(id).name);
     return kInvalidOp;
@@ -494,18 +548,22 @@ OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
 }
 
 void GpuRuntime::attach_array(ArrayId id, StreamId stream) {
+  const auto gate = api_guard();
   memory_.info(id).attached_stream = stream;
 }
 
 void GpuRuntime::advise_pin(ArrayId id, DeviceId device) {
+  const auto gate = api_guard();
   memory_.set_pinned(memory_.info(id), device, true);
 }
 
 void GpuRuntime::advise_unpin(ArrayId id, DeviceId device) {
+  const auto gate = api_guard();
   memory_.set_pinned(memory_.info(id), device, false);
 }
 
 std::size_t GpuRuntime::advise_evict(ArrayId id, DeviceId device) {
+  const auto gate = api_guard();
   note_api_call();
   const EvictionPlan plan = memory_.evict(memory_.info(id), device);
   const RecordSuspend no_tee(record_);  // pressure traffic is not program
@@ -554,6 +612,8 @@ void GpuRuntime::note_host_access(ArrayId id, bool for_write) {
 }
 
 void GpuRuntime::host_read(ArrayId id) {
+  ingest_flush();
+  const auto gate = api_guard();
   note_host_access(id, /*for_write=*/false);
   ArrayInfo& a = memory_.info(id);
   if (!a.device_dirty) return;
@@ -588,6 +648,8 @@ void GpuRuntime::host_read(ArrayId id) {
 }
 
 void GpuRuntime::host_write(ArrayId id) {
+  ingest_flush();
+  const auto gate = api_guard();
   note_host_access(id, /*for_write=*/true);
   ArrayInfo& a = memory_.info(id);
   a.note_host_write();
@@ -595,6 +657,7 @@ void GpuRuntime::host_write(ArrayId id) {
 }
 
 OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) {
     capture_->on_captured_launch(stream, spec);
     return kInvalidOp;
@@ -683,12 +746,14 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
 }
 
 void GpuRuntime::begin_capture(TaskGraph& graph) {
+  const auto gate = api_guard();
   if (capture_ != nullptr) throw ApiError("begin_capture: already capturing");
   if (batch_open_) throw ApiError("begin_capture: batch submission open");
   capture_ = &graph;
 }
 
 void GpuRuntime::end_capture() {
+  const auto gate = api_guard();
   if (capture_ == nullptr) throw ApiError("end_capture: not capturing");
   capture_ = nullptr;
 }

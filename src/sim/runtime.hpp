@@ -47,9 +47,11 @@
 // boundaries align with host observation points.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_set>
@@ -78,7 +80,8 @@ struct LaunchSpec {
   std::function<void()> functional;  ///< optional host execution at completion
 };
 
-class TaskGraph;  // graph.hpp
+class TaskGraph;      // graph.hpp
+class IngestService;  // ingest_queue.hpp
 
 class GpuRuntime {
  public:
@@ -108,9 +111,11 @@ class GpuRuntime {
       throw ApiError("set_active_tenant: invalid tenant " +
                      std::to_string(t));
     }
-    active_tenant_ = t;
+    active_tenant_.store(t, std::memory_order_relaxed);
   }
-  [[nodiscard]] TenantId active_tenant() const { return active_tenant_; }
+  [[nodiscard]] TenantId active_tenant() const {
+    return active_tenant_.load(std::memory_order_relaxed);
+  }
 
   // --- streams and events ---
   /// Process device completions up to the current host time (non-blocking).
@@ -213,6 +218,29 @@ class GpuRuntime {
   /// device is oversubscribed). Returns the number of ops committed.
   std::size_t replay(const Submission& sub);
 
+  // --- concurrent ingestion front-end (see sim/ingest_queue.hpp) ---
+  /// One recursive gate serializes every public API call against the
+  /// attached front-end's drain batches, so the engine stays effectively
+  /// single-threaded under concurrent producers. Recursive because drains
+  /// (and drain-executed closures) re-enter gated entries. Uncontended
+  /// cost is a few tens of nanoseconds per call.
+  [[nodiscard]] std::unique_lock<std::recursive_mutex> api_guard() const {
+    return std::unique_lock<std::recursive_mutex>(api_mu_);
+  }
+  /// Called by IngestService's constructor / destructor.
+  void attach_ingest(IngestService* svc);
+  void detach_ingest(IngestService* svc);
+  [[nodiscard]] IngestService* ingest() const {
+    return ingest_.load(std::memory_order_acquire);
+  }
+  /// Drain `tenant`'s ingest shard to empty on the calling thread (the
+  /// front-end's flush point): queued work is committed engine state when
+  /// this returns. No-op without an attached front-end or when already
+  /// inside a drain. Every blocking / observing call runs this for the
+  /// ambient tenant before it touches engine state, so queued work is
+  /// never invisibly in flight at a host observation point.
+  void flush_ingest(TenantId tenant);
+
   // --- introspection ---
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
@@ -310,6 +338,8 @@ class GpuRuntime {
   OpId issue_op(Op op, Submission::BindFn bind);
   void issue_record(EventId event, StreamId stream);
   void issue_wait(StreamId stream, EventId event);
+  /// flush_ingest for the ambient tenant (blocking/observing entries).
+  void ingest_flush();
 
   Engine engine_;
   MemoryManager memory_;
@@ -326,7 +356,14 @@ class GpuRuntime {
   double bytes_p2p_ = 0;
   long evict_ops_ = 0;
   long fault_ops_ = 0;
-  TenantId active_tenant_ = kDefaultTenant;
+  /// Ambient tenant. Atomic so unsynchronized reads (service-stream
+  /// lookups racing a drain's save/restore) stay defined; the logical
+  /// set-then-call pairing is protected by the api gate, which drains hold
+  /// across whole batches and restore the ambient tenant under.
+  std::atomic<TenantId> active_tenant_{kDefaultTenant};
+  /// Engine gate + attached concurrent front-end (see api_guard()).
+  mutable std::recursive_mutex api_mu_;
+  std::atomic<IngestService*> ingest_{nullptr};
   TaskGraph* capture_ = nullptr;
   Submission* record_ = nullptr;
   bool record_owns_batch_ = false;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/ingest_queue.hpp"
+
 namespace psched::sim {
 
 GpuRuntime& Tenant::gpu() {
@@ -9,50 +11,130 @@ GpuRuntime& Tenant::gpu() {
   return *mgr_->gpu_;
 }
 
+// Forwarded calls hold the api gate across the activate + delegate pair:
+// a concurrent drain batch (which saves and restores the ambient tenant
+// under the same gate) can then never interleave between the two. The
+// gate is recursive, so the delegate's own gating nests for free.
+
 StreamId Tenant::create_stream(DeviceId device) {
+  const auto gate = mgr_->gpu_->api_guard();
   const StreamId s = gpu().create_stream(device);
   streams_.push_back(s);
   return s;
 }
 
-EventId Tenant::create_event() { return gpu().create_event(); }
+EventId Tenant::create_event() {
+  const auto gate = mgr_->gpu_->api_guard();
+  return gpu().create_event();
+}
 
 ArrayId Tenant::alloc(std::size_t bytes, const std::string& name) {
+  const auto gate = mgr_->gpu_->api_guard();
   return gpu().alloc(bytes, name);
 }
 
-void Tenant::free_array(ArrayId id) { gpu().free_array(id); }
+void Tenant::free_array(ArrayId id) {
+  const auto gate = mgr_->gpu_->api_guard();
+  gpu().free_array(id);
+}
 
 OpId Tenant::launch(StreamId stream, const LaunchSpec& spec) {
+  const auto gate = mgr_->gpu_->api_guard();
   return gpu().launch(stream, spec);
 }
 
 OpId Tenant::mem_prefetch_async(ArrayId id, StreamId stream) {
+  const auto gate = mgr_->gpu_->api_guard();
   return gpu().mem_prefetch_async(id, stream);
 }
 
-void Tenant::host_write(ArrayId id) { gpu().host_write(id); }
+void Tenant::host_write(ArrayId id) {
+  const auto gate = mgr_->gpu_->api_guard();
+  gpu().host_write(id);
+}
 
-void Tenant::host_read(ArrayId id) { gpu().host_read(id); }
+void Tenant::host_read(ArrayId id) {
+  const auto gate = mgr_->gpu_->api_guard();
+  gpu().host_read(id);
+}
 
 void Tenant::record_event(EventId event, StreamId stream) {
+  const auto gate = mgr_->gpu_->api_guard();
   gpu().record_event(event, stream);
 }
 
 void Tenant::stream_wait_event(StreamId stream, EventId event) {
+  const auto gate = mgr_->gpu_->api_guard();
   gpu().stream_wait_event(stream, event);
 }
 
 void Tenant::synchronize_stream(StreamId stream) {
+  // Flush this tenant's queued work first, *without* holding the gate:
+  // the helping drain acquires it per batch.
+  mgr_->gpu_->flush_ingest(id_);
+  const auto gate = mgr_->gpu_->api_guard();
   gpu().synchronize_stream(stream);
 }
 
 void Tenant::synchronize() {
+  mgr_->gpu_->flush_ingest(id_);
+  const auto gate = mgr_->gpu_->api_guard();
   GpuRuntime& rt = gpu();
   // Draining one stream can run the clock past completions on another,
   // but never *adds* work to a drained stream (the host is here, not
   // issuing), so one ascending pass reaches a tenant-idle state.
   for (const StreamId s : streams_) rt.synchronize_stream(s);
+}
+
+std::future<void> Tenant::run_async(std::function<void(GpuRuntime&)> fn) {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("run_async: no ingest service attached");
+  }
+  return mgr_->ingest_->submit_task(id_, std::move(fn));
+}
+
+std::future<void> Tenant::replay_async(const Submission& sub) {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("replay_async: no ingest service attached");
+  }
+  return mgr_->ingest_->submit_replay(id_, &sub);
+}
+
+void Tenant::post_replay(const Submission& sub) {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("post_replay: no ingest service attached");
+  }
+  mgr_->ingest_->post_replay(id_, &sub);
+}
+
+std::future<void> Tenant::flush_ingest() {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("flush_ingest: no ingest service attached");
+  }
+  return mgr_->ingest_->flush(id_);
+}
+
+void Tenant::flush_ingest_and_wait() {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("flush_ingest_and_wait: no ingest service attached");
+  }
+  mgr_->ingest_->flush_and_wait(id_);
+}
+
+int Tenant::ingest_shard() const {
+  if (mgr_->ingest_ == nullptr) {
+    throw ApiError("ingest_shard: no ingest service attached");
+  }
+  return mgr_->ingest_->shard_of(id_);
+}
+
+void TenantManager::attach_ingest(IngestService& svc) {
+  ingest_ = &svc;
+  for (const auto& t : tenants_) {
+    if (t->spec_.ingest_shard >= 0) {
+      svc.assign_shard(t->id_, t->spec_.ingest_shard);
+    }
+  }
 }
 
 long Tenant::ops_completed() const {
@@ -95,7 +177,11 @@ Tenant& TenantManager::create_tenant(TenantSpec spec) {
   }
   tenants_.push_back(
       std::unique_ptr<Tenant>(new Tenant(*this, id, std::move(spec))));
-  return *tenants_.back();
+  Tenant& t = *tenants_.back();
+  if (ingest_ != nullptr && t.spec_.ingest_shard >= 0) {
+    ingest_->assign_shard(id, t.spec_.ingest_shard);
+  }
+  return t;
 }
 
 Tenant& TenantManager::tenant(TenantId id) {

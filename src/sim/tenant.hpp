@@ -23,11 +23,16 @@
 //
 // The handle is a thin forwarding facade: each call sets the runtime's
 // ambient tenant and delegates, so the full GpuRuntime API remains
-// available through Tenant::gpu() for anything not forwarded here. The
-// handles are cooperative (one virtual host), matching the paper's
-// single-process polyglot runtime — concurrency is in virtual time.
+// available through Tenant::gpu() for anything not forwarded here. Every
+// forwarded call holds the runtime's api gate across the set-tenant +
+// delegate pair, so handles may be driven from concurrent OS threads once
+// an IngestService is attached (sim/ingest_queue.hpp) — the *_async
+// methods below route through the tenant's ingest shard without touching
+// engine state from the producer thread at all.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <memory>
 #include <span>
 #include <string>
@@ -47,6 +52,9 @@ struct TenantSpec {
   /// Uniform per-device soft residency quota in bytes
   /// (MemoryManager::kNoQuota = unlimited).
   std::size_t device_quota_bytes = MemoryManager::kNoQuota;
+  /// Ingest shard this tenant's queued work drains through once an
+  /// IngestService is attached (-1 = the service's modulo default).
+  int ingest_shard = -1;
 };
 
 class TenantManager;
@@ -79,6 +87,22 @@ class Tenant {
   /// Drain every stream this handle created (the tenant-scoped analogue
   /// of synchronize_device, which would block on other tenants' work).
   void synchronize();
+
+  // --- concurrent submission (requires TenantManager::attach_ingest) ---
+  /// Queue a closure onto this tenant's ingest shard from any OS thread;
+  /// it runs on the drain with this tenant active. The token resolves
+  /// once the closure's drain batch has committed.
+  std::future<void> run_async(std::function<void(GpuRuntime&)> fn);
+  /// Queue a recorded submission for replay through this tenant's shard
+  /// (keep `sub` alive until the token resolves).
+  std::future<void> replay_async(const Submission& sub);
+  void post_replay(const Submission& sub);  ///< fire-and-forget form
+  /// Token for / blocking flush of everything queued to this tenant's
+  /// shard so far.
+  std::future<void> flush_ingest();
+  void flush_ingest_and_wait();
+  /// Shard this tenant drains through (ApiError if no service attached).
+  [[nodiscard]] int ingest_shard() const;
 
   // --- per-tenant accounting ---
   [[nodiscard]] long ops_completed() const;
@@ -130,6 +154,13 @@ class TenantManager {
   [[nodiscard]] std::size_t num_tenants() const { return tenants_.size(); }
   [[nodiscard]] GpuRuntime& gpu() { return *gpu_; }
 
+  /// Route tenants through `svc` (which must be attached to the same
+  /// runtime and outlive the manager's use of it): applies every
+  /// tenant's TenantSpec::ingest_shard pin — existing and future — and
+  /// enables the handles' *_async / flush_ingest surface.
+  void attach_ingest(IngestService& svc);
+  [[nodiscard]] IngestService* ingest() const { return ingest_; }
+
   /// Jain's fairness index over per-tenant values: 1 = perfectly fair,
   /// 1/n = maximally unfair. Empty/zero input yields 1.
   [[nodiscard]] static double jain_index(std::span<const double> xs);
@@ -139,6 +170,7 @@ class TenantManager {
  private:
   friend class Tenant;
   GpuRuntime* gpu_;
+  IngestService* ingest_ = nullptr;
   std::vector<std::unique_ptr<Tenant>> tenants_;
 };
 

@@ -61,6 +61,41 @@ class ApiError : public Error {
   using Error::Error;
 };
 
+/// Raised on misuse of the transactional-ingestion surface: opening a
+/// transaction while one is already open, or committing / ingesting with
+/// none. Structured (which call failed, the state it found, how many ops
+/// the open transaction had ingested) and — critically — recoverable: the
+/// throw happens before any engine state changes, so the concurrent
+/// ingestion front-end's drain threads catch it, fail the offending item's
+/// completion token, and keep draining.
+class TransactionError : public ApiError {
+ public:
+  enum class Kind {
+    AlreadyOpen,  ///< begin_transaction / commit(Submission) found one open
+    NotOpen,      ///< commit_transaction / ingest found none
+  };
+
+  TransactionError(Kind kind_, const char* call_, std::size_t pending_ops_)
+      : ApiError(std::string(call_) +
+                 (kind_ == Kind::AlreadyOpen
+                      ? ": a transaction is already open (" +
+                            std::to_string(pending_ops_) +
+                            " ops ingested; commit_transaction first)"
+                      : std::string(
+                            ": no open transaction (begin_transaction "
+                            "first)"))),
+        kind(kind_),
+        call(call_),
+        pending_ops(pending_ops_) {}
+
+  Kind kind;
+  /// The failing entry point (static string: "begin_transaction", ...).
+  const char* call;
+  /// Ops the open transaction had already ingested at the throw
+  /// (Kind::AlreadyOpen only; 0 otherwise).
+  std::size_t pending_ops;
+};
+
 /// Raised when a memory demand cannot be satisfied even after eviction.
 /// Device memory is oversubscribable (the paged unified-memory model evicts
 /// LRU pages to make room), so this fires only when the working set of a

@@ -17,6 +17,8 @@
 #include <string>
 
 #include "golden_scenarios.hpp"
+#include "sim/ingest_queue.hpp"
+#include "sim/runtime.hpp"
 
 namespace psched::sim::golden {
 namespace {
@@ -99,6 +101,47 @@ TEST(GoldenEquivalence, SingleTenantFastPathBitIdentical) {
   ASSERT_EQ(run.entries.size(), base.entries.size());
   for (std::size_t i = 0; i < base.entries.size(); ++i) {
     const TimelineEntry& got = run.entries[i];
+    const TimelineEntry& want = base.entries[i];
+    ASSERT_EQ(got.kind, want.kind) << "entry " << i;
+    ASSERT_EQ(got.stream, want.stream) << "entry " << i;
+    ASSERT_EQ(got.name, want.name) << "entry " << i;
+    ASSERT_EQ(got.start, want.start) << "entry " << i;  // bit-identical
+    ASSERT_EQ(got.end, want.end) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrent-ingestion fast path (front-end guardrail): a single producer
+// driving the contention DAG through the MPSC submission queue must
+// reproduce the direct-drive schedule bit for bit. Drain batching is
+// invisible because engine transactions group without reordering, and
+// commits at the same host stamps replay per-call issue timing.
+// ---------------------------------------------------------------------
+
+TEST(GoldenEquivalence, QueueSingleProducerBitIdentical) {
+  const GoldenRun base = run_contention_scenario();
+
+  GpuRuntime rt(DeviceSpec::test_device());
+  IngestService svc(rt);  // one shard: the single-producer configuration
+  {
+    // Hold the api gate across emission: stream/event creation goes to
+    // the engine directly, so the drain must not run mid-emission. Queue
+    // pushes are lock-free and unaffected; everything drains below.
+    const auto gate = rt.api_guard();
+    Engine& eng = rt.engine();
+    emit_contention_dag(
+        eng, 1000, 16, [&svc](Op op) { svc.post(0, std::move(op), 0); },
+        [&svc](EventId ev, StreamId s) { svc.post_record(0, ev, s, 0); },
+        [&svc](StreamId s, EventId ev) { svc.post_wait(0, s, ev, 0); });
+  }
+  svc.flush_and_wait(0);
+  rt.synchronize_device();
+
+  const auto& entries = rt.timeline().entries();
+  EXPECT_EQ(rt.timeline().makespan(), base.makespan);  // exact
+  ASSERT_EQ(entries.size(), base.entries.size());
+  for (std::size_t i = 0; i < base.entries.size(); ++i) {
+    const TimelineEntry& got = entries[i];
     const TimelineEntry& want = base.entries[i];
     ASSERT_EQ(got.kind, want.kind) << "entry " << i;
     ASSERT_EQ(got.stream, want.stream) << "entry " << i;
