@@ -43,6 +43,7 @@
 
 #include "sim/device_spec.hpp"
 #include "sim/machine.hpp"
+#include "sim/memory.hpp"
 #include "sim/op.hpp"
 #include "sim/resource_model.hpp"
 #include "sim/timeline.hpp"
@@ -84,8 +85,22 @@ class Submission {
   /// Used to discard a partial recording after a failed capture.
   void clear() {
     items_.clear();
+    working_sets_.clear();
     num_ops_ = 0;
     sealed_gen_ = 0;
+  }
+
+  // --- working-set annotations (schedule-time residency planning) ---
+  /// Record one launch's working set (in record order). Pure metadata for
+  /// the ResidencyPlanner: replaying the list hands these entries to the
+  /// planner as the ready frontier. Never validated, never sealed, and
+  /// absent on lists recorded before the planner existed (replay then
+  /// behaves exactly as it always has).
+  void note_working_set(DeviceId device, std::vector<ArrayId> ids) {
+    working_sets_.push_back({device, std::move(ids)});
+  }
+  [[nodiscard]] const std::vector<FrontierEntry>& working_sets() const {
+    return working_sets_;
   }
 
   [[nodiscard]] bool empty() const { return items_.empty(); }
@@ -117,6 +132,7 @@ class Submission {
     TimeUs host_time = 0;
   };
   std::vector<Item> items_;
+  std::vector<FrontierEntry> working_sets_;  ///< planner metadata only
   std::size_t num_ops_ = 0;
   /// Generation id of the engine whose const-commit validated this list
   /// (0 = unsealed). Engine topology only grows, so a sealed list stays

@@ -183,6 +183,31 @@ void TaskGraph::Exec::launch(GpuRuntime& rt, TaskGraph::Replay replay) {
   } else if (own_batch) {
     rt.begin_submit();
   }
+  // The topo order about to be lowered IS the ready frontier: hand it to
+  // the residency planner so admissions are future-scored and prefetch can
+  // run ahead of the lowering. Skipped when the planner is disabled or
+  // already fed a wider frontier (a drained ingest batch).
+  const bool announced =
+      rt.lookahead() > 0 && !rt.memory().planner().active();
+  if (announced) {
+    std::vector<FrontierEntry> frontier;
+    frontier.reserve(topo_order_.size());
+    for (NodeId v : topo_order_) {
+      const Node& node = (*nodes_)[static_cast<std::size_t>(v)];
+      if (node.kind == NodeKind::Empty) continue;
+      FrontierEntry fe;
+      fe.device = rt.stream_device(stream_of(v));
+      if (node.kind == NodeKind::Kernel) {
+        for (const ArrayUse& use : node.spec.arrays) {
+          fe.arrays.push_back(use.id);
+        }
+      } else {
+        fe.arrays.push_back(node.array);
+      }
+      frontier.push_back(std::move(fe));
+    }
+    rt.announce_frontier(std::move(frontier));
+  }
   // A throwing lowering (e.g. a node whose working set exceeds the
   // device) must not leave the runtime recording into this Exec — the
   // pointer would dangle past the Exec's lifetime and every later async
@@ -192,12 +217,14 @@ void TaskGraph::Exec::launch(GpuRuntime& rt, TaskGraph::Replay replay) {
   try {
     lower_nodes(rt);
   } catch (...) {
+    if (announced) rt.clear_frontier();
     if (record) {
       rt.abort_record();
       recorded_.clear();
     }
     throw;
   }
+  if (announced) rt.clear_frontier();
   if (record) {
     rt.end_record();
     recorded_valid_ = true;

@@ -229,6 +229,27 @@ void IngestService::drain_batch(Shard& s, std::vector<Item*>& batch) {
     batch_error = std::current_exception();
   }
 
+  // Hand the whole drained batch to the residency planner: the Replay
+  // items' recorded working sets, concatenated in pop order, are the ready
+  // frontier this batch is about to execute — so each replay's residency
+  // planning scores victims against the entire batch, not just its own
+  // list. Skipped when the planner is disabled, already fed a frontier, or
+  // the batch carries no annotated replays.
+  bool announced = false;
+  if (batch_error == nullptr && rt.lookahead() > 0 &&
+      !rt.memory().planner().active()) {
+    std::vector<FrontierEntry> frontier;
+    for (const Item* it : batch) {
+      if (it->kind != Item::Kind::Replay || it->replay == nullptr) continue;
+      const auto& ws = it->replay->working_sets();
+      frontier.insert(frontier.end(), ws.begin(), ws.end());
+    }
+    if (!frontier.empty()) {
+      rt.announce_frontier(std::move(frontier));
+      announced = true;
+    }
+  }
+
   if (batch_error == nullptr) {
     for (Item* it : batch) {
       try {
@@ -270,6 +291,7 @@ void IngestService::drain_batch(Shard& s, std::vector<Item*>& batch) {
       }
     }
     rt.set_active_tenant(ambient);
+    if (announced) rt.clear_frontier();
     if (own_batch) {
       try {
         rt.commit();

@@ -163,6 +163,16 @@ void MemoryManager::apply_page_out(const PageOut& po, DeviceId d) {
     // current copy elsewhere (peer device or host) by construction.
     if (po.writeback) e.host_fresh = true;
   });
+  // Prefetched pages evicted before any launch consumed them were moved
+  // for nothing — the planner's miss metric.
+  if (static_cast<std::size_t>(d) < a.prefetch_pending.size()) {
+    std::size_t& pending = a.prefetch_pending[static_cast<std::size_t>(d)];
+    if (pending > 0) {
+      const std::size_t wasted = std::min(pending, po.bytes);
+      pending -= wasted;
+      wasted_prefetch_ += wasted;
+    }
+  }
   device_used_[static_cast<std::size_t>(d)] -= po.bytes;
   device_evicted_[static_cast<std::size_t>(d)] += po.bytes;
   ensure_tenant(a.owner);
@@ -176,42 +186,186 @@ void MemoryManager::apply_page_out(const PageOut& po, DeviceId d) {
   }
 }
 
-EvictionPlan MemoryManager::build_and_apply_plan(
+void MemoryManager::note_prefetched(ArrayInfo& a, DeviceId d,
+                                    std::size_t bytes) {
+  check_device(d, "note_prefetched");
+  if (bytes == 0) return;
+  if (a.prefetch_pending.size() < device_capacity_.size()) {
+    a.prefetch_pending.resize(device_capacity_.size(), 0);
+  }
+  a.prefetch_pending[static_cast<std::size_t>(d)] += bytes;
+}
+
+void MemoryManager::consume_prefetched(ArrayInfo& a, DeviceId d) {
+  check_device(d, "consume_prefetched");
+  if (static_cast<std::size_t>(d) < a.prefetch_pending.size()) {
+    a.prefetch_pending[static_cast<std::size_t>(d)] = 0;
+  }
+}
+
+// --- ResidencyPlanner (policy half of the split) ---------------------------
+
+void ResidencyPlanner::set_horizon(int h) {
+  horizon_ = h < 0 ? 0 : h;
+  nu_cache_pos_ = kNoNextUse;
+}
+
+void ResidencyPlanner::announce(std::vector<FrontierEntry> entries) {
+  frontier_ = std::move(entries);
+  pos_ = 0;
+  served_until_ = 0;
+  nu_cache_pos_ = kNoNextUse;
+  // Per-device total demand bound, each (array, device) pair once, plus
+  // the device's headroom right now. Freed arrays keep their contribution
+  // (the bound only ever over-estimates, which errs toward planning).
+  announce_load_.clear();
+  std::vector<std::pair<ArrayId, DeviceId>> seen;
+  for (const FrontierEntry& fe : frontier_) {
+    for (const ArrayId a : fe.arrays) {
+      if (!mm_.valid(a)) continue;
+      seen.emplace_back(a, fe.device);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const auto& [a, d] : seen) {
+    const auto di = static_cast<std::size_t>(d);
+    if (d < 0 || di >= mm_.device_capacity_.size()) continue;
+    auto it =
+        std::find_if(announce_load_.begin(), announce_load_.end(),
+                     [&](const AnnounceLoad& p) { return p.device == d; });
+    if (it == announce_load_.end()) {
+      const std::size_t cap = mm_.device_capacity_[di];
+      const std::size_t used = mm_.device_used_[di];
+      announce_load_.push_back(
+          {d, mm_.info(a).bytes, cap > used ? cap - used : 0});
+    } else {
+      it->load += mm_.info(a).bytes;
+    }
+  }
+}
+
+void ResidencyPlanner::clear() {
+  frontier_.clear();
+  pos_ = 0;
+  served_until_ = 0;
+  announce_load_.clear();
+  nu_cache_pos_ = kNoNextUse;
+}
+
+namespace {
+/// Order- and duplicate-insensitive working-set equality (launch argument
+/// lists may repeat an array; the frontier stores whatever the announcer
+/// recorded).
+bool same_working_set(std::span<const ArrayId> a,
+                      const std::vector<ArrayId>& b) {
+  // Mutual-membership equality: sets are a handful of ids, so the
+  // quadratic scan beats sorting copies (this runs on every launch).
+  for (const ArrayId id : a) {
+    if (std::find(b.begin(), b.end(), id) == b.end()) return false;
+  }
+  for (const ArrayId id : b) {
+    if (std::find(a.begin(), a.end(), id) == a.end()) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void ResidencyPlanner::on_admitted(std::span<const ArrayId> ids, DeviceId d) {
+  if (!active()) return;
+  const FrontierEntry& head = frontier_[pos_];
+  // Only an exact head match advances: the frontier is advisory, and a
+  // schedule that diverges from the announcement must not mis-track
+  // next-use distances (stale scoring is still deterministic).
+  if (head.device != d || !same_working_set(ids, head.arrays)) return;
+  ++pos_;
+}
+
+void ResidencyPlanner::ensure_window_cache() const {
+  if (nu_cache_pos_ == pos_) return;
+  // Rebuild the window's next-use table. It depends only on the frontier
+  // contents and pos_, so it stays valid across every residency change
+  // until the schedule advances.
+  nu_cache_.clear();
+  const std::size_t end =
+      std::min(frontier_.size(), pos_ + static_cast<std::size_t>(horizon_));
+  for (std::size_t k = pos_; k < end; ++k) {
+    const FrontierEntry& fe = frontier_[k];
+    for (const ArrayId a : fe.arrays) {
+      nu_cache_.push_back({a, fe.device, k});
+    }
+  }
+  std::sort(nu_cache_.begin(), nu_cache_.end(),
+            [](const NextUse& x, const NextUse& y) {
+              if (x.id != y.id) return x.id < y.id;
+              if (x.device != y.device) return x.device < y.device;
+              return x.entry < y.entry;  // earliest use wins the search
+            });
+  nu_cache_pos_ = pos_;
+}
+
+std::size_t ResidencyPlanner::next_use(ArrayId id, DeviceId d) const {
+  if (!active()) return kNoNextUse;
+  ensure_window_cache();
+  const auto it = std::lower_bound(
+      nu_cache_.begin(), nu_cache_.end(), std::pair{id, d},
+      [](const NextUse& x, const std::pair<ArrayId, DeviceId>& key) {
+        if (x.id != key.first) return x.id < key.first;
+        return x.device < key.second;
+      });
+  if (it != nu_cache_.end() && it->id == id && it->device == d) {
+    return it->entry;
+  }
+  return kNoNextUse;
+}
+
+EvictionPlan ResidencyPlanner::build_and_apply_plan(
     DeviceId d, std::size_t shortfall, std::size_t requested,
     std::span<const ArrayId> protect, TenantId requester) {
+  return build_plan(d, shortfall, requested, protect, requester, kNoNextUse,
+                    /*nothrow=*/false);
+}
+
+EvictionPlan ResidencyPlanner::build_plan(
+    DeviceId d, std::size_t shortfall, std::size_t requested,
+    std::span<const ArrayId> protect, TenantId requester,
+    std::size_t max_next_use, bool nothrow) {
+  MemoryManager& mm = mm_;
   const std::uint32_t bit = 1u << d;
   // Victim candidates: every resident extent of every live, unpinned,
   // quiescent array outside the faulting working set. `over_quota` selects
   // the outermost eviction tier: runs owned by a tenant resident beyond
   // its soft quota are victimized before anyone else's (the quota's only
-  // enforcement). `fresh` selects the tier inside it: stale copies (a
-  // current copy exists elsewhere — free to drop) go before fresh ones
-  // (may need a write-back).
-  struct Candidate {
-    bool over_quota = false;
-    bool fresh = false;
-    std::uint64_t stamp = 0;
-    ArrayId id = kInvalidArray;
-    std::uint32_t first = 0;
-    std::uint32_t count = 0;
-    std::size_t bytes = 0;
-    bool writeback = false;
-  };
-  std::vector<Candidate> cands;
+  // enforcement). `next_use` scores the tier inside it when a frontier is
+  // active: runs the upcoming schedule touches *latest* go first
+  // (Belady-style), runs it never touches (kNoNextUse) before all of
+  // those. `fresh` ranks inside that: stale copies (a current copy exists
+  // elsewhere — free to drop) go before fresh ones (may need a
+  // write-back). With no frontier every next_use is kNoNextUse and the
+  // order is the historical quota-biased LRU, byte for byte.
+  using Candidate = EvictCandidate;
+  const bool gated = max_next_use != kNoNextUse;
+  std::vector<Candidate>& cands = cand_scratch_;
+  cands.clear();
   std::size_t evictable = 0;
-  for (const auto& [id, a] : arrays_) {
-    if (!eviction_candidate(a, d, protect)) continue;
+  for (const auto& [id, a] : mm.arrays_) {
+    if (!MemoryManager::eviction_candidate(a, d, protect)) continue;
+    const std::size_t nu = next_use(id, d);
+    // Never-evict-nearer-frontier gate (prefetch planning only): pages an
+    // op at or before `max_next_use` will touch are off limits.
+    if (gated && nu <= max_next_use) continue;
     const std::uint64_t stamp =
         static_cast<std::size_t>(d) < a.lru_stamp.size()
             ? a.lru_stamp[static_cast<std::size_t>(d)]
             : 0;
     // Quota standing is judged once, at plan-build entry: a deterministic
     // order even though applying the plan drains the over-quota tenant.
-    const bool over = tenant_over_quota(a.owner, d);
+    const bool over = mm.tenant_over_quota(a.owner, d);
     for (const PageExtent& e : a.extents) {
       if ((e.resident_mask & bit) == 0) continue;
       Candidate c;
       c.over_quota = over;
+      c.next_use = nu;
       c.fresh = (e.fresh_mask & bit) != 0;
       // A write-back is needed only when this device holds the *only*
       // current copy of the run.
@@ -226,22 +380,29 @@ EvictionPlan MemoryManager::build_and_apply_plan(
     }
   }
   if (evictable < shortfall) {
+    if (nothrow) {
+      // Prefetch planning backs off instead of raising: the admission
+      // path will deal with this entry when its turn actually comes.
+      EvictionPlan none;
+      none.device = d;
+      return none;
+    }
     if (requester == kInvalidTenant && !protect.empty()) {
-      requester = info(protect.front()).owner;
+      requester = mm.info(protect.front()).owner;
     }
     throw OutOfMemoryError(
-        d, requested, device_used_[static_cast<std::size_t>(d)],
-        device_capacity_[static_cast<std::size_t>(d)], evictable, requester,
-        tenant_used_bytes(requester, d),
+        d, requested, mm.device_used_[static_cast<std::size_t>(d)],
+        mm.device_capacity_[static_cast<std::size_t>(d)], evictable,
+        requester, mm.tenant_used_bytes(requester, d),
         "device " + std::to_string(d) + " out of memory");
   }
-  // Deterministic quota-biased LRU order: over-quota tenants' runs first,
-  // then stale runs before fresh, then by last-access stamp, ties by
-  // (array id, first page). With no quotas configured nobody is over
-  // quota and the order is the historical one.
+  // Deterministic victim order: over-quota tenants' runs first, inside
+  // each tier farthest next use first, then stale runs before fresh, then
+  // by last-access stamp, ties by (array id, first page).
   std::sort(cands.begin(), cands.end(),
             [](const Candidate& x, const Candidate& y) {
               if (x.over_quota != y.over_quota) return x.over_quota;
+              if (x.next_use != y.next_use) return x.next_use > y.next_use;
               if (x.fresh != y.fresh) return !x.fresh;
               if (x.stamp != y.stamp) return x.stamp < y.stamp;
               if (x.id != y.id) return x.id < y.id;
@@ -256,13 +417,20 @@ EvictionPlan MemoryManager::build_and_apply_plan(
     PageOut po;
     po.array = c.id;
     po.writeback = c.writeback;
-    if (freed + c.bytes <= shortfall || c.count == 1) {
+    if (freed + c.bytes <= shortfall || c.count == 1 ||
+        (active() && c.bytes <= 2 * (shortfall - freed))) {
+      // Whole run. Under frontier scoring a modestly oversized run (up to
+      // 2x the remaining shortfall) is taken whole as well: splitting it
+      // leaves a fragment the next plan pages out in a second tiny op,
+      // and over round-robin reuse those fragments compound into an op
+      // storm (the 1.5x-ratio inversion). Without a frontier the split is
+      // exact, byte-identical to the historical plans.
       po.first = c.first;
       po.count = c.count;
       po.bytes = c.bytes;
     } else {
       // Partial victim: take just enough pages from the front of the run.
-      const ArrayInfo& a = info(c.id);
+      const ArrayInfo& a = mm.info(c.id);
       std::size_t taken = 0;
       std::uint32_t n = 0;
       while (n < c.count && freed + taken < shortfall) {
@@ -275,12 +443,138 @@ EvictionPlan MemoryManager::build_and_apply_plan(
     }
     freed += po.bytes;
     if (po.writeback) plan.writeback_bytes += po.bytes;
-    apply_page_out(po, d);
+    mm.apply_page_out(po, d);
     plan.page_outs.push_back(po);
   }
   plan.bytes_freed = freed;
-  ++device_evictions_[static_cast<std::size_t>(d)];
+  ++mm.device_evictions_[static_cast<std::size_t>(d)];
   return plan;
+}
+
+std::vector<PrefetchStep> ResidencyPlanner::plan_prefetch(
+    TenantId requester) {
+  std::vector<PrefetchStep> steps;
+  if (!active()) return steps;
+  // Per-device pressure verdicts. A device is quiet while it has never
+  // evicted and the whole announced frontier fits the headroom it had at
+  // announce time: planning must not touch it (under-capacity schedules
+  // stay bit-identical), and proving so costs one comparison per device —
+  // no cache rebuild. A device that will oversubscribe is loud from the
+  // first pass, so prefetch covers even the cold start.
+  loud_scratch_.clear();
+  for (const AnnounceLoad& al : announce_load_) {
+    const auto di = static_cast<std::size_t>(al.device);
+    if (mm_.device_evictions_[di] != 0 || al.load > al.headroom) {
+      loud_scratch_.push_back(al.device);
+    }
+  }
+  if (loud_scratch_.empty()) return steps;
+  // Hysteresis: the last batch's runway still covers the entry being
+  // admitted — nothing to do until the schedule consumes it.
+  if (served_until_ >= pos_ + kServeSlack) return steps;
+  ensure_window_cache();
+  const std::size_t end =
+      std::min(frontier_.size(), pos_ + static_cast<std::size_t>(horizon_));
+  // Per loud device: gather its missing window entries, then serve the
+  // batch, shrinking from the back until the never-evict-nearer rule can
+  // be satisfied (a victim must have a next use farther than EVERY entry
+  // served, so serving less far ahead only loosens the gate). The whole
+  // window is rescanned every pass: residency goes stale fast under
+  // eviction, so a sticky "planned" mark would pin decisions made before
+  // the pressure that invalidates them. Entries already prefetched come
+  // back with nothing missing and fall through for free. All gather state
+  // lives in member scratch — this pass runs on the launch hot path, and
+  // quiet devices are never touched (bit-identity). The new runway ends
+  // at the first pending entry any device failed to serve (min across
+  // devices; `end` when every device served everything it had pending).
+  std::size_t new_served = end;
+  for (const DeviceId d : loud_scratch_) {
+    mm_.check_device(d, "plan_prefetch");
+    const auto di = static_cast<std::size_t>(d);
+    serve_entries_.clear();
+    serve_flat_.clear();
+    serve_offsets_.clear();
+    serve_offsets_.push_back(0);
+    for (std::size_t k = pos_; k < end; ++k) {
+      const FrontierEntry& fe = frontier_[k];
+      if (fe.device != d) continue;
+      // The entry's working set (deduped, freed ids dropped — the
+      // frontier is advisory) and the bytes it still has to charge.
+      std::vector<ArrayId>& ids = ids_scratch_;
+      ids.clear();
+      std::size_t needed = 0;
+      for (const ArrayId id : fe.arrays) {
+        if (std::find(ids.begin(), ids.end(), id) != ids.end()) continue;
+        const ArrayInfo* a = mm_.find(id);
+        if (a == nullptr) continue;
+        ids.push_back(id);
+        needed += a->bytes - a->resident_bytes_on(d);
+      }
+      // Fully charged already (admitted, or planned by an earlier pass):
+      // nothing to move for this entry.
+      if (needed == 0) continue;
+      serve_entries_.push_back(k);
+      serve_flat_.insert(serve_flat_.end(), ids.begin(), ids.end());
+      serve_offsets_.push_back(serve_flat_.size());
+    }
+    // Nothing pending for this device: it does not constrain the runway.
+    if (serve_entries_.empty()) continue;
+    std::size_t served_m = 0;
+    for (std::size_t m = serve_entries_.size(); m >= 1; --m) {
+      std::vector<ArrayId>& uids = ids_scratch_;
+      uids.clear();
+      std::size_t needed = 0;
+      for (std::size_t i = 0; i < serve_offsets_[m]; ++i) {
+        const ArrayId id = serve_flat_[i];
+        if (std::find(uids.begin(), uids.end(), id) != uids.end()) continue;
+        const ArrayInfo* a = mm_.find(id);
+        if (a == nullptr) continue;
+        uids.push_back(id);
+        needed += a->bytes - a->resident_bytes_on(d);
+      }
+      if (needed == 0) {
+        served_m = m;
+        break;
+      }
+      const std::size_t used = mm_.device_used_[di];
+      const std::size_t cap = mm_.device_capacity_[di];
+      PrefetchStep step;
+      step.entry = serve_entries_.front();
+      step.device = d;
+      if (used + needed > cap) {
+        const std::size_t shortfall = used + needed - cap;
+        step.evictions = build_plan(
+            d, shortfall, needed, uids, requester,
+            /*max_next_use=*/serve_entries_[m - 1], /*nothrow=*/true);
+        if (step.evictions.bytes_freed < shortfall) continue;  // shrink
+      }
+      for (const ArrayId id : uids) {
+        ArrayInfo& a = mm_.info(id);
+        const std::size_t stale = a.stale_bytes_on(d);
+        mm_.charge_pages(a, d);
+        if (stale > 0) {
+          mm_.note_prefetched(a, d, stale);
+          step.arrays.push_back(id);
+          step.stale_bytes.push_back(stale);
+        }
+      }
+      if (!step.arrays.empty() || !step.evictions.empty()) {
+        steps.push_back(std::move(step));
+      }
+      served_m = m;
+      break;
+    }
+    // This device's runway ends right after its last served entry — not at
+    // the window end: the serve's own victims may be arrays that backed
+    // later window entries verified resident during the gather, so nothing
+    // beyond the serve can be trusted. A device that served nothing pins
+    // the mark at pos_ (retry next pass).
+    const std::size_t mark =
+        served_m == 0 ? pos_ : serve_entries_[served_m - 1] + 1;
+    new_served = std::min(new_served, mark);
+  }
+  served_until_ = std::max(new_served, pos_);
+  return steps;
 }
 
 void MemoryManager::charge_pages(ArrayInfo& a, DeviceId d) {
@@ -327,9 +621,11 @@ EvictionPlan MemoryManager::charge_residency(std::span<const ArrayId> ids,
   if (needed > 0 && used + needed > cap) {
     // One eviction plan for the whole working set (the faulting op's own
     // arrays are never victims): this is what makes a 2x-capacity working
-    // set thrash instead of die.
-    plan = build_and_apply_plan(d, used + needed - cap, needed, ids,
-                                requester);
+    // set thrash instead of die. Victim *selection* lives in the planner
+    // (the policy half); with no frontier announced the plan is
+    // byte-identical to the historical admission-time LRU one.
+    plan = planner_.build_and_apply_plan(d, used + needed - cap, needed,
+                                         ids, requester);
   }
   for (const ArrayId id : ids) charge_pages(info(id), d);
   return plan;
@@ -438,6 +734,16 @@ const ArrayInfo& MemoryManager::info(ArrayId id) const {
 
 bool MemoryManager::valid(ArrayId id) const {
   return arrays_.find(id) != arrays_.end();
+}
+
+ArrayInfo* MemoryManager::find(ArrayId id) {
+  auto it = arrays_.find(id);
+  return it == arrays_.end() ? nullptr : &it->second;
+}
+
+const ArrayInfo* MemoryManager::find(ArrayId id) const {
+  auto it = arrays_.find(id);
+  return it == arrays_.end() ? nullptr : &it->second;
 }
 
 std::size_t MemoryManager::num_live_arrays() const { return arrays_.size(); }

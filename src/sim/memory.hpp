@@ -24,6 +24,17 @@
 // Recency is tracked per (array, device) with a monotone stamp: kernel
 // launches, migrations, and admissions touch the stamps; eviction order is
 // (stale-first, stamp, array id, page) — fully deterministic.
+//
+// Bookkeeping vs. policy (the pmm/vmm split): MemoryManager owns the
+// *accounting* — extents, charges, per-device and per-tenant counters —
+// while victim selection and lookahead prefetch planning live in the
+// ResidencyPlanner below. The planner can be fed the upcoming schedule
+// (the "ready frontier" a transaction commit, replay, or graph launch
+// exposes); with a frontier active, victims are scored against the future
+// working set (farthest next use evicted first, Belady-style) instead of
+// LRU-now, and prefetch plans bring the frontier's arrays in early. With
+// no frontier (or horizon 0) every decision is bit-identical to the
+// historical admission-time LRU path.
 #pragma once
 
 #include <bit>
@@ -89,6 +100,10 @@ struct ArrayInfo {
   std::uint32_t pinned_mask = 0;
   /// Per-device last-access stamp (MemoryManager::touch); 0 = never.
   std::vector<std::uint64_t> lru_stamp;
+  /// Per-device bytes brought in by a lookahead prefetch that no kernel
+  /// has consumed yet. Cleared when the target launch admits the array;
+  /// pages evicted while the mark is set count as wasted prefetch.
+  std::vector<std::size_t> prefetch_pending;
 
   /// Pre-Pascal visibility restriction: the stream this array is attached
   /// to (kInvalidStream = visible everywhere).
@@ -324,6 +339,176 @@ struct EvictionPlan {
   [[nodiscard]] bool empty() const { return page_outs.empty(); }
 };
 
+/// One upcoming operation's working set, in schedule order — the unit of
+/// the "ready frontier" a transaction commit, recorded replay, or graph
+/// launch announces to the planner.
+struct FrontierEntry {
+  DeviceId device = kDefaultDevice;
+  std::vector<ArrayId> arrays;
+};
+
+/// One planner-built prefetch step: bring the missing pages of `arrays`
+/// onto `device` ahead of frontier entry `entry`. The residency charge and
+/// the eviction plan making room are already applied when the step is
+/// returned; the caller prices the page-outs and issues the transfers
+/// (`stale_bytes[i]` is what arrays[i] still has to move).
+struct PrefetchStep {
+  std::size_t entry = 0;
+  DeviceId device = kInvalidDevice;
+  std::vector<ArrayId> arrays;
+  std::vector<std::size_t> stale_bytes;
+  EvictionPlan evictions;
+};
+
+class MemoryManager;
+
+/// Policy half of the residency split: victim selection and DAG-lookahead
+/// prefetch planning over the announced frontier. All state mutation goes
+/// through the owning MemoryManager's accounting primitives.
+class ResidencyPlanner {
+ public:
+  /// Default lookahead horizon (frontier entries considered ahead of the
+  /// current schedule position).
+  static constexpr int kDefaultHorizon = 8;
+  static constexpr std::size_t kNoNextUse =
+      std::numeric_limits<std::size_t>::max();
+
+  explicit ResidencyPlanner(MemoryManager& mm) : mm_(mm) {}
+
+  /// Horizon knob: 0 disables frontier consumption and prefetch entirely
+  /// (the admission-time LRU path, bit-identical to planning never having
+  /// existed).
+  void set_horizon(int h);
+  [[nodiscard]] int horizon() const { return horizon_; }
+
+  /// Replace the frontier with `entries` (schedule order). Position and
+  /// prefetch progress reset. No-op content-wise when horizon is 0 — the
+  /// entries are stored but never consulted.
+  void announce(std::vector<FrontierEntry> entries);
+  void clear();
+  /// True when unconsumed frontier entries remain and the horizon is open.
+  [[nodiscard]] bool active() const {
+    return horizon_ > 0 && pos_ < frontier_.size();
+  }
+  [[nodiscard]] std::size_t frontier_remaining() const {
+    return frontier_.size() - pos_;
+  }
+  /// The schedule advanced: an op with this working set was admitted. If
+  /// it matches the head entry the position moves past it (next-use
+  /// distances track the real schedule); mismatches leave the frontier
+  /// untouched — the planner degrades to advisory scoring.
+  void on_admitted(std::span<const ArrayId> ids, DeviceId d);
+
+  /// Victim selection for one admission (moved here from MemoryManager —
+  /// the policy half of charge_residency). With an active frontier the
+  /// order is future-aware; otherwise it is the historical quota-biased
+  /// LRU order, byte-identical plans included.
+  EvictionPlan build_and_apply_plan(DeviceId d, std::size_t shortfall,
+                                    std::size_t requested,
+                                    std::span<const ArrayId> protect,
+                                    TenantId requester);
+
+  /// Walk the frontier up to `horizon()` entries past the current
+  /// position and plan prefetch for the entries with stale pages. All of
+  /// a device's missing entries in the window are served as ONE batch —
+  /// one eviction plan, one PrefetchStep — so the runtime prices one
+  /// coalesced write-back and one fetch per DMA direction instead of an
+  /// op per extent (op count, not bytes, is the host-side cost). Victims
+  /// must have a next use *farther* than every entry served (prefetch
+  /// never evicts pages a nearer-frontier op needs); when the full batch
+  /// is infeasible under that rule the serve set shrinks from the back
+  /// until it fits, possibly to nothing. Serves are hysteretic: after a
+  /// batch lands, passes return immediately until the schedule is within
+  /// kServeSlack entries of the served runway's end — at steady state the
+  /// planner touches the engine once per batch, not once per launch. Only
+  /// engages under memory pressure: a device that has never evicted and
+  /// fits its whole frontier load outright is left to the plain fault
+  /// path, keeping under-capacity schedules bit-identical.
+  std::vector<PrefetchStep> plan_prefetch(TenantId requester);
+
+ private:
+  /// Next-use index of `id` on device `d` within the lookahead window
+  /// [pos_, pos_+horizon), or kNoNextUse. Served from nu_cache_, rebuilt
+  /// lazily whenever the window (pos_) has moved.
+  [[nodiscard]] std::size_t next_use(ArrayId id, DeviceId d) const;
+  /// Core plan builder shared by admission and prefetch. Victims with
+  /// next_use <= `max_next_use` are excluded outright (the
+  /// never-evict-nearer-frontier gate); kNoNextUse disables the gate.
+  /// `nothrow` returns an empty plan instead of raising OutOfMemoryError
+  /// when the shortfall cannot be met.
+  EvictionPlan build_plan(DeviceId d, std::size_t shortfall,
+                          std::size_t requested,
+                          std::span<const ArrayId> protect,
+                          TenantId requester, std::size_t max_next_use,
+                          bool nothrow);
+
+  /// One next-use fact: `id`'s earliest appearance on `device` within the
+  /// current window. Kept sorted by (id, device) for binary search.
+  struct NextUse {
+    ArrayId id;
+    DeviceId device;
+    std::size_t entry;
+  };
+
+  /// Rebuild nu_cache_ if pos_ moved since the last build.
+  void ensure_window_cache() const;
+
+  /// One evictable resident run, scored for the victim sort (see
+  /// build_plan). Lives here only so the candidate buffer can be reused
+  /// across calls — build_plan runs on the launch hot path.
+  struct EvictCandidate {
+    bool over_quota = false;
+    std::size_t next_use = kNoNextUse;
+    bool fresh = false;
+    std::uint64_t stamp = 0;
+    ArrayId id = kInvalidArray;
+    std::uint32_t first = 0;
+    std::uint32_t count = 0;
+    std::size_t bytes = 0;
+    bool writeback = false;
+  };
+
+  /// Replan once fewer than this many served entries remain ahead of the
+  /// schedule position. 1 = replan exactly when the entry being admitted
+  /// is itself unserved: the pass (which runs before admission) then
+  /// covers it just in time, and every batch is as large as feasibility
+  /// allows — the fewest serves, hence the fewest engine ops.
+  static constexpr std::size_t kServeSlack = 1;
+
+  /// Per-device frontier pressure facts, computed once at announce.
+  struct AnnounceLoad {
+    DeviceId device;
+    std::size_t load;      ///< total frontier demand, each array once
+    std::size_t headroom;  ///< capacity minus use at announce time
+  };
+
+  MemoryManager& mm_;
+  std::vector<FrontierEntry> frontier_;
+  std::size_t pos_ = 0;  ///< next entry the schedule will admit
+  int horizon_ = kDefaultHorizon;
+  /// Frontier index (exclusive) up to which prefetch batches have been
+  /// served. Advances only on actual serves — never on gate skips — so a
+  /// stale mark cannot pin a decision made before later pressure.
+  std::size_t served_until_ = 0;
+  /// While a device has never evicted and its whole announced load fits
+  /// the headroom it had at announce time, no planning may touch it —
+  /// under-capacity schedules stay bit-identical, and the fast path is
+  /// one comparison per device with no per-pass cache rebuild.
+  std::vector<AnnounceLoad> announce_load_;
+  std::vector<DeviceId> loud_scratch_;  ///< devices under pressure, per pass
+  // Hot-pass scratch: plan_prefetch runs before every launch, so its
+  // per-entry buffers must not allocate. serve_* hold the device batch
+  // being served: window indices, per-entry ids concatenated, and the
+  // flat-range bound after each entry.
+  std::vector<ArrayId> ids_scratch_;
+  std::vector<std::size_t> serve_entries_;
+  std::vector<ArrayId> serve_flat_;
+  std::vector<std::size_t> serve_offsets_;
+  std::vector<EvictCandidate> cand_scratch_;  ///< build_plan victim buffer
+  mutable std::vector<NextUse> nu_cache_;
+  mutable std::size_t nu_cache_pos_ = kNoNextUse;  ///< pos_ at build time
+};
+
 class MemoryManager {
  public:
   /// Unified-memory page size: the granularity of residency, charging, and
@@ -388,6 +573,10 @@ class MemoryManager {
   [[nodiscard]] ArrayInfo& info(ArrayId id);
   [[nodiscard]] const ArrayInfo& info(ArrayId id) const;
   [[nodiscard]] bool valid(ArrayId id) const;
+  /// Nullable lookup: one hash probe where hot paths would otherwise pay
+  /// for valid() followed by info().
+  [[nodiscard]] ArrayInfo* find(ArrayId id);
+  [[nodiscard]] const ArrayInfo* find(ArrayId id) const;
 
   [[nodiscard]] std::size_t used_bytes() const { return used_; }
   /// Combined roster device memory (the historical aggregate view).
@@ -437,21 +626,28 @@ class MemoryManager {
     return tenant_used_bytes(t, d) > tenant_quota(t, d);
   }
 
+  // --- schedule-time planning (policy half; see ResidencyPlanner) ---
+  [[nodiscard]] ResidencyPlanner& planner() { return planner_; }
+  [[nodiscard]] const ResidencyPlanner& planner() const { return planner_; }
+  /// Mark `bytes` of `a` on `d` as prefetched-ahead (wasted-prefetch
+  /// tracking): pages evicted before a launch consumes the mark count as
+  /// wasted.
+  void note_prefetched(ArrayInfo& a, DeviceId d, std::size_t bytes);
+  /// A launch admitted `a` on `d`: the prefetched bytes were useful.
+  void consume_prefetched(ArrayInfo& a, DeviceId d);
+  /// Prefetched bytes paged out before any launch consumed them.
+  [[nodiscard]] std::size_t wasted_prefetch_bytes() const {
+    return wasted_prefetch_;
+  }
+
  private:
+  friend class ResidencyPlanner;  // policy reads the accounting directly
   void check_device(DeviceId d, const char* who) const;
   /// The one victim-eligibility rule (shared by the plan builder and
   /// evictable_bytes): live, unpinned on `d`, quiescent, and outside the
   /// protected working set.
   [[nodiscard]] static bool eviction_candidate(
       const ArrayInfo& a, DeviceId d, std::span<const ArrayId> protect);
-  /// Build (and apply) an LRU plan freeing >= `shortfall` bytes on `d`;
-  /// throws OutOfMemoryError(d, requested, ..., requester, ...) when
-  /// impossible. Victim order is quota-biased: over-quota tenants' runs
-  /// (judged once, at plan-build entry) go before everyone else's.
-  EvictionPlan build_and_apply_plan(DeviceId d, std::size_t shortfall,
-                                    std::size_t requested,
-                                    std::span<const ArrayId> protect,
-                                    TenantId requester);
   /// Grow the per-tenant accounting vectors to cover tenant `t`.
   void ensure_tenant(TenantId t);
   /// Apply one page-out: clear residency/freshness, hand the only-copy
@@ -465,7 +661,9 @@ class MemoryManager {
   std::size_t host_capacity_;  ///< managed-heap bound (alloc)
   std::size_t page_bytes_;
   std::size_t used_ = 0;
+  std::size_t wasted_prefetch_ = 0;
   std::uint64_t lru_clock_ = 0;
+  ResidencyPlanner planner_{*this};
   ArrayId next_id_ = 1;
   std::unordered_map<ArrayId, ArrayInfo> arrays_;
   std::vector<std::size_t> device_capacity_;

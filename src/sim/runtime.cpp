@@ -55,6 +55,8 @@ GpuRuntime::GpuRuntime(Machine machine, std::size_t page_bytes)
   service_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
                           {});
   service_streams_[0].push_back(kDefaultStream);
+  prefetch_streams_.assign(static_cast<std::size_t>(engine_.num_devices()),
+                           {});
 }
 
 GpuRuntime::~GpuRuntime() = default;
@@ -83,6 +85,16 @@ void GpuRuntime::ingest_flush() { flush_ingest(active_tenant()); }
 
 StreamId GpuRuntime::service_stream(DeviceId device) {
   auto& per_device = service_streams_[static_cast<std::size_t>(device)];
+  const TenantId tenant = active_tenant();
+  const auto t = static_cast<std::size_t>(tenant);
+  if (per_device.size() <= t) per_device.resize(t + 1, kInvalidStream);
+  StreamId& s = per_device[t];
+  if (s == kInvalidStream) s = engine_.create_stream(device, tenant);
+  return s;
+}
+
+StreamId GpuRuntime::prefetch_stream(DeviceId device) {
+  auto& per_device = prefetch_streams_[static_cast<std::size_t>(device)];
   const TenantId tenant = active_tenant();
   const auto t = static_cast<std::size_t>(tenant);
   if (per_device.size() <= t) per_device.resize(t + 1, kInvalidStream);
@@ -182,6 +194,7 @@ std::size_t GpuRuntime::replay(const Submission& sub) {
   if (record_ != nullptr) throw ApiError("replay: recording active");
   // One driver call relaunches the whole recorded list.
   host_now_ += kLaunchCpuOverheadUs;
+  replay_admit(sub);
   if (batch_open_) {
     // Join an open batch instead of force-flushing it: the recorded items
     // ingest into the open transaction and start at the batch's commit,
@@ -195,6 +208,63 @@ std::size_t GpuRuntime::replay(const Submission& sub) {
   ++batch_commits_;
   engine_.advance_to(host_now_);
   return n;
+}
+
+void GpuRuntime::replay_admit(const Submission& sub) {
+  ResidencyPlanner& planner = memory_.planner();
+  const std::vector<FrontierEntry>& ws = sub.working_sets();
+  if (ws.empty() || planner.horizon() == 0) return;
+  // The recorded list is its own ready frontier (unless a wider one — a
+  // drained ingest batch spanning several replays — is already active).
+  const bool own_frontier = !planner.active();
+  if (own_frontier) planner.announce(ws);
+  const RecordSuspend no_tee(record_);
+  for (const FrontierEntry& fe : ws) {
+    // The entry's outstanding charge, deduped (freed ids cannot appear:
+    // replay requires the recorded arrays alive).
+    std::size_t needed = 0;
+    for (std::size_t i = 0; i < fe.arrays.size(); ++i) {
+      if (std::find(fe.arrays.begin(),
+                    fe.arrays.begin() + static_cast<std::ptrdiff_t>(i),
+                    fe.arrays[i]) !=
+          fe.arrays.begin() + static_cast<std::ptrdiff_t>(i)) {
+        continue;
+      }
+      const ArrayInfo& a = memory_.info(fe.arrays[i]);
+      needed += a.bytes - a.resident_bytes_on(fe.device);
+    }
+    // Same pressure gate as prefetch planning: a never-evicted device
+    // that fits the entry is left exactly as the historical replay left
+    // it — not even recency stamps move, so under-capacity replay
+    // schedules (and any later eviction order) stay bit-identical.
+    const std::size_t used = memory_.device_used_bytes(fe.device);
+    const std::size_t cap = memory_.device_capacity(fe.device);
+    if (memory_.device_evictions(fe.device) == 0 && used + needed <= cap) {
+      planner.on_admitted(fe.arrays, fe.device);
+      continue;
+    }
+    // Re-admit the working set (future-scored victims, one plan) and
+    // price the page-outs on the service stream, where they overlap the
+    // replayed ops in the D2H class. The recorded fault ops re-transfer
+    // the data themselves — replay stays static, no prefetch is issued —
+    // so this closes the accounting gap where replays touched pages the
+    // manager no longer charged anywhere.
+    EvictionPlan plan;
+    try {
+      plan = memory_.charge_residency(fe.arrays, fe.device, active_tenant());
+    } catch (const OutOfMemoryError&) {
+      // In-flight ops pin their arrays; drain the device and retry, like
+      // the launch path's fault stall.
+      if (engine_.all_idle() && !engine_.in_transaction()) throw;
+      flush_submission();
+      const TimeUs t = engine_.run_all();
+      host_now_ = std::max(host_now_, t);
+      plan = memory_.charge_residency(fe.arrays, fe.device, active_tenant());
+    }
+    price_eviction(plan, service_stream(fe.device));
+    planner.on_admitted(fe.arrays, fe.device);
+  }
+  if (own_frontier) planner.clear();
 }
 
 void GpuRuntime::begin_submit() {
@@ -344,7 +414,8 @@ void GpuRuntime::free_array(ArrayId id) {
   memory_.free_array(id);
 }
 
-EventId GpuRuntime::price_eviction(const EvictionPlan& plan) {
+EventId GpuRuntime::price_eviction(const EvictionPlan& plan,
+                                   StreamId stream) {
   bool any = false;
   for (const PageOut& po : plan.page_outs) {
     if (!po.writeback) continue;  // dropped pages move nothing
@@ -354,14 +425,15 @@ EventId GpuRuntime::price_eviction(const EvictionPlan& plan) {
     // the slot, so chain the new page-out behind it.
     if (victim.host_ready_event != kInvalidEvent &&
         !engine_.event_done(victim.host_ready_event)) {
-      issue_wait(service_stream(plan.device), victim.host_ready_event);
+      issue_wait(stream, victim.host_ready_event);
     }
-    // A write-back is a real D2H transfer on the device's service stream:
-    // it rides the (device, CopyD2H) DMA class and contends with
-    // foreground copies for the link.
+    // A write-back is a real D2H transfer on the caller's stream (the
+    // device's service stream at admission, the prefetch stream for early
+    // planner page-outs): it rides the (device, CopyD2H) DMA class and
+    // contends with foreground copies for the link.
     Op op;
     op.kind = OpKind::CopyD2H;
-    op.stream = service_stream(plan.device);
+    op.stream = stream;
     op.name = "evict:" + victim.name;
     op.bytes = static_cast<double>(po.bytes);
     op.work = op.bytes;
@@ -374,7 +446,7 @@ EventId GpuRuntime::price_eviction(const EvictionPlan& plan) {
       memory_.info(aid).pending_reads.insert(op_id);
       evict_inflight_.insert(op_id);
       eng.set_on_complete(op_id, [this, aid, op_id]() {
-        if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+        if (ArrayInfo* a = memory_.find(aid)) a->erase_pending(op_id);
         evict_inflight_.erase(op_id);
       });
     });
@@ -384,13 +456,13 @@ EventId GpuRuntime::price_eviction(const EvictionPlan& plan) {
   }
   if (!any) return kInvalidEvent;
   const EventId ev = engine_.create_event();
-  issue_record(ev, service_stream(plan.device));
+  issue_record(ev, stream);
   // The victims' host copies materialize only when the page-outs drain:
   // a later re-fault of the evicted pages (or a host access) must order
   // behind this event, not just the faulting stream.
   for (const PageOut& po : plan.page_outs) {
-    if (po.writeback && memory_.valid(po.array)) {
-      memory_.info(po.array).host_ready_event = ev;
+    if (po.writeback) {
+      if (ArrayInfo* a = memory_.find(po.array)) a->host_ready_event = ev;
     }
   }
   return ev;
@@ -417,7 +489,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
   // is admitted, so neither the page-outs nor the gate belong in the
   // static op list.
   const RecordSuspend no_tee(record_);
-  const EventId ev = price_eviction(plan);
+  const EventId ev = price_eviction(plan, service_stream(device));
   // The incoming pages physically land only after the page-outs free their
   // frames: the faulting stream's migrations/kernel wait for the last
   // write-back. Under-capacity admissions take neither branch and leave
@@ -426,7 +498,7 @@ void GpuRuntime::admit_working_set(std::span<const ArrayId> ids,
 }
 
 void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
-                                 OpKind host_kind) {
+                                 OpKind host_kind, bool prefetch) {
   ArrayInfo& a = memory_.info(id);
   const DeviceId dev = engine_.stream_device(stream);
   if (!a.needs_transfer_to(dev)) {
@@ -469,7 +541,7 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
     // exactly like the original issue did.
     ai.note_migrated(dev);
     eng.set_on_complete(op_id, [this, aid, op_id]() {
-      if (memory_.valid(aid)) memory_.info(aid).erase_pending(op_id);
+      if (ArrayInfo* a = memory_.find(aid)) a->erase_pending(op_id);
     });
   };
   if (host_bytes > 0) {
@@ -482,8 +554,10 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
     Op op;
     op.stream = stream;
     op.kind = host_kind;
-    op.name =
-        std::string(host_kind == OpKind::Fault ? "fault:" : "h2d:") + a.name;
+    op.name = std::string(prefetch ? "prefetch:"
+                          : host_kind == OpKind::Fault ? "fault:"
+                                                       : "h2d:") +
+              a.name;
     op.bytes = host_bytes;
     op.work = op.bytes;
     issue_op(std::move(op), bind);
@@ -492,6 +566,10 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
       ++fault_ops_;
     } else {
       bytes_h2d_ += host_bytes;
+    }
+    if (prefetch) {
+      ++prefetch_ops_;
+      prefetch_bytes_ += host_bytes;
     }
   }
   for (const auto& [src, bytes] : peer_bytes) {
@@ -504,11 +582,15 @@ void GpuRuntime::stage_to_device(ArrayId id, StreamId stream,
     op.stream = stream;
     op.kind = OpKind::CopyP2P;
     op.peer = src;
-    op.name = "p2p:" + a.name;
+    op.name = (prefetch ? "prefetch:" : "p2p:") + a.name;
     op.bytes = bytes;
     op.work = op.bytes;
     issue_op(std::move(op), bind);
     bytes_p2p_ += bytes;
+    if (prefetch) {
+      ++prefetch_ops_;
+      prefetch_bytes_ += bytes;
+    }
   }
 
   EventId ev = engine_.create_event();
@@ -524,9 +606,18 @@ OpId GpuRuntime::mem_prefetch_async(ArrayId id, StreamId stream) {
   }
   note_api_call();
   ArrayInfo& a = memory_.info(id);
-  if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  const DeviceId dev = engine_.stream_device(stream);
+  // Copies are frontier entries too (graph CopyH2D nodes announce them):
+  // advance past a matching head even when nothing needs to move, so a
+  // fully-resident prefetch never stalls the planner's position.
+  if (memory_.planner().active()) {
+    memory_.consume_prefetched(a, dev);
+    const ArrayId head[] = {id};
+    memory_.planner().on_admitted(head, dev);
+  }
+  if (!a.needs_transfer_to(dev)) return kInvalidOp;
   const ArrayId ids[] = {id};
-  admit_working_set(ids, engine_.stream_device(stream), stream);
+  admit_working_set(ids, dev, stream);
   stage_to_device(id, stream, OpKind::CopyH2D);
   // The staged op is the newest op on `stream`.
   return kInvalidOp;  // callers use the array's ready events for ordering
@@ -540,9 +631,15 @@ OpId GpuRuntime::memcpy_h2d_async(ArrayId id, StreamId stream) {
   }
   note_api_call();
   ArrayInfo& a = memory_.info(id);
-  if (!a.needs_transfer_to(engine_.stream_device(stream))) return kInvalidOp;
+  const DeviceId dev = engine_.stream_device(stream);
+  if (memory_.planner().active()) {
+    memory_.consume_prefetched(a, dev);
+    const ArrayId head[] = {id};
+    memory_.planner().on_admitted(head, dev);
+  }
+  if (!a.needs_transfer_to(dev)) return kInvalidOp;
   const ArrayId ids[] = {id};
-  admit_working_set(ids, engine_.stream_device(stream), stream);
+  admit_working_set(ids, dev, stream);
   stage_to_device(id, stream, OpKind::CopyH2D);
   return kInvalidOp;
 }
@@ -567,7 +664,8 @@ std::size_t GpuRuntime::advise_evict(ArrayId id, DeviceId device) {
   note_api_call();
   const EvictionPlan plan = memory_.evict(memory_.info(id), device);
   const RecordSuspend no_tee(record_);  // pressure traffic is not program
-  price_eviction(plan);                 // write-backs drain asynchronously
+  // Write-backs drain asynchronously on the device's service stream.
+  price_eviction(plan, service_stream(device));
   return plan.bytes_freed;
 }
 
@@ -672,7 +770,25 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   // arrays; its write-backs are priced before any of the launch's ops.
   admit_scratch_.clear();
   for (const ArrayUse& use : spec.arrays) admit_scratch_.push_back(use.id);
+  // Annotate the recording with this launch's working set: replays hand
+  // the annotations to the residency planner as their ready frontier.
+  if (record_ != nullptr) record_->note_working_set(dev, admit_scratch_);
+  ResidencyPlanner& planner = memory_.planner();
+  // Look ahead BEFORE admission: with the previous kernel synced nothing
+  // is pending, so the planner's eviction gate sees the widest victim set,
+  // and a serve batch can cover this very launch (its pages arrive over
+  // the prefetch stream and admission below finds them charged). No-op
+  // without an active frontier or under capacity (the planner's screens).
+  if (planner.active()) run_prefetch_pass();
   admit_working_set(admit_scratch_, dev, stream);
+  if (planner.active()) {
+    // The prefetched bytes (if any) are consumed; advance the frontier
+    // past this launch so next-use scoring tracks the real schedule.
+    for (const ArrayUse& use : spec.arrays) {
+      memory_.consume_prefetched(memory_.info(use.id), dev);
+    }
+    planner.on_admitted(admit_scratch_, dev);
+  }
 
   // Stage migrations for argument arrays the launch device lacks. A stale
   // host-side array moves over the fault path on Pascal+ (or ahead of
@@ -712,8 +828,10 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   std::vector<Use> used;
   used.reserve(spec.arrays.size());
   for (const ArrayUse& use : spec.arrays) used.push_back({use.id, use.write});
-  auto bind = [this, used, dev, fn = spec.functional](Engine& eng,
-                                                      OpId op_id) {
+  // The use list is moved through the bind into the completion closure —
+  // one allocation per launch instead of a copy per capture.
+  auto bind = [this, used = std::move(used), dev,
+               fn = spec.functional](Engine& eng, OpId op_id) mutable {
     for (const Use& u : used) {
       ArrayInfo& a = memory_.info(u.id);
       (u.write ? a.pending_writes : a.pending_reads).insert(op_id);
@@ -721,9 +839,9 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
       // only current copy of every page; host and peer copies are stale.
       if (u.write) a.note_kernel_write(dev);
     }
-    eng.set_on_complete(op_id, [this, used, op_id, fn]() {
+    eng.set_on_complete(op_id, [this, used = std::move(used), op_id, fn]() {
       for (const Use& u : used) {
-        if (memory_.valid(u.id)) memory_.info(u.id).erase_pending(op_id);
+        if (ArrayInfo* a = memory_.find(u.id)) a->erase_pending(op_id);
       }
       if (fn) fn();
     });
@@ -743,6 +861,199 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
     }
   }
   return op_id;
+}
+
+void GpuRuntime::run_prefetch_pass() {
+  const std::vector<PrefetchStep> steps =
+      memory_.planner().plan_prefetch(active_tenant());
+  if (steps.empty()) return;
+  // Prefetch traffic is transient pressure management, never part of a
+  // recorded program (a static replay must not re-run phantom transfers).
+  const RecordSuspend no_tee(record_);
+  for (const PrefetchStep& step : steps) {
+    issue_prefetch_step(step, prefetch_stream(step.device));
+  }
+}
+
+void GpuRuntime::issue_prefetch_step(const PrefetchStep& step,
+                                     StreamId stream) {
+  const DeviceId dev = engine_.stream_device(stream);
+  // One merged CopyD2H for the step's page-outs: same bytes on the same
+  // DMA class as per-victim ops, but a single launch overhead — op count,
+  // not byte count, is the host-side cost this pass must control.
+  double evict_bytes = 0;
+  std::vector<ArrayId> victims;
+  std::vector<EventId> waits;
+  for (const PageOut& po : step.evictions.page_outs) {
+    if (!po.writeback) continue;  // dropped pages move nothing
+    ArrayInfo& victim = memory_.info(po.array);
+    // A prior write-back of this array may still be in flight; its host
+    // copy must land before this one overwrites the slot.
+    if (victim.host_ready_event != kInvalidEvent &&
+        !engine_.event_done(victim.host_ready_event)) {
+      waits.push_back(victim.host_ready_event);
+    }
+    victims.push_back(po.array);
+    evict_bytes += static_cast<double>(po.bytes);
+  }
+  // Resolve every fetched array's stale runs by source before issuing
+  // anything: the fetch binds publish freshness at issue time, so
+  // interleaving resolution with issuing would mis-source later arrays.
+  double host_bytes = 0;
+  std::vector<std::pair<DeviceId, double>> peer_bytes;  // ascending src
+  std::vector<ArrayId> movers;
+  for (const ArrayId id : step.arrays) {
+    if (!memory_.valid(id)) continue;
+    ArrayInfo& a = memory_.info(id);
+    if (!a.needs_transfer_to(dev)) {
+      const EventId ev = a.ready_event_on(dev);
+      if (ev != kInvalidEvent && !engine_.event_done(ev)) waits.push_back(ev);
+      continue;
+    }
+    bool any = false;
+    for (const PageExtent& e : a.extents) {
+      if (!a.run_stale_on(e, dev)) continue;
+      const auto run = static_cast<double>(a.run_bytes(e.first, e.count));
+      if (e.fresh_mask == 0) {
+        host_bytes += run;
+        // The host copy may still be materializing from an in-flight
+        // eviction write-back: order the re-fetch behind it.
+        if (a.host_ready_event != kInvalidEvent &&
+            !engine_.event_done(a.host_ready_event)) {
+          waits.push_back(a.host_ready_event);
+        }
+      } else {
+        const DeviceId src =
+            static_cast<DeviceId>(std::countr_zero(e.fresh_mask));
+        add_source_bytes(peer_bytes, src, run);
+        const EventId sev = a.ready_event_on(src);
+        if (sev != kInvalidEvent && !engine_.event_done(sev)) {
+          waits.push_back(sev);
+        }
+      }
+      any = true;
+    }
+    if (any) movers.push_back(id);
+  }
+  if (victims.empty() && movers.empty()) return;
+  const auto shared_victims =
+      std::make_shared<std::vector<ArrayId>>(std::move(victims));
+  const auto shared_movers =
+      std::make_shared<std::vector<ArrayId>>(std::move(movers));
+  std::sort(waits.begin(), waits.end());
+  waits.erase(std::unique(waits.begin(), waits.end()), waits.end());
+  for (const EventId w : waits) issue_wait(stream, w);
+  if (!shared_victims->empty()) {
+    Op op;
+    op.kind = OpKind::CopyD2H;
+    op.stream = stream;
+    op.name =
+        "evict:" + memory_.info(shared_victims->front()).name +
+        (shared_victims->size() > 1
+             ? "+" + std::to_string(shared_victims->size() - 1)
+             : std::string());
+    op.bytes = evict_bytes;
+    op.work = op.bytes;
+    // The page-out reads the device copies: register the in-flight read on
+    // every victim so hazard checks, eviction eligibility, and free all
+    // see it (free_array drains runtime-initiated page-outs).
+    // The victim list rides a shared_ptr: the bind, the completion
+    // closure, and the trailing event assignment all read it — one
+    // allocation for the step instead of a vector copy per capture.
+    issue_op(std::move(op), [this, shared_victims](Engine& eng, OpId op_id) {
+      for (const ArrayId aid : *shared_victims) {
+        if (ArrayInfo* a = memory_.find(aid)) a->pending_reads.insert(op_id);
+      }
+      evict_inflight_.insert(op_id);
+      eng.set_on_complete(op_id, [this, shared_victims, op_id]() {
+        for (const ArrayId aid : *shared_victims) {
+          if (ArrayInfo* a = memory_.find(aid)) a->erase_pending(op_id);
+        }
+        evict_inflight_.erase(op_id);
+      });
+    });
+    ++evict_ops_;
+    bytes_d2h_ += evict_bytes;
+  }
+  std::sort(peer_bytes.begin(), peer_bytes.end());
+  const std::string tag =
+      shared_movers->empty()
+          ? std::string()
+          : memory_.info(shared_movers->front()).name +
+                (shared_movers->size() > 1
+                     ? "+" + std::to_string(shared_movers->size() - 1)
+                     : std::string());
+  // The bind is shared by the host fetch and every peer fetch; like the
+  // victims, the mover list rides a shared_ptr.
+  const auto bind = [this, shared_movers, dev](Engine& eng, OpId op_id) {
+    for (const ArrayId aid : *shared_movers) {
+      ArrayInfo* ai = memory_.find(aid);
+      if (ai == nullptr) continue;
+      ai->pending_reads.insert(op_id);
+      ai->note_migrated(dev);
+    }
+    eng.set_on_complete(op_id, [this, shared_movers, op_id]() {
+      for (const ArrayId aid : *shared_movers) {
+        if (ArrayInfo* a = memory_.find(aid)) a->erase_pending(op_id);
+      }
+    });
+  };
+  if (host_bytes > 0) {
+    // The stream's FIFO orders this fetch behind the frame-freeing
+    // write-back above without an event.
+    Op op;
+    op.stream = stream;
+    op.kind = OpKind::CopyH2D;
+    op.name = "prefetch:" + tag;
+    op.bytes = host_bytes;
+    op.work = op.bytes;
+    issue_op(std::move(op), bind);
+    bytes_h2d_ += host_bytes;
+    ++prefetch_ops_;
+    prefetch_bytes_ += host_bytes;
+  }
+  for (const auto& [src, bytes] : peer_bytes) {
+    Op op;
+    op.stream = stream;
+    op.kind = OpKind::CopyP2P;
+    op.peer = src;
+    op.name = "prefetch:" + tag;
+    op.bytes = bytes;
+    op.work = op.bytes;
+    issue_op(std::move(op), bind);
+    bytes_p2p_ += bytes;
+    ++prefetch_ops_;
+    prefetch_bytes_ += bytes;
+  }
+  // ONE event closes the step: recorded after the fetches (and thus after
+  // the write-back on this FIFO stream), it serves both as the victims'
+  // host-copy-ready gate and the fetched arrays' device-ready gate.
+  const EventId ev = engine_.create_event();
+  issue_record(ev, stream);
+  for (const ArrayId aid : *shared_victims) {
+    if (ArrayInfo* a = memory_.find(aid)) a->host_ready_event = ev;
+  }
+  for (const ArrayId aid : *shared_movers) {
+    if (ArrayInfo* a = memory_.find(aid)) a->set_ready_event(dev, ev);
+  }
+}
+
+double GpuRuntime::prefetch_overlap_fraction() const {
+  const Timeline& tl = engine_.timeline();
+  TimeUs total = 0;
+  TimeUs overlapped = 0;
+  IntervalSet kernels;  // built lazily: most runs have no prefetch entries
+  bool have_kernels = false;
+  for (const TimelineEntry& e : tl.entries()) {
+    if (e.name.rfind("prefetch:", 0) != 0) continue;
+    if (!have_kernels) {
+      kernels = tl.kernel_cover();
+      have_kernels = true;
+    }
+    total += e.duration();
+    overlapped += kernels.intersection_measure(e.interval());
+  }
+  return total > 0 ? overlapped / total : 0.0;
 }
 
 void GpuRuntime::begin_capture(TaskGraph& graph) {

@@ -172,6 +172,27 @@ class GpuRuntime {
   // --- kernel launch ---
   OpId launch(StreamId stream, const LaunchSpec& spec);
 
+  // --- schedule-time residency planning (see sim/memory.hpp) ---
+  /// Lookahead horizon of the residency planner: how many ready-frontier
+  /// entries ahead of the current schedule position prefetch planning
+  /// walks. 0 disables planning and prefetch entirely — the admission-time
+  /// LRU path, bit-identical to runs that never announced a frontier.
+  void set_lookahead(int horizon) { memory_.planner().set_horizon(horizon); }
+  [[nodiscard]] int lookahead() const { return memory_.planner().horizon(); }
+  /// Announce the upcoming schedule (one entry per future launch, in
+  /// order) to the planner. Graph launches and drained ingest batches do
+  /// this automatically; explicit stream programs may announce by hand.
+  /// The frontier is advisory: launches that match the head advance it,
+  /// divergent schedules simply degrade the scoring.
+  void announce_frontier(std::vector<FrontierEntry> entries) {
+    const auto gate = api_guard();
+    memory_.planner().announce(std::move(entries));
+  }
+  void clear_frontier() {
+    const auto gate = api_guard();
+    memory_.planner().clear();
+  }
+
   // --- capture (CUDA-Graphs stream capture; see graph.hpp) ---
   void begin_capture(TaskGraph& graph);
   void end_capture();
@@ -281,6 +302,17 @@ class GpuRuntime {
   /// classes) and fault-path migration ops issued.
   [[nodiscard]] long evict_ops() const { return evict_ops_; }
   [[nodiscard]] long fault_ops() const { return fault_ops_; }
+  /// Lookahead-prefetch transfer ops issued and the bytes they moved.
+  [[nodiscard]] long prefetch_ops() const { return prefetch_ops_; }
+  [[nodiscard]] double prefetch_bytes() const { return prefetch_bytes_; }
+  /// Prefetched bytes evicted again before any launch consumed them.
+  [[nodiscard]] std::size_t wasted_prefetch_bytes() const {
+    return memory_.wasted_prefetch_bytes();
+  }
+  /// Fraction of prefetch-transfer busy time overlapped by kernel
+  /// execution (post-hoc, from the timeline) — the planner's whole point
+  /// is pushing this toward 1. Zero when no prefetch ran.
+  [[nodiscard]] double prefetch_overlap_fraction() const;
   /// Per-device physical-residency accounting (see MemoryManager): bytes
   /// currently charged to device `d` and the high-water mark.
   [[nodiscard]] std::size_t device_bytes_used(DeviceId d) const {
@@ -303,16 +335,38 @@ class GpuRuntime {
   /// or from the lowest-indexed fresh peer device (CopyP2P) — one op per
   /// distinct source, partial-fresh arrays fetch only their stale runs.
   /// Residency must already be admitted (see admit_working_set).
-  void stage_to_device(ArrayId id, StreamId stream, OpKind host_kind);
+  void stage_to_device(ArrayId id, StreamId stream, OpKind host_kind,
+                       bool prefetch = false);
   /// Admit the working set of one operation to `device` in a single
   /// eviction plan, price the plan's write-backs as D2H ops on the
   /// device's service stream, and make `stream` wait for the page-outs to
   /// drain before its own ops may start.
   void admit_working_set(std::span<const ArrayId> ids, DeviceId device,
                          StreamId stream);
-  /// Issue the plan's write-backs; returns an event completing when the
-  /// last page-out drains (kInvalidEvent if the plan carries none).
-  EventId price_eviction(const EvictionPlan& plan);
+  /// Issue the plan's write-backs on `stream`; returns an event completing
+  /// when the last page-out drains (kInvalidEvent if the plan carries
+  /// none).
+  EventId price_eviction(const EvictionPlan& plan, StreamId stream);
+  /// Issue one planner step with minimal op count: all write-backs merged
+  /// into one CopyD2H, all fetches as one op per distinct source (host or
+  /// fresh peer), and a single closing event serving as both the victims'
+  /// host-ready and the fetched arrays' device-ready gate. The admission
+  /// path keeps its per-victim price_eviction ops — those are part of the
+  /// golden schedules.
+  void issue_prefetch_step(const PrefetchStep& step, StreamId stream);
+  /// Consume the planner's prefetch steps: price each step's early
+  /// page-outs and issue its CopyH2D/CopyP2P fetches on the device's
+  /// prefetch stream (FIFO orders the fetches behind the frees), outside
+  /// any active recording. Called after every launch while a frontier is
+  /// active.
+  void run_prefetch_pass();
+  /// Residency planning at replay: re-admit each annotated working set
+  /// (future-scored against the whole recorded list, early page-outs on
+  /// the service stream) so replayed launches find their pages charged.
+  /// No prefetch transfers are issued — the recorded fault ops are the
+  /// static data movement. Skips never-evicted under-capacity devices
+  /// outright, keeping such replays bit-identical (stamps included).
+  void replay_admit(const Submission& sub);
   void note_host_access(ArrayId id, bool for_write);
   [[nodiscard]] bool spec_page_fault() const;
   /// Internal per-(device, tenant) stream used for runtime-initiated
@@ -323,6 +377,12 @@ class GpuRuntime {
   /// default stream, the historical single-app behaviour; others are
   /// lazily made.
   [[nodiscard]] StreamId service_stream(DeviceId device);
+  /// Internal per-(device, tenant) stream prefetch traffic rides — kept
+  /// distinct from the service stream (which the default-stream program
+  /// shares on device 0) so lookahead transfers genuinely overlap the
+  /// schedule instead of serializing behind it. Lazily made: runs without
+  /// prefetch never create it, so stream ids stay bit-identical.
+  [[nodiscard]] StreamId prefetch_stream(DeviceId device);
 
   /// Charge one async API call to the host clock (full per-call overhead,
   /// or the cheaper batched append cost inside an open batch) and bring
@@ -344,6 +404,7 @@ class GpuRuntime {
   Engine engine_;
   MemoryManager memory_;
   std::vector<std::vector<StreamId>> service_streams_;  ///< [device][tenant]
+  std::vector<std::vector<StreamId>> prefetch_streams_;  ///< [device][tenant]
   bool batch_open_ = false;
   long batch_commits_ = 0;
   long batched_ops_ = 0;
@@ -356,6 +417,8 @@ class GpuRuntime {
   double bytes_p2p_ = 0;
   long evict_ops_ = 0;
   long fault_ops_ = 0;
+  long prefetch_ops_ = 0;
+  double prefetch_bytes_ = 0;
   /// Ambient tenant. Atomic so unsynchronized reads (service-stream
   /// lookups racing a drain's save/restore) stay defined; the logical
   /// set-then-call pairing is protected by the api gate, which drains hold
