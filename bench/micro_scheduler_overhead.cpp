@@ -23,7 +23,8 @@
 // `bench-smoke` runs the same sweep at tiny scale as a bitrot canary and
 // is registered with ctest). `--section=<name>` (headline, sweep,
 // ingest_pair, shapes, oversubscription, million_op, multi_app,
-// weighted_pair, concurrent_ingest) restricts the JSON to one section for
+// weighted_pair, tenant_waterfill, concurrent_ingest) restricts the
+// JSON to one section for
 // local iteration; the full sweep stays the default and is what
 // `bench-ratchet` diffs. `--list-sections` prints the section names one
 // per line and exits, so scripts can enumerate them without grepping
@@ -154,6 +155,8 @@ struct EngineCoreMetrics {
   double ops_per_sec = 0;
   double solves_per_op = 0;
   double solved_ops_per_op = 0;
+  double member_touches_per_op = 0;
+  long full_scans = 0;
   long peak_resident_ops = 0;
   double makespan_us = 0;
 };
@@ -182,6 +185,9 @@ EngineCoreMetrics measure_engine_core(int n_ops, int n_streams, int n_devices,
     m.ops_per_sec = std::max(m.ops_per_sec, n_ops / sec);
     m.solves_per_op = static_cast<double>(eng.solve_count()) / n_ops;
     m.solved_ops_per_op = static_cast<double>(eng.solved_ops()) / n_ops;
+    m.member_touches_per_op =
+        static_cast<double>(eng.member_touch_count()) / n_ops;
+    m.full_scans = eng.full_scan_count();
     m.peak_resident_ops = eng.peak_resident_ops();
   }
   return m;
@@ -547,6 +553,67 @@ ConcurrentIngestMetrics measure_concurrent_ingest(int n_producers,
   return m;
 }
 
+// ---------------------------------------------------------------------
+// Water-fill under many tenants (the ROADMAP profiling sub-item): n
+// tenants with alternating 2:1 weights share ONE kernel class on one
+// device, several saturating streams apiece, so every completion
+// re-splits the tenant budgets through the bounded water-fill. Under the
+// virtual-service solver the re-split touches per-tenant group
+// aggregates only: member_touches stays near zero and full scans are
+// confined to the drain tail where the rate-cap validity window finally
+// trips (bench_check gates both).
+// ---------------------------------------------------------------------
+
+struct TenantWaterfillMetrics {
+  int n_tenants = 0;
+  long n_ops = 0;
+  double ops_per_sec = 0;
+  double solves_per_op = 0;
+  double member_touches_per_op = 0;
+  long full_scans = 0;
+  double makespan_us = 0;
+};
+
+TenantWaterfillMetrics measure_tenant_waterfill(int n_tenants, bool smoke) {
+  constexpr int kStreamsPerTenant = 4;
+  const int ops_per_stream = smoke ? 10 : 200;
+  const int reps = smoke ? 1 : 3;
+  TenantWaterfillMetrics m;
+  m.n_tenants = n_tenants;
+  m.n_ops = static_cast<long>(n_tenants) * kStreamsPerTenant * ops_per_stream;
+  for (int rep = 0; rep < reps + 1; ++rep) {
+    sim::Engine eng(sim::DeviceSpec::test_device());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (sim::TenantId t = 1; t <= n_tenants; ++t) {
+      eng.set_tenant_weight(t, t % 2 == 0 ? 2.0 : 1.0);
+      for (int s = 0; s < kStreamsPerTenant; ++s) {
+        const sim::StreamId st = eng.create_stream(sim::kDefaultDevice, t);
+        for (int i = 0; i < ops_per_stream; ++i) {
+          sim::Op op;
+          op.kind = sim::OpKind::Kernel;
+          op.stream = st;
+          op.name = "wf";
+          op.work = 5.0;       // solo-us; streams serialize their own ops
+          op.sm_demand = 4.0;  // full test-device fill: class stays
+          op.occupancy = 1.0;  // saturated until the drain tail
+          eng.enqueue(std::move(op), 0);
+        }
+      }
+    }
+    m.makespan_us = eng.run_all();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0) continue;  // warm-up
+    m.ops_per_sec =
+        std::max(m.ops_per_sec, static_cast<double>(m.n_ops) / sec);
+    m.solves_per_op = static_cast<double>(eng.solve_count()) / m.n_ops;
+    m.member_touches_per_op =
+        static_cast<double>(eng.member_touch_count()) / m.n_ops;
+    m.full_scans = eng.full_scan_count();
+  }
+  return m;
+}
+
 void write_bench_json(const char* path, bool smoke,
                       const char* only_section) {
   // `--section=<name>` restricts the run to one section for quick
@@ -599,7 +666,10 @@ void write_bench_json(const char* path, bool smoke,
   // the roster grows.
   if (want("sweep")) {
     std::fprintf(f, ",\n  \"sweep\": [\n");
-    const int stream_counts[] = {8, 32, 128};
+    // 256/512-stream rows are the high-fan-in stress the virtual-service
+    // solver exists for: member_touches_per_op must stay flat as fan-in
+    // grows (bench_check's solver-scaling gate compares 128 vs 8).
+    const int stream_counts[] = {8, 32, 128, 256, 512};
     const int device_counts[] = {1, 2, 4};
     bool first = true;
     for (const int n_streams : stream_counts) {
@@ -614,10 +684,12 @@ void write_bench_json(const char* path, bool smoke,
                      "%s    {\"scenario\": \"multi_device_contention_dag\", "
                      "\"n_ops\": %d, \"n_streams\": %d, \"n_devices\": %d, "
                      "\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
-                     "\"solved_ops_per_op\": %.4f, \"makespan_us\": %.6f}",
+                     "\"solved_ops_per_op\": %.4f, "
+                     "\"member_touches_per_op\": %.4f, \"full_scans\": %ld, "
+                     "\"makespan_us\": %.6f}",
                      first ? "" : ",\n", n_ops, n_streams, n_devices,
                      s.ops_per_sec, s.solves_per_op, s.solved_ops_per_op,
-                     s.makespan_us);
+                     s.member_touches_per_op, s.full_scans, s.makespan_us);
         first = false;
       }
     }
@@ -811,6 +883,34 @@ void write_bench_json(const char* path, bool smoke,
                 w.work_ratio, w.horizon_us);
   }
 
+  // Water-fill-under-many-tenants profiling rows: {8, 32} tenants, one
+  // saturated kernel class, alternating 2:1 weights. bench_check gates
+  // member_touches_per_op (near zero: group-aggregate re-splits only)
+  // and the full-scan count (bounded by the drain tail, not by op
+  // count).
+  if (want("tenant_waterfill")) {
+    std::fprintf(f, ",\n  \"tenant_waterfill\": [\n");
+    bool first_wf = true;
+    for (const int n : {8, 32}) {
+      const TenantWaterfillMetrics wf = measure_tenant_waterfill(n, smoke);
+      std::fprintf(f,
+                   "%s    {\"scenario\": \"tenant_waterfill\", "
+                   "\"n_tenants\": %d, \"n_ops\": %ld, "
+                   "\"ops_per_sec\": %.0f, \"solves_per_op\": %.4f, "
+                   "\"member_touches_per_op\": %.4f, \"full_scans\": %ld, "
+                   "\"makespan_us\": %.6f}",
+                   first_wf ? "" : ",\n", wf.n_tenants, wf.n_ops,
+                   wf.ops_per_sec, wf.solves_per_op,
+                   wf.member_touches_per_op, wf.full_scans, wf.makespan_us);
+      first_wf = false;
+      std::printf("tenant_waterfill %d tenants: %.0f ops/s, %.4f "
+                  "member-touches/op, %ld full scans\n",
+                  wf.n_tenants, wf.ops_per_sec, wf.member_touches_per_op,
+                  wf.full_scans);
+    }
+    std::fprintf(f, "\n  ]");
+  }
+
   // Contended concurrent-ingestion acceptance: 8 producer threads x 4
   // shards flooding recorded multi_app rounds through the MPSC front-end
   // versus the same schedule replayed per call from one thread. The
@@ -850,7 +950,7 @@ void write_bench_json(const char* path, bool smoke,
 constexpr const char* kSections[] = {
     "headline",      "sweep",     "ingest_pair",       "shapes",
     "oversubscription", "million_op", "multi_app",     "weighted_pair",
-    "concurrent_ingest"};
+    "tenant_waterfill", "concurrent_ingest"};
 
 }  // namespace
 

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 namespace psched::sim {
@@ -53,11 +55,63 @@ Engine::Engine(Machine machine)
   class_pred_.resize(static_cast<std::size_t>(num_classes_));
   class_tenant_.resize(static_cast<std::size_t>(num_classes_));
   class_since_.assign(static_cast<std::size_t>(num_classes_), 0);
+  class_w_.resize(static_cast<std::size_t>(num_classes_));
+  class_venter_.resize(static_cast<std::size_t>(num_classes_));
+  class_solver_.resize(static_cast<std::size_t>(num_classes_));
   class_next_.assign(static_cast<std::size_t>(num_classes_), kTimeInfinity);
   class_dirty_.assign(static_cast<std::size_t>(num_classes_), 0);
   class_solves_.assign(static_cast<std::size_t>(num_classes_), 0);
+  class_full_scans_.assign(static_cast<std::size_t>(num_classes_), 0);
+  class_member_touches_.assign(static_cast<std::size_t>(num_classes_), 0);
+  class_solve_time_.assign(static_cast<std::size_t>(num_classes_), 0.0);
   copy_waiters_.resize(static_cast<std::size_t>(num_classes_));
+  if (const char* env = std::getenv("PSCHED_LEGACY_SOLVER");
+      env != nullptr && *env != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    solver_path_ = SolverPath::Legacy;
+  }
   streams_.emplace_back();  // default stream 0, device 0
+}
+
+void Engine::set_solver_path(SolverPath path) {
+  if (path == solver_path_) return;
+  solver_path_ = path;
+  // Leave the virtual-service regime cleanly (materialize progress at
+  // now_) and re-solve every populated class at the next advance, so the
+  // switch takes effect at the call like any other rate change. Entering
+  // Incremental, classes promote at the scan that re-solve performs.
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    if (class_solver_[static_cast<std::size_t>(cls)].incremental) {
+      demote_class(cls);
+    }
+    if (!class_members_[static_cast<std::size_t>(cls)].empty()) {
+      mark_class_dirty(cls);
+    }
+  }
+}
+
+Engine::SolverClassStats Engine::class_solver_stats(DeviceId device,
+                                                    OpKind kind) const {
+  if (!machine_.valid_device(device)) {
+    throw ApiError("class_solver_stats: invalid device");
+  }
+  const int slot = slot_of(kind);
+  if (slot == kClassNone) {
+    throw ApiError("class_solver_stats: op kind carries no per-device class");
+  }
+  const auto cls = static_cast<std::size_t>(device * kSlotsPerDevice + slot);
+  return {class_solves_[cls], class_full_scans_[cls],
+          class_member_touches_[cls], class_solve_time_[cls]};
+}
+
+Engine::SolverClassStats Engine::link_solver_stats(DeviceId src,
+                                                   DeviceId dst) const {
+  if (!machine_.valid_device(src) || !machine_.valid_device(dst)) {
+    throw ApiError("link_solver_stats: invalid device");
+  }
+  const auto cls =
+      static_cast<std::size_t>(p2p_base_ + src * num_devices() + dst);
+  return {class_solves_[cls], class_full_scans_[cls],
+          class_member_touches_[cls], class_solve_time_[cls]};
 }
 
 StreamId Engine::create_stream() { return create_stream(kDefaultDevice); }
@@ -533,10 +587,19 @@ Op Engine::op(OpId id) const {
     if (snap.state == OpState::Running && snap.class_pos >= 0) {
       const auto cls = static_cast<std::size_t>(class_index(snap));
       const auto pos = static_cast<std::size_t>(snap.class_pos);
-      snap.done = snap.work - live_remaining(snap);
-      snap.rate = class_rate_[cls][pos];
+      const double remaining = live_remaining(snap);
+      snap.done = snap.work - remaining;
+      snap.rate = live_rate(snap);
       snap.rate_since = now_;
-      snap.pred_end = class_pred_[cls][pos];
+      if (class_solver_[cls].incremental) {
+        snap.pred_end =
+            remaining <= kWorkEps * std::max(1.0, snap.work)
+                ? now_
+                : (snap.rate > 0 ? now_ + remaining / snap.rate
+                                 : kTimeInfinity);
+      } else {
+        snap.pred_end = class_pred_[cls][pos];
+      }
     }
     return snap;
   }
@@ -569,17 +632,58 @@ void Engine::wake_event_waiters(EventState& ev) {
   ev.waiters.clear();
 }
 
+const Engine::SolverGroup* Engine::group_of(const ClassSolver& sol,
+                                            TenantId tenant) const {
+  for (const SolverGroup& g : sol.groups) {
+    if (g.tenant == tenant) return &g;
+  }
+  return nullptr;
+}
+
+Engine::SolverGroup& Engine::group_of_mut(ClassSolver& sol, TenantId tenant) {
+  for (SolverGroup& g : sol.groups) {
+    if (g.tenant == tenant) return g;
+  }
+  sol.groups.emplace_back();
+  sol.groups.back().tenant = tenant;
+  return sol.groups.back();
+}
+
 double Engine::live_remaining(const Op& op) const {
   if (op.state == OpState::Running && op.class_pos >= 0) {
     const auto cls = static_cast<std::size_t>(class_index(op));
     const auto pos = static_cast<std::size_t>(op.class_pos);
+    const TimeUs since = class_since_[cls];
+    const ClassSolver& sol = class_solver_[cls];
+    if (sol.incremental) {
+      // rem_enter minus the service accrued since the member entered:
+      // w * (V(now) - v_enter), with V projected lazily from the group's
+      // last materialized value.
+      const SolverGroup* g = group_of(sol, op.tenant);
+      if (g == nullptr) return class_remaining_[cls][pos];
+      const double v_now = g->v + (now_ > since ? g->c * (now_ - since) : 0.0);
+      const double served =
+          class_w_[cls][pos] * (v_now - class_venter_[cls][pos]);
+      return std::max(0.0, class_remaining_[cls][pos] - served);
+    }
     const double r = class_rate_[cls][pos];
     double rem = class_remaining_[cls][pos];
-    const TimeUs since = class_since_[cls];
     if (r > 0 && now_ > since) rem = std::max(0.0, rem - r * (now_ - since));
     return rem;
   }
   return op.remaining();
+}
+
+double Engine::live_rate(const Op& op) const {
+  if (op.state != OpState::Running || op.class_pos < 0) return op.rate;
+  const auto cls = static_cast<std::size_t>(class_index(op));
+  const auto pos = static_cast<std::size_t>(op.class_pos);
+  const ClassSolver& sol = class_solver_[cls];
+  if (sol.incremental) {
+    const SolverGroup* g = group_of(sol, op.tenant);
+    return g == nullptr ? 0.0 : g->c * class_w_[cls][pos];
+  }
+  return class_rate_[cls][pos];
 }
 
 void Engine::complete_op(Op& op) {
@@ -614,6 +718,40 @@ void Engine::complete_op(Op& op) {
     members[pos] = last;
     slab_[static_cast<std::size_t>(last)].class_pos = op.class_pos;
     members.pop_back();
+    // Virtual-service leave: O(1) aggregate decrements; the member's
+    // finish-index entry goes stale and is discarded lazily at a front.
+    // Empty groups and classes hard-reset to exact zeros so incremental
+    // aggregates never accumulate float residue across idle spells.
+    ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+    if (sol.incremental) {
+      const double w = class_w_[static_cast<std::size_t>(cls)][pos];
+      if (op.kind == OpKind::Kernel) {
+        sol.fill_sum -= class_fill_[static_cast<std::size_t>(cls)][pos];
+        if (w > 0) {
+          sol.bww_sum -= class_bw_[static_cast<std::size_t>(cls)][pos] * w;
+        } else {
+          --sol.zero_w;
+        }
+      }
+      SolverGroup& g = group_of_mut(sol, op.tenant);
+      --g.n;
+      g.w_sum -= w;
+      if (g.n <= 0) {
+        g.n = 0;
+        g.w_sum = 0;
+        g.v = 0;
+        g.c = 0;
+        g.heap.clear();
+      }
+      if (members.empty()) {
+        sol.fill_sum = 0;
+        sol.bww_sum = 0;
+        sol.w_max = 0;
+        sol.w_min = kTimeInfinity;
+        sol.zero_w = 0;
+        sol.groups.clear();
+      }
+    }
     if (op.kind == OpKind::Kernel) {
       // Keep the SoA demand mirror aligned with the member list.
       auto& fill = class_fill_[static_cast<std::size_t>(cls)];
@@ -641,6 +779,12 @@ void Engine::complete_op(Op& op) {
     pred.pop_back();
     tnt[pos] = tnt.back();
     tnt.pop_back();
+    auto& wcol = class_w_[static_cast<std::size_t>(cls)];
+    auto& vcol = class_venter_[static_cast<std::size_t>(cls)];
+    wcol[pos] = wcol.back();
+    wcol.pop_back();
+    vcol[pos] = vcol.back();
+    vcol.pop_back();
     op.class_pos = -1;
     mark_class_dirty(cls);
     if (is_dma_copy(op.kind)) {
@@ -802,21 +946,54 @@ void Engine::check_stream_head(StreamId stream) {
     auto& members = class_members_[static_cast<std::size_t>(cls)];
     op.class_pos = static_cast<std::int32_t>(members.size());
     members.push_back(rec.slot);
+    double w = 1.0;  // equal-share classes: unit weight
     if (op.kind == OpKind::Kernel) {
       // Capture the static demand once: the same expressions the solver
       // evaluated per member per re-solve, now evaluated at class join.
       const double fill =
           (op.sm_demand / machine_.device(op.device).sm_count) * op.occupancy;
+      const double solo_u = ResourceModel::utilization(fill);
       class_fill_[static_cast<std::size_t>(cls)].push_back(fill);
-      class_solo_u_[static_cast<std::size_t>(cls)].push_back(
-          ResourceModel::utilization(fill));
+      class_solo_u_[static_cast<std::size_t>(cls)].push_back(solo_u);
       class_bw_[static_cast<std::size_t>(cls)].push_back(op.bw_need);
+      // Service weight: the ratio the proportional kernel split preserves
+      // (rate_i = C * fill_i / solo_u_i while no member caps or floors).
+      w = solo_u > 0 ? fill / solo_u : 0.0;
     }
-    class_remaining_[static_cast<std::size_t>(cls)].push_back(op.remaining());
+    const double rem = op.remaining();
+    class_remaining_[static_cast<std::size_t>(cls)].push_back(rem);
     class_work_[static_cast<std::size_t>(cls)].push_back(op.work);
     class_rate_[static_cast<std::size_t>(cls)].push_back(0);
     class_pred_[static_cast<std::size_t>(cls)].push_back(kTimeInfinity);
     class_tenant_[static_cast<std::size_t>(cls)].push_back(op.tenant);
+    class_w_[static_cast<std::size_t>(cls)].push_back(w);
+    // Virtual-service join: O(log n) — stamp the member's entry service
+    // (its group's V projected to now_) and push its static finish tag;
+    // aggregates update in O(1). No other member is touched.
+    ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+    double venter = 0;
+    if (sol.incremental) {
+      SolverGroup& g = group_of_mut(sol, op.tenant);
+      const TimeUs since = class_since_[static_cast<std::size_t>(cls)];
+      venter = g.v + (now_ > since ? g.c * (now_ - since) : 0.0);
+      ++g.n;
+      g.w_sum += w;
+      if (op.kind == OpKind::Kernel) {
+        sol.fill_sum += class_fill_[static_cast<std::size_t>(cls)].back();
+        if (w > 0) {
+          sol.bww_sum += op.bw_need * w;
+        } else {
+          ++sol.zero_w;  // off the line: the next solve falls back to a scan
+        }
+      }
+      if (w > 0) {
+        sol.w_max = std::max(sol.w_max, w);
+        sol.w_min = std::min(sol.w_min, w);
+        g.heap.push_back({venter + rem / w, op.id});
+        std::push_heap(g.heap.begin(), g.heap.end(), std::greater<>());
+      }
+    }
+    class_venter_[static_cast<std::size_t>(cls)].push_back(venter);
     mark_class_dirty(cls);
   }
   if (op.remaining() <= kWorkEps) {
@@ -866,7 +1043,8 @@ void Engine::recompute_rates() {
     if (members.empty()) continue;
     ++solve_count_;
     ++class_solves_[static_cast<std::size_t>(cls)];
-    solved_ops_ += static_cast<long>(members.size());
+    std::chrono::steady_clock::time_point t0;
+    if (solve_timing_) t0 = std::chrono::steady_clock::now();
 
     // Rates come from the class's compact demand data — kernels from the
     // SoA mirror, every transfer class from its member count — and
@@ -875,22 +1053,56 @@ void Engine::recompute_rates() {
     const bool kernel_class =
         cls < p2p_base_ && cls % kSlotsPerDevice == kSlotKernel;
     double share = 0;
+    if (cls >= p2p_base_) {
+      const int rel = cls - p2p_base_;
+      const DeviceId src = static_cast<DeviceId>(rel / num_devices());
+      const DeviceId dst = static_cast<DeviceId>(rel % num_devices());
+      share = machine_.p2p_bytes_per_us(src, dst) /
+              static_cast<double>(members.size());
+    } else if (!kernel_class) {
+      share = models_[static_cast<std::size_t>(cls / kSlotsPerDevice)]
+                  .class_share(kSlotKind[cls % kSlotsPerDevice],
+                               members.size());
+    }
+
+    // Virtual-service fast path: while the class's rate *ratios* are
+    // stable, a membership-count rate change is one slope update per
+    // group — no member is folded, rated, or even read. Falls back to the
+    // full scan below when the linear regime's validity test fails.
+    if (class_solver_[static_cast<std::size_t>(cls)].incremental) {
+      if (incremental_resolve(cls, kernel_class, share)) {
+        long groups = 0;
+        for (const SolverGroup& g :
+             class_solver_[static_cast<std::size_t>(cls)].groups) {
+          if (g.n > 0) ++groups;
+        }
+        solved_ops_ += std::max<long>(groups, 1);
+        if (solve_timing_) {
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+          class_solve_time_[static_cast<std::size_t>(cls)] += us;
+          solve_time_us_ += us;
+        }
+        continue;
+      }
+      demote_class(cls);
+    }
+
+    // Full scan: the legacy arithmetic, verbatim. Counted separately so
+    // the bench can prove scans are rare under churn.
+    ++full_scan_count_;
+    ++class_full_scans_[static_cast<std::size_t>(cls)];
+    solved_ops_ += static_cast<long>(members.size());
+    member_touches_ += static_cast<long>(members.size());
+    class_member_touches_[static_cast<std::size_t>(cls)] +=
+        static_cast<long>(members.size());
     if (kernel_class) {
       models_[static_cast<std::size_t>(cls / kSlotsPerDevice)]
           .solve_kernel_class(class_fill_[static_cast<std::size_t>(cls)],
                               class_solo_u_[static_cast<std::size_t>(cls)],
                               class_bw_[static_cast<std::size_t>(cls)],
                               solve_rates_);
-    } else if (cls >= p2p_base_) {
-      const int rel = cls - p2p_base_;
-      const DeviceId src = static_cast<DeviceId>(rel / num_devices());
-      const DeviceId dst = static_cast<DeviceId>(rel % num_devices());
-      share = machine_.p2p_bytes_per_us(src, dst) /
-              static_cast<double>(members.size());
-    } else {
-      share = models_[static_cast<std::size_t>(cls / kSlotsPerDevice)]
-                  .class_share(kSlotKind[cls % kSlotsPerDevice],
-                               members.size());
     }
     // Tenancy: a class whose members span several tenants re-shares its
     // aggregate bandwidth weight-proportionally across them. An engine
@@ -935,8 +1147,270 @@ void Engine::recompute_rates() {
     }
     class_since_[static_cast<std::size_t>(cls)] = now_;
     class_next_[static_cast<std::size_t>(cls)] = next;
+    // Re-enter the virtual-service regime if this scan's rates sit on the
+    // linear model (the scan just folded every remaining to now_, so the
+    // finish index rebuilds exactly, rebased to V = 0).
+    if (solver_path_ == SolverPath::Incremental) {
+      try_promote_class(cls, kernel_class, share);
+    }
+    if (solve_timing_) {
+      const double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      class_solve_time_[static_cast<std::size_t>(cls)] += us;
+      solve_time_us_ += us;
+    }
   }
   dirty_classes_.clear();
+}
+
+bool Engine::incremental_resolve(int cls, bool kernel_class, double share) {
+  ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+  const TimeUs since = class_since_[static_cast<std::size_t>(cls)];
+  const TimeUs dt = now_ - since;
+  // Advance every group's cumulative service to now_ at the slopes in
+  // effect since the last solve, then move the fold timestamp: whether the
+  // re-price below succeeds or falls back to a scan, V is materialized at
+  // now_ (demote_class relies on this never being applied twice).
+  if (dt > 0) {
+    for (SolverGroup& g : sol.groups) {
+      if (g.c > 0 && g.n > 0) g.v += g.c * dt;
+    }
+  }
+  class_since_[static_cast<std::size_t>(cls)] = now_;
+  if (!compute_group_rates(cls, kernel_class, share, sol)) return false;
+  // class_next_: one front-peek per group, converted to wall time. Stale
+  // entries (completed ops) are discarded as they surface.
+  TimeUs next = kTimeInfinity;
+  for (SolverGroup& g : sol.groups) {
+    if (g.n <= 0) continue;
+    while (!g.heap.empty()) {
+      const FinishEntry& top = g.heap.front();
+      const OpRecord& rec = records_[static_cast<std::size_t>(top.id - 1)];
+      const bool live =
+          rec.slot >= 0 &&
+          slab_[static_cast<std::size_t>(rec.slot)].id == top.id &&
+          slab_[static_cast<std::size_t>(rec.slot)].state == OpState::Running;
+      if (live) break;
+      std::pop_heap(g.heap.begin(), g.heap.end(), std::greater<>());
+      g.heap.pop_back();
+    }
+    if (g.heap.empty() || g.c <= 0) continue;
+    // Clamped at now_: a front whose tag V already passed (within the
+    // completion tolerance) is due immediately, never in the past.
+    const TimeUs wall =
+        now_ + std::max(0.0, g.heap.front().f - g.v) / g.c;
+    next = std::min(next, wall);
+  }
+  class_next_[static_cast<std::size_t>(cls)] = next;
+  return true;
+}
+
+bool Engine::compute_group_rates(int cls, bool kernel_class, double share,
+                                 ClassSolver& sol) {
+  // Count populated groups; single-group classes take the scalar path.
+  std::size_t n_groups = 0;
+  SolverGroup* only = nullptr;
+  for (SolverGroup& g : sol.groups) {
+    if (g.n > 0) {
+      ++n_groups;
+      only = &g;
+    }
+  }
+  if (n_groups == 0) return false;
+
+  if (!kernel_class) {
+    if (n_groups == 1) {
+      only->c = share;
+      return true;
+    }
+    // Weighted split of the aggregate `share * n` across tenants, equal
+    // within each tenant — apply_tenant_shares' transfer formula on group
+    // aggregates.
+    const auto n = static_cast<double>(
+        class_members_[static_cast<std::size_t>(cls)].size());
+    double total_weight = 0;
+    for (const SolverGroup& g : sol.groups) {
+      if (g.n > 0) total_weight += tenant_weight(g.tenant);
+    }
+    if (total_weight <= 0) return false;
+    for (SolverGroup& g : sol.groups) {
+      if (g.n <= 0) continue;
+      g.c = share * n * tenant_weight(g.tenant) /
+            (total_weight * static_cast<double>(g.n));
+    }
+    return true;
+  }
+
+  // Kernels: validity test of the linear regime. The legacy solve is
+  // exactly rate_i = C * w_i (C = utilization(total_fill) / total_fill)
+  // while no member hits the 1.0 solo cap or the 1e-9 floor and DRAM
+  // stays unsaturated (bw demand C * sum(bw * w) under the budget) — all
+  // checkable against O(1) aggregates. w_max/w_min are conservative
+  // upper/lower bounds between scans, so a failed check may cost one
+  // unnecessary scan but never a wrong rate.
+  if (sol.zero_w > 0 || sol.fill_sum <= 0) return false;
+  const DeviceSpec& spec = machine_.device(cls / kSlotsPerDevice);
+  const double device_u = ResourceModel::utilization(sol.fill_sum);
+  const double c_all = device_u / sol.fill_sum;
+  if (c_all * sol.w_max > 1.0) return false;
+  if (c_all * sol.w_min < 1e-9) return false;
+  if (c_all * sol.bww_sum > spec.dram_bytes_per_us()) return false;
+  if (n_groups == 1) {
+    only->c = c_all;
+    return true;
+  }
+  // Multi-tenant: apply_tenant_shares' bounded water-fill of the class
+  // aggregate over tenants, on group aggregates — budgets from (weight,
+  // rate sum C * W_g, absorbable cap n_g), then c_g = budget / W_g. The
+  // spread stays linear only if no member caps: c_g * w_max <= 1.
+  share_weight_.clear();
+  share_rate_sum_.clear();
+  share_cap_.clear();
+  double total_weight = 0;
+  double total_rate = 0;
+  for (const SolverGroup& g : sol.groups) {
+    if (g.n <= 0) continue;
+    share_weight_.push_back(tenant_weight(g.tenant));
+    share_rate_sum_.push_back(c_all * g.w_sum);
+    share_cap_.push_back(static_cast<double>(g.n));
+    total_weight += share_weight_.back();
+    total_rate += share_rate_sum_.back();
+  }
+  if (total_weight <= 0 || total_rate <= 0) return false;
+  ResourceModel::water_fill_budgets(share_weight_, share_cap_, total_rate,
+                                    share_budget_, share_active_);
+  std::size_t j = 0;
+  for (SolverGroup& g : sol.groups) {
+    if (g.n <= 0) continue;
+    if (g.w_sum <= 0) return false;
+    g.c = share_budget_[j] / g.w_sum;
+    if (g.c * sol.w_max > 1.0) return false;  // a member would cap
+    ++j;
+  }
+  return true;
+}
+
+void Engine::demote_class(int cls) {
+  // Leave the virtual-service regime: materialize every member's progress
+  // at now_ into the plain mirrors (one fold from its entry tag — not the
+  // repeated per-solve folds the legacy path would have run, but equal to
+  // their telescoped sum up to rounding), stamp rates and predictions,
+  // and reset the fold timestamp so a legacy scan that follows folds
+  // dt = 0.
+  ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+  const auto& members = class_members_[static_cast<std::size_t>(cls)];
+  const auto& tenants = class_tenant_[static_cast<std::size_t>(cls)];
+  const auto& wcol = class_w_[static_cast<std::size_t>(cls)];
+  auto& vcol = class_venter_[static_cast<std::size_t>(cls)];
+  auto& rem = class_remaining_[static_cast<std::size_t>(cls)];
+  const auto& wrk = class_work_[static_cast<std::size_t>(cls)];
+  auto& rate = class_rate_[static_cast<std::size_t>(cls)];
+  auto& pred = class_pred_[static_cast<std::size_t>(cls)];
+  const TimeUs since = class_since_[static_cast<std::size_t>(cls)];
+  const TimeUs dt = now_ - since;
+  TimeUs next = kTimeInfinity;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const SolverGroup* g = group_of(sol, tenants[i]);
+    double v_now = 0;
+    double c = 0;
+    if (g != nullptr) {
+      v_now = g->v + (dt > 0 ? g->c * dt : 0.0);
+      c = g->c;
+    }
+    rem[i] = std::max(0.0, rem[i] - wcol[i] * (v_now - vcol[i]));
+    vcol[i] = 0;
+    const double r = c * wcol[i];
+    rate[i] = r;
+    if (rem[i] <= kWorkEps * std::max(1.0, wrk[i])) {
+      pred[i] = now_;
+    } else if (r > 0) {
+      pred[i] = now_ + rem[i] / r;
+    } else {
+      pred[i] = kTimeInfinity;
+    }
+    next = std::min(next, pred[i]);
+  }
+  class_since_[static_cast<std::size_t>(cls)] = now_;
+  class_next_[static_cast<std::size_t>(cls)] = next;
+  sol.incremental = false;
+  sol.fill_sum = 0;
+  sol.bww_sum = 0;
+  sol.w_max = 0;
+  sol.w_min = kTimeInfinity;
+  sol.zero_w = 0;
+  sol.groups.clear();
+}
+
+void Engine::try_promote_class(int cls, bool kernel_class, double share) {
+  // Called right after a full scan: remainings are folded to now_ and
+  // class_rate_ holds the exact legacy rates. Rebuild the aggregates and
+  // groups exactly, derive the linear-model slopes, and only promote if
+  // every member's scanned rate equals c_g * w_i — one verification pass
+  // that subsumes every cap/floor/saturation/tenancy corner without
+  // duplicating the solver's case analysis.
+  ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+  sol.incremental = false;
+  sol.fill_sum = 0;
+  sol.bww_sum = 0;
+  sol.w_max = 0;
+  sol.w_min = kTimeInfinity;
+  sol.zero_w = 0;
+  sol.groups.clear();
+  const auto& members = class_members_[static_cast<std::size_t>(cls)];
+  const auto& tenants = class_tenant_[static_cast<std::size_t>(cls)];
+  const auto& wcol = class_w_[static_cast<std::size_t>(cls)];
+  const auto& fill = class_fill_[static_cast<std::size_t>(cls)];
+  const auto& bw = class_bw_[static_cast<std::size_t>(cls)];
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const double w = wcol[i];
+    SolverGroup& g = group_of_mut(sol, tenants[i]);
+    ++g.n;
+    g.w_sum += w;
+    if (kernel_class) {
+      sol.fill_sum += fill[i];
+      if (w > 0) {
+        sol.bww_sum += bw[i] * w;
+      } else {
+        ++sol.zero_w;
+      }
+    }
+    if (w > 0) {
+      sol.w_max = std::max(sol.w_max, w);
+      sol.w_min = std::min(sol.w_min, w);
+    } else if (!kernel_class) {
+      return;  // equal-share member without weight: never happens, bail
+    }
+  }
+  if (!compute_group_rates(cls, kernel_class, share, sol)) return;
+  // Verification: the scan's rates must sit on the line.
+  const auto& rate = class_rate_[static_cast<std::size_t>(cls)];
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const SolverGroup* g = group_of(sol, tenants[i]);
+    const double want = g->c * wcol[i];
+    if (std::abs(want - rate[i]) > 1e-12 * std::max(1.0, std::abs(rate[i]))) {
+      return;
+    }
+  }
+  // Promote: rebase service to V = 0 and rebuild each group's finish
+  // index from the just-folded remainings.
+  auto& vcol = class_venter_[static_cast<std::size_t>(cls)];
+  const auto& rem = class_remaining_[static_cast<std::size_t>(cls)];
+  for (SolverGroup& g : sol.groups) {
+    g.v = 0;
+    g.heap.clear();
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    vcol[i] = 0;
+    if (wcol[i] <= 0) continue;
+    SolverGroup& g = group_of_mut(sol, tenants[i]);
+    g.heap.push_back({rem[i] / wcol[i],
+                      slab_[static_cast<std::size_t>(members[i])].id});
+  }
+  for (SolverGroup& g : sol.groups) {
+    std::make_heap(g.heap.begin(), g.heap.end(), std::greater<>());
+  }
+  sol.incremental = true;
 }
 
 void Engine::apply_tenant_shares(int cls, bool kernel_class, double share) {
@@ -989,41 +1463,10 @@ void Engine::apply_tenant_shares(int cls, bool kernel_class, double share) {
   // faster than solo). Base rates are <= 1.0, so the aggregate always
   // fits under the caps: the class total is conserved, and a high-weight
   // tenant that saturates at solo speed hands its surplus to the others
-  // instead of idling the device.
-  share_budget_.assign(nt, 0);
-  share_active_.assign(nt, 1);
-  double remaining = total_rate;
-  double active_weight = total_weight;
-  for (std::size_t pass = 0; pass < nt && active_weight > 0; ++pass) {
-    bool any_capped = false;
-    for (std::size_t j = 0; j < nt; ++j) {
-      if (!share_active_[j]) continue;
-      const double target = remaining * share_weight_[j] / active_weight;
-      if (target >= share_cap_[j]) {
-        share_budget_[j] = share_cap_[j];
-        share_active_[j] = 0;
-        any_capped = true;
-      }
-    }
-    if (!any_capped) {
-      for (std::size_t j = 0; j < nt; ++j) {
-        if (share_active_[j]) {
-          share_budget_[j] = remaining * share_weight_[j] / active_weight;
-        }
-      }
-      break;
-    }
-    // Rebuild the active aggregate after removing the capped tenants.
-    remaining = total_rate;
-    active_weight = 0;
-    for (std::size_t j = 0; j < nt; ++j) {
-      if (share_active_[j]) {
-        active_weight += share_weight_[j];
-      } else {
-        remaining -= share_budget_[j];
-      }
-    }
-  }
+  // instead of idling the device. The virtual-service path runs the same
+  // water-fill over group aggregates (compute_group_rates).
+  ResourceModel::water_fill_budgets(share_weight_, share_cap_, total_rate,
+                                    share_budget_, share_active_);
 
   // Intra-tenant: spread each budget over the tenant's members in
   // proportion to their base-solve rates, member rates capped at 1.0 —
@@ -1108,6 +1551,33 @@ bool Engine::complete_due_ops() {
   due.clear();
   for (int cls = 0; cls < num_classes_; ++cls) {
     if (class_next_[static_cast<std::size_t>(cls)] > now_ + tol) continue;
+    ClassSolver& sol = class_solver_[static_cast<std::size_t>(cls)];
+    if (sol.incremental) {
+      // Heap-pop the due front of each group's finish index: an entry is
+      // due when its service tag falls under the group's V projected to
+      // now_ + tol. Only due (or stale) entries are popped — O(due log n)
+      // instead of the full-member scan.
+      const TimeUs since = class_since_[static_cast<std::size_t>(cls)];
+      for (SolverGroup& g : sol.groups) {
+        if (g.n <= 0 || g.c <= 0) continue;
+        const double v_due = g.v + g.c * (now_ + tol - since);
+        while (!g.heap.empty()) {
+          const FinishEntry top = g.heap.front();
+          const OpRecord& rec =
+              records_[static_cast<std::size_t>(top.id - 1)];
+          const bool live =
+              rec.slot >= 0 &&
+              slab_[static_cast<std::size_t>(rec.slot)].id == top.id &&
+              slab_[static_cast<std::size_t>(rec.slot)].state ==
+                  OpState::Running;
+          if (live && top.f > v_due) break;
+          std::pop_heap(g.heap.begin(), g.heap.end(), std::greater<>());
+          g.heap.pop_back();
+          if (live) due.push_back(top.id);
+        }
+      }
+      continue;
+    }
     // The due scan runs over the dense predicted-completion mirror; only
     // actually-due members cost an Op touch (for their id).
     const auto& pred = class_pred_[static_cast<std::size_t>(cls)];
@@ -1144,11 +1614,7 @@ void Engine::note_progress(bool advanced) {
       << " steps without progress; running:";
   for (const Op& op : slab_) {
     if (op.state != OpState::Running) continue;
-    const double rate =
-        op.class_pos >= 0
-            ? class_rate_[static_cast<std::size_t>(class_index(op))]
-                         [static_cast<std::size_t>(op.class_pos)]
-            : op.rate;
+    const double rate = live_rate(op);
     msg << " [op " << op.id << " '" << op.name << "' dev " << op.device
         << " remaining " << live_remaining(op) << " rate " << rate << "]";
   }

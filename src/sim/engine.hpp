@@ -281,12 +281,61 @@ class Engine {
   }
   [[nodiscard]] const ResourceModel& model(DeviceId d) const;
 
+  // --- solver path selection (legacy full-scan vs virtual-service) ---
+  /// The re-solve algorithm. Incremental (the default) keeps per-class
+  /// cumulative virtual service so a membership-count rate change touches
+  /// zero members; Legacy folds every member of a dirty class per solve —
+  /// the historical arithmetic, kept selectable so equivalence between the
+  /// two is provable (the `solver`-labeled tests run both and diff the
+  /// timelines). The PSCHED_LEGACY_SOLVER environment variable (non-empty,
+  /// not "0") selects Legacy at construction.
+  enum class SolverPath { Incremental, Legacy };
+  /// Switch solver paths mid-run: incremental classes are materialized to
+  /// plain progress mirrors (Legacy) or re-enter the virtual-service
+  /// regime at their next full scan (Incremental). Every populated class
+  /// is re-solved at the next advance.
+  void set_solver_path(SolverPath path);
+  [[nodiscard]] SolverPath solver_path() const { return solver_path_; }
+
   // --- solver-work introspection (tests, perf-regression ratchets) ---
   /// Number of per-class rate re-solve passes across all classes.
   [[nodiscard]] long solve_count() const { return solve_count_; }
   /// Total per-op rate assignments across all re-solves: the actual work
-  /// the fluid model performed.
+  /// the fluid model performed. Full scans add the class's member count;
+  /// incremental (virtual-service) solves add their group count (>= 1).
   [[nodiscard]] long solved_ops() const { return solved_ops_; }
+  /// Members touched by full-scan re-solves (progress folded + rate
+  /// assigned). The virtual-service path exists to keep this flat as
+  /// fan-in grows; the bench's solver-scaling gate rides on it.
+  [[nodiscard]] long member_touch_count() const { return member_touches_; }
+  /// Full-scan re-solve passes (legacy arithmetic over every member):
+  /// solve_count() minus the incremental passes. Rare by design — only
+  /// where rate *ratios* change (DRAM-saturation toggles, capped members,
+  /// a class's first solve).
+  [[nodiscard]] long full_scan_count() const { return full_scan_count_; }
+  [[nodiscard]] long incremental_solve_count() const {
+    return solve_count_ - full_scan_count_;
+  }
+  /// Per-class cumulative solver stats (solve passes, full scans, member
+  /// touches, cumulative solve time). Solve time is only accumulated while
+  /// set_solve_timing(true) — timing costs two clock reads per solve, so
+  /// it is opt-in; counts are always live.
+  struct SolverClassStats {
+    long solves = 0;
+    long full_scans = 0;
+    long member_touches = 0;
+    double solve_time_us = 0;  ///< host time, only while timing enabled
+  };
+  [[nodiscard]] SolverClassStats class_solver_stats(DeviceId device,
+                                                    OpKind kind) const;
+  [[nodiscard]] SolverClassStats link_solver_stats(DeviceId src,
+                                                   DeviceId dst) const;
+  /// Enable/disable host-time accounting of each re-solve pass.
+  void set_solve_timing(bool on) { solve_timing_ = on; }
+  [[nodiscard]] bool solve_timing() const { return solve_timing_; }
+  /// Cumulative host time across all re-solves (us; only accumulated
+  /// while timing is enabled).
+  [[nodiscard]] double solve_time_us() const { return solve_time_us_; }
   /// Re-solve passes of one device's class (Kernel / CopyH2D / CopyD2H /
   /// Fault). Membership churn on another device must never bump this.
   [[nodiscard]] long class_solve_count(DeviceId device, OpKind kind) const;
@@ -354,6 +403,51 @@ class Engine {
     }
   };
 
+  // --- virtual-service solver state (see docs/engine-internals.md,
+  // "Virtual-service incremental re-solve") ---
+  /// Finish-index entry: a member's service-domain completion tag
+  /// F = V_enter + remaining_at_enter / weight. Tags are static per
+  /// membership epoch — rate changes move V's slope, never F — so the
+  /// index never rebalances on churn. Entries of completed ops are
+  /// discarded lazily when they surface at a heap front.
+  struct FinishEntry {
+    double f = 0;
+    OpId id = kInvalidOp;
+    /// Min-heap on (f, id): service-domain ties pop in op-id order.
+    [[nodiscard]] bool operator>(const FinishEntry& o) const {
+      return f != o.f ? f > o.f : id > o.id;
+    }
+  };
+  /// One tenant's share of an incremental-mode class. V advances lazily —
+  /// v is the cumulative virtual service as of class_since_, c its current
+  /// slope (service per wall-us per unit member weight) — so a member's
+  /// remaining work at time t is rem_enter - w * (V(t) - v_enter).
+  /// Single-tenant classes hold exactly one group.
+  struct SolverGroup {
+    TenantId tenant = kDefaultTenant;
+    double v = 0;      ///< cumulative virtual service at class_since_
+    double c = 0;      ///< dV/dt in effect since the last re-solve
+    double w_sum = 0;  ///< sum of member weights
+    long n = 0;        ///< member count
+    std::vector<FinishEntry> heap;  ///< min-heap on finish tags
+  };
+  /// Per-class solver mode and the O(1) aggregates the incremental path
+  /// re-prices from. Kernel-only aggregates (fill_sum, bww_sum, weight
+  /// bounds) back the validity test that guards the linear regime: no
+  /// zero-weight member, no member at the 1.0 solo cap or the 1e-9 floor,
+  /// DRAM unsaturated. w_max/w_min are maintained monotonically on join
+  /// (stale-conservative across leaves) and recomputed exactly by every
+  /// full scan.
+  struct ClassSolver {
+    bool incremental = false;
+    double fill_sum = 0;  ///< kernels: sum of member device fills
+    double bww_sum = 0;   ///< kernels: sum of bw_need * weight (DRAM test)
+    double w_max = 0;
+    double w_min = kTimeInfinity;
+    long zero_w = 0;  ///< members with no usable weight (forces scans)
+    std::vector<SolverGroup> groups;
+  };
+
   [[nodiscard]] static constexpr int slot_of(OpKind kind) {
     switch (kind) {
       case OpKind::Kernel: return kSlotKernel;
@@ -414,6 +508,35 @@ class Engine {
   /// Re-solve rates for every dirty resource class, refreshing each
   /// member's predicted completion and the class minimum.
   void recompute_rates();
+  // --- virtual-service solver internals ---
+  /// Group of `tenant` in an incremental-mode class (nullptr if absent).
+  [[nodiscard]] const SolverGroup* group_of(const ClassSolver& sol,
+                                            TenantId tenant) const;
+  [[nodiscard]] SolverGroup& group_of_mut(ClassSolver& sol, TenantId tenant);
+  /// O(groups) re-solve of an incremental-mode dirty class: advance every
+  /// group's V to now_, re-derive each group's service slope from the
+  /// aggregates, and refresh class_next_ from the finish-index fronts.
+  /// Returns false (leaving V advanced and class_since_ at now_) when the
+  /// validity test fails — the caller demotes and falls back to a scan.
+  bool incremental_resolve(int cls, bool kernel_class, double share);
+  /// Derive per-group service slopes from the class aggregates; the
+  /// validity test of the linear regime. Multi-group classes replicate
+  /// apply_tenant_shares' weighted budget split over group aggregates.
+  bool compute_group_rates(int cls, bool kernel_class, double share,
+                           ClassSolver& sol);
+  /// Leave the incremental regime: materialize every member's remaining
+  /// work / rate / pred at now_ into the plain progress mirrors and set
+  /// class_since_ = now_, so the legacy scan that follows folds dt = 0.
+  void demote_class(int cls);
+  /// Attempt to enter the incremental regime right after a full scan (the
+  /// scan just folded remainings to now_ and wrote exact rates): rebuild
+  /// aggregates and groups exactly, verify the scan's rates match the
+  /// linear model c_g * w_i, and rebase every member's finish tag to
+  /// V = 0. Leaves the class in scan mode if any member is off the line.
+  void try_promote_class(int cls, bool kernel_class, double share);
+  /// Current rate of a live running member (mode-aware: c * w when its
+  /// class is incremental, the rate mirror otherwise).
+  [[nodiscard]] double live_rate(const Op& op) const;
   /// Weighted per-tenant fair sharing of one class whose members span
   /// several tenants: rewrites solve_rates_ (sized to the class) so each
   /// tenant's aggregate rate is weight-proportional, conserving the
@@ -520,6 +643,16 @@ class Engine {
   /// keeps the historical single-tenant arithmetic untouched.
   std::vector<std::vector<TenantId>> class_tenant_;
   std::vector<TimeUs> class_since_;
+  /// Virtual-service columns (same indexing as class_members_): each
+  /// member's service weight (kernels: fill / solo_u — the ratio the
+  /// proportional split preserves; equal-share classes: 1.0) and the
+  /// group V at which it entered. Maintained in both solver modes (the
+  /// weight is one division at join); venter is only meaningful while the
+  /// class is incremental.
+  std::vector<std::vector<double>> class_w_;
+  std::vector<std::vector<double>> class_venter_;
+  /// Per-class solver mode + aggregates + groups + finish indices.
+  std::vector<ClassSolver> class_solver_;
   /// Minimum pred_end over each class's members (infinity when empty);
   /// valid for clean classes, refreshed by recompute_rates() for dirty
   /// ones.
@@ -561,6 +694,14 @@ class Engine {
 
   long solve_count_ = 0;
   long solved_ops_ = 0;
+  long member_touches_ = 0;
+  long full_scan_count_ = 0;
+  std::vector<long> class_full_scans_;      ///< per-class full-scan passes
+  std::vector<long> class_member_touches_;  ///< per-class scan touches
+  std::vector<double> class_solve_time_;    ///< per-class host us (opt-in)
+  double solve_time_us_ = 0;
+  bool solve_timing_ = false;
+  SolverPath solver_path_ = SolverPath::Incremental;
   long completed_count_ = 0;
   long stall_steps_ = 0;
   static constexpr long kStallLimit = 100'000;

@@ -10,7 +10,10 @@
 // space-sharing compresses it, transfer-only overlap leaves it unchanged.
 #pragma once
 
+#include <vector>
+
 #include "sim/device_spec.hpp"
+#include "sim/engine.hpp"
 #include "sim/timeline.hpp"
 
 namespace psched::sim {
@@ -25,11 +28,32 @@ struct HwMetrics {
   TimeUs kernel_busy_us = 0;
 };
 
+/// One populated solver class (device slot or peer link) and its
+/// cumulative re-solve cost counters, for the solver-scaling report
+/// below.
+struct SolverClassReport {
+  DeviceId device = kDefaultDevice;  ///< owning device (src for links)
+  DeviceId peer = -1;                ///< link destination; -1 for slots
+  OpKind kind = OpKind::Kernel;      ///< CopyP2P for link rows
+  Engine::SolverClassStats stats;
+};
+
 class Profiler {
  public:
   /// Aggregate counters over the run recorded in `timeline`.
   [[nodiscard]] static HwMetrics compute(const Timeline& timeline,
                                          const DeviceSpec& spec);
+
+  /// Per-class solver cost rows (classes that never solved are omitted):
+  /// how many re-solves each class ran, how many were full member scans
+  /// versus group-aggregate updates, how many members those scans
+  /// touched, and — when Engine::set_solve_timing(true) was on — the
+  /// cumulative host time spent solving. The diagnosable-without-a-
+  /// rebuild surface for solver-scaling regressions: a class whose
+  /// member_touches grows with op count has fallen off the
+  /// virtual-service path.
+  [[nodiscard]] static std::vector<SolverClassReport> solver_report(
+      const Engine& engine);
 };
 
 }  // namespace psched::sim

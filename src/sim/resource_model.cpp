@@ -117,6 +117,48 @@ void ResourceModel::max_min_fair_into(const std::vector<double>& demands,
   water_fill(demands, capacity, alloc, mmf_unsat_, mmf_next_);
 }
 
+void ResourceModel::water_fill_budgets(const std::vector<double>& weight,
+                                       const std::vector<double>& cap,
+                                       double total,
+                                       std::vector<double>& budget,
+                                       std::vector<char>& active) {
+  const std::size_t nt = weight.size();
+  budget.assign(nt, 0);
+  active.assign(nt, 1);
+  double total_weight = 0;
+  for (const double w : weight) total_weight += w;
+  double remaining = total;
+  double active_weight = total_weight;
+  for (std::size_t pass = 0; pass < nt && active_weight > 0; ++pass) {
+    bool any_capped = false;
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (!active[j]) continue;
+      const double target = remaining * weight[j] / active_weight;
+      if (target >= cap[j]) {
+        budget[j] = cap[j];
+        active[j] = 0;
+        any_capped = true;
+      }
+    }
+    if (!any_capped) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        if (active[j]) budget[j] = remaining * weight[j] / active_weight;
+      }
+      break;
+    }
+    // Rebuild the active aggregate after removing the capped parties.
+    remaining = total;
+    active_weight = 0;
+    for (std::size_t j = 0; j < nt; ++j) {
+      if (active[j]) {
+        active_weight += weight[j];
+      } else {
+        remaining -= budget[j];
+      }
+    }
+  }
+}
+
 std::vector<double> ResourceModel::max_min_fair(
     const std::vector<double>& demands, double capacity) {
   // Convenience entry point (public API, cold paths): own allocations.

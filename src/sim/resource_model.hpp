@@ -97,6 +97,18 @@ class ResourceModel {
   [[nodiscard]] static std::vector<double> max_min_fair(
       const std::vector<double>& demands, double capacity);
 
+  /// Bounded weighted water-fill of `total` across parties: party j wants
+  /// a weight-proportional share but can absorb at most cap[j]; a capped
+  /// party's surplus re-fills over the rest instead of going idle.
+  /// Writes budget (resized); `active` is caller-provided scratch. The
+  /// engine uses this for tenant budget splits — both the legacy
+  /// per-member path (apply_tenant_shares) and the virtual-service
+  /// group-aggregate path share this exact arithmetic.
+  static void water_fill_budgets(const std::vector<double>& weight,
+                                 const std::vector<double>& cap, double total,
+                                 std::vector<double>& budget,
+                                 std::vector<char>& active);
+
   [[nodiscard]] const DeviceSpec& spec() const { return *spec_; }
 
  private:
