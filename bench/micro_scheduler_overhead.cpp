@@ -17,18 +17,21 @@
 // trajectory of the event-heap engine is tracked run over run:
 //
 //   micro_scheduler_overhead --bench_json=BENCH_scheduler.json [--smoke]
-//                            [--section=<name>]
+//                            [--section=<name>] [--reps=<n>]
 //
 // (the `bench` CMake target does exactly this into the build directory;
 // `bench-smoke` runs the same sweep at tiny scale as a bitrot canary and
 // is registered with ctest). `--section=<name>` (headline, sweep,
 // ingest_pair, shapes, oversubscription, million_op, multi_app,
-// weighted_pair, tenant_waterfill, concurrent_ingest) restricts the
-// JSON to one section for
+// weighted_pair, tenant_waterfill, concurrent_ingest, qos_mixed)
+// restricts the JSON to one section for
 // local iteration; the full sweep stays the default and is what
-// `bench-ratchet` diffs. `--list-sections` prints the section names one
-// per line and exits, so scripts can enumerate them without grepping
-// this file.
+// `bench-ratchet` diffs. `--reps=<n>` overrides the wall-clock
+// repetition count (default 3 full / 1 smoke) for the max-of-reps
+// ops_per_sec rows — handy for quick local runs (--reps=1) or
+// lower-noise ratchet references (--reps=10). `--list-sections` prints
+// the section names one per line and exits, so scripts can enumerate
+// them without grepping this file.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -574,10 +577,10 @@ struct TenantWaterfillMetrics {
   double makespan_us = 0;
 };
 
-TenantWaterfillMetrics measure_tenant_waterfill(int n_tenants, bool smoke) {
+TenantWaterfillMetrics measure_tenant_waterfill(int n_tenants, bool smoke,
+                                                int reps) {
   constexpr int kStreamsPerTenant = 4;
   const int ops_per_stream = smoke ? 10 : 200;
-  const int reps = smoke ? 1 : 3;
   TenantWaterfillMetrics m;
   m.n_tenants = n_tenants;
   m.n_ops = static_cast<long>(n_tenants) * kStreamsPerTenant * ops_per_stream;
@@ -614,8 +617,8 @@ TenantWaterfillMetrics measure_tenant_waterfill(int n_tenants, bool smoke) {
   return m;
 }
 
-void write_bench_json(const char* path, bool smoke,
-                      const char* only_section) {
+void write_bench_json(const char* path, bool smoke, const char* only_section,
+                      int reps_override) {
   // `--section=<name>` restricts the run to one section for quick
   // iteration; the default (full) sweep is what the bench ratchet diffs.
   const auto want = [only_section](const char* name) {
@@ -624,7 +627,9 @@ void write_bench_json(const char* path, bool smoke,
   // Headline configuration: the PR-1 acceptance scenario, kept identical
   // so ops_per_sec stays comparable run over run.
   const int n_ops = smoke ? 500 : 10000;
-  const int reps = smoke ? 1 : 3;
+  // Wall-clock repetitions for the max-of-reps rows; `--reps=<n>`
+  // overrides the default (virtual-time metrics are rep-invariant).
+  const int reps = reps_override > 0 ? reps_override : (smoke ? 1 : 3);
   // The sweep's (32, 1) cell doubles as the headline configuration, so
   // either section triggers the measurement.
   EngineCoreMetrics m;
@@ -834,7 +839,7 @@ void write_bench_json(const char* path, bool smoke,
     std::fprintf(f, ",\n  \"multi_app\": [\n");
     bool first_row = true;
     for (const int n : {2, 4, 8}) {
-      const bench::MultiAppMetrics ma = bench::run_multi_app(n, smoke);
+      const bench::MultiAppMetrics ma = bench::run_multi_app(n, smoke, reps);
       std::fprintf(f,
                    "%s    {\"scenario\": \"multi_app\", \"n_tenants\": %d, "
                    "\"n_kernels\": %ld, \"ops_per_sec\": %.0f, "
@@ -892,7 +897,8 @@ void write_bench_json(const char* path, bool smoke,
     std::fprintf(f, ",\n  \"tenant_waterfill\": [\n");
     bool first_wf = true;
     for (const int n : {8, 32}) {
-      const TenantWaterfillMetrics wf = measure_tenant_waterfill(n, smoke);
+      const TenantWaterfillMetrics wf =
+          measure_tenant_waterfill(n, smoke, reps);
       std::fprintf(f,
                    "%s    {\"scenario\": \"tenant_waterfill\", "
                    "\"n_tenants\": %d, \"n_ops\": %ld, "
@@ -934,6 +940,34 @@ void write_bench_json(const char* path, bool smoke,
                 ci.concurrent_ops_per_sec, ci.speedup);
   }
 
+  // Latency QoS acceptance: one latency-critical tenant against three
+  // saturating batch floods, run twice (plain weighted fair sharing vs a
+  // QosManager driving EEVDF keys + p99 re-weighting). Deterministic in
+  // virtual time. bench_check gates p99_ratio <= 0.5 (the QoS p99 at
+  // most half the plain-sharing p99) and batch_ratio >= 0.8 (batch
+  // throughput keeps >= 80%), plus a no-vacuous-pass sample check.
+  if (want("qos_mixed")) {
+    const bench::QosMixedMetrics q = bench::run_qos_mixed(smoke);
+    std::fprintf(f,
+                 ",\n  \"qos_mixed\": {\"scenario\": \"qos_mixed\", "
+                 "\"target_p99_us\": %.1f, \"latency_ops\": %ld,\n"
+                 "    \"baseline\": {\"p50_us\": %.4f, \"p99_us\": %.4f, "
+                 "\"batch_work_us\": %.1f},\n"
+                 "    \"qos\": {\"p50_us\": %.4f, \"p99_us\": %.4f, "
+                 "\"batch_work_us\": %.1f, \"final_weight\": %.3f, "
+                 "\"deadline_misses\": %ld},\n"
+                 "    \"p99_ratio\": %.4f, \"batch_ratio\": %.4f}",
+                 q.target_p99_us, q.latency_ops, q.base_p50_us, q.base_p99_us,
+                 q.base_batch_work, q.qos_p50_us, q.qos_p99_us,
+                 q.qos_batch_work, q.final_weight, q.deadline_misses,
+                 q.p99_ratio, q.batch_ratio);
+    std::printf("qos_mixed: p99 %.2f -> %.2f us (ratio %.3f, target %.1f), "
+                "batch work %.0f -> %.0f us (ratio %.3f), final weight %.2f\n",
+                q.base_p99_us, q.qos_p99_us, q.p99_ratio, q.target_p99_us,
+                q.base_batch_work, q.qos_batch_work, q.batch_ratio,
+                q.final_weight);
+  }
+
   std::fprintf(f, "\n}\n");
   std::fclose(f);
   if (have_headline) {
@@ -950,22 +984,30 @@ void write_bench_json(const char* path, bool smoke,
 constexpr const char* kSections[] = {
     "headline",      "sweep",     "ingest_pair",       "shapes",
     "oversubscription", "million_op", "multi_app",     "weighted_pair",
-    "tenant_waterfill", "concurrent_ingest"};
+    "tenant_waterfill", "concurrent_ingest", "qos_mixed"};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // Peel off --bench_json=<path> / --smoke / --section=<name> /
-  // --list-sections before google-benchmark sees the argv.
+  // --reps=<n> / --list-sections before google-benchmark sees the argv.
   const char* json_path = nullptr;
   const char* section = nullptr;
   bool smoke = false;
+  int reps = 0;  // 0 = the per-mode default (3 full / 1 smoke)
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
       json_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--section=", 10) == 0) {
       section = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+      if (reps <= 0) {
+        std::fprintf(stderr, "--reps wants a positive integer, got %s\n",
+                     argv[i] + 7);
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--list-sections") == 0) {
@@ -978,7 +1020,7 @@ int main(int argc, char** argv) {
   argc = out;
 
   if (json_path != nullptr) {
-    write_bench_json(json_path, smoke, section);
+    write_bench_json(json_path, smoke, section, reps);
     return 0;
   }
   benchmark::Initialize(&argc, argv);

@@ -11,8 +11,8 @@ tolerance (default 20%). Higher-is-better rows only; makespans and solver
 counters are informational. Also validates completeness: the fresh run must
 carry every section the reference does (sweep, ingest_pair, shapes,
 oversubscription, million_op, multi_app, weighted_pair,
-tenant_waterfill, concurrent_ingest), so a silently skipped axis fails
-the gate.
+tenant_waterfill, concurrent_ingest, qos_mixed), so a silently skipped
+axis fails the gate.
 
 Solver-scaling acceptance facts (PR 8, the virtual-service re-solve):
 member-touches/op on the 128-stream/1-device sweep row must stay within
@@ -37,6 +37,13 @@ are tight):
     at the over-quota app);
   * the weighted {2:1} pair's completed-work ratio must sit in
     [1.8, 2.2] (2.0 +- 10%).
+
+Latency QoS acceptance facts (PR 10, deterministic in virtual time): the
+qos_mixed scenario (one latency-critical tenant against three saturating
+batch floods, run with plain weighted fair sharing and again with a
+QosManager attached) must show the QoS p99 at most half the plain-
+sharing p99, batch throughput at >= 80% of the plain-sharing run, and a
+non-vacuous sample count (latency requests measured, nonzero p99s).
 
 The `bench-ratchet` CMake target wires this as:
     cmake --build build --target bench bench-ratchet
@@ -324,6 +331,49 @@ def check_multi_app(doc, reference):
     return errors
 
 
+# qos_mixed bounds (virtual-time deterministic, so they are tight):
+# the EEVDF + re-weighting path must at least halve the latency tenant's
+# p99, and the batch floods keep >= 80% of their plain-sharing
+# throughput (measured loss is ~0: the request work is conserved, only
+# its placement in time moves).
+QOS_MAX_P99_RATIO = 0.5
+QOS_MIN_BATCH_RATIO = 0.8
+
+
+def check_qos_mixed(doc, reference):
+    """The latency-QoS acceptance facts on the mixed scenario."""
+    errors = []
+    q = doc.get("qos_mixed")
+    if q is None:
+        if reference.get("qos_mixed"):
+            errors.append("qos_mixed section missing")
+        return errors
+    # No vacuous pass: the gate below divides measured percentiles, so
+    # both runs must actually have sampled latency requests.
+    if q["latency_ops"] <= 0:
+        errors.append("qos_mixed: no latency requests measured")
+        return errors
+    base, qos = q["baseline"], q["qos"]
+    if base["p99_us"] <= 0 or qos["p99_us"] <= 0:
+        errors.append(
+            "qos_mixed: zero p99 (baseline {:.3f} us, qos {:.3f} us) — "
+            "the ratio gate would be vacuous".format(
+                base["p99_us"], qos["p99_us"]))
+        return errors
+    if q["p99_ratio"] > QOS_MAX_P99_RATIO:
+        errors.append(
+            "qos_mixed: QoS p99 {:.2f} us is {:.3f}x the plain-sharing "
+            "{:.2f} us; must be <= {:.1f}x".format(
+                qos["p99_us"], q["p99_ratio"], base["p99_us"],
+                QOS_MAX_P99_RATIO))
+    if q["batch_ratio"] < QOS_MIN_BATCH_RATIO:
+        errors.append(
+            "qos_mixed: batch throughput kept only {:.1%} of the "
+            "plain-sharing run; must keep >= {:.0%}".format(
+                q["batch_ratio"], QOS_MIN_BATCH_RATIO))
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("fresh", help="freshly generated BENCH_scheduler.json")
@@ -361,6 +411,7 @@ def main():
     failures.extend(check_concurrent_ingest(fresh, ref))
     failures.extend(check_solver_scaling(fresh, ref))
     failures.extend(check_tenant_waterfill(fresh, ref))
+    failures.extend(check_qos_mixed(fresh, ref))
 
     if failures:
         print("\nbench_check FAILED:")

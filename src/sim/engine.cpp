@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <sstream>
+#include <tuple>
 
 namespace psched::sim {
 
@@ -167,6 +168,25 @@ void Engine::set_tenant_weight(TenantId t, double weight) {
       }
     }
   }
+}
+
+void Engine::set_tenant_qos(TenantId t, bool eligible, TimeUs vdeadline) {
+  if (t < 0 || t >= kMaxTenants) {
+    throw ApiError("set_tenant_qos: invalid tenant " + std::to_string(t));
+  }
+  if (tenant_eligible_.size() <= static_cast<std::size_t>(t)) {
+    tenant_eligible_.resize(static_cast<std::size_t>(t) + 1, 1);
+    tenant_deadline_.resize(static_cast<std::size_t>(t) + 1, kTimeInfinity);
+  }
+  tenant_eligible_[static_cast<std::size_t>(t)] = eligible ? 1 : 0;
+  tenant_deadline_[static_cast<std::size_t>(t)] = vdeadline;
+  qos_active_ = true;
+}
+
+void Engine::clear_tenant_qos() {
+  tenant_eligible_.clear();
+  tenant_deadline_.clear();
+  qos_active_ = false;
 }
 
 double Engine::tenant_weight(TenantId t) const {
@@ -1017,7 +1037,27 @@ void Engine::drain_ready() {
   while (!ready_.empty()) {
     batch.clear();
     batch.swap(ready_);
-    std::sort(batch.begin(), batch.end());
+    if (!qos_active_) {
+      std::sort(batch.begin(), batch.end());
+    } else {
+      // EEVDF sweep: eligible tenants first, earliest virtual deadline
+      // next, stream id as the deterministic tie-break. Tenants without a
+      // published key rank eligible at infinite deadline, so unmanaged
+      // streams keep their relative order.
+      const auto key = [this](StreamId s) {
+        const TenantId t = streams_[static_cast<std::size_t>(s)].tenant;
+        int rank = 0;
+        TimeUs deadline = kTimeInfinity;
+        if (t >= 0 &&
+            static_cast<std::size_t>(t) < tenant_eligible_.size()) {
+          rank = tenant_eligible_[static_cast<std::size_t>(t)] ? 0 : 1;
+          deadline = tenant_deadline_[static_cast<std::size_t>(t)];
+        }
+        return std::make_tuple(rank, deadline, s);
+      };
+      std::sort(batch.begin(), batch.end(),
+                [&key](StreamId a, StreamId b) { return key(a) < key(b); });
+    }
     for (const StreamId s : batch) {
       streams_[static_cast<std::size_t>(s)].pending = false;
       check_stream_head(s);

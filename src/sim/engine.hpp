@@ -186,6 +186,23 @@ class Engine {
   /// hot path.
   [[nodiscard]] double tenant_inflight_work(TenantId t) const;
 
+  // --- QoS ready-head ordering (EEVDF; see sim/qos.hpp for the policy) ---
+  /// Publish tenant `t`'s EEVDF key: whether it is *eligible* (service lag
+  /// >= 0 — it has received no more than its entitled weighted share) and
+  /// its current virtual deadline. While any key is published, the ready-
+  /// head sweep in drain_ready() visits same-instant candidate streams in
+  /// (eligible first, earliest deadline, stream id) order instead of pure
+  /// ascending stream id — so an eligible latency-critical tenant's op
+  /// wins contended sequential resources (DMA copy-engine handover) over a
+  /// heavier but later-deadline batch tenant. Tenants without a key rank
+  /// as eligible at infinite deadline. The keys order *dispatch* only;
+  /// rate splitting stays with the weighted fair-share solver.
+  void set_tenant_qos(TenantId t, bool eligible, TimeUs vdeadline);
+  /// Drop every published key and restore the pure stream-id sweep —
+  /// bit-identical to an engine that never saw QoS.
+  void clear_tenant_qos();
+  [[nodiscard]] bool qos_active() const { return qos_active_; }
+
   // --- host-side API (host_time is the caller's current virtual time) ---
   /// Enqueue an op on `op.stream`; returns its id. The op executes on the
   /// stream's device; CopyP2P ops must carry a valid `peer` source device.
@@ -691,6 +708,15 @@ class Engine {
   /// engines (every stream tenant 0) skip the per-solve tenant-
   /// uniformity scan on this one branch — tenancy costs them nothing.
   bool tenancy_active_ = false;
+
+  // --- QoS ready-head keys (EEVDF; published by QosManager) ---
+  /// Indexed by TenantId; gap defaults are eligible / infinite deadline,
+  /// so unmanaged tenants sort exactly where they always did relative to
+  /// each other. Consulted only while qos_active_ — runs that never
+  /// publish a key keep the pure stream-id sweep bit-for-bit.
+  std::vector<char> tenant_eligible_;
+  std::vector<TimeUs> tenant_deadline_;
+  bool qos_active_ = false;
 
   long solve_count_ = 0;
   long solved_ops_ = 0;

@@ -4,6 +4,8 @@
 #include <exception>
 #include <utility>
 
+#include "sim/qos.hpp"
+
 namespace psched::sim {
 
 namespace {
@@ -61,6 +63,10 @@ struct IngestService::Shard {
   TimeUs floor = 0;
 
   std::atomic<long> items{0}, batches{0}, ops{0}, clamped{0}, errors{0};
+  /// Admission-control outcomes on the producer side: submissions turned
+  /// away with AdmissionError, and over-limit fire-and-forget posts that
+  /// were queued anyway (deferred — the producer cannot observe a throw).
+  std::atomic<long> rejected{0}, deferred{0};
 };
 
 IngestService::IngestService(GpuRuntime& rt, Config cfg)
@@ -139,8 +145,47 @@ IngestStats IngestService::stats() const {
     out.ops += s->ops.load(std::memory_order_relaxed);
     out.clamped += s->clamped.load(std::memory_order_relaxed);
     out.errors += s->errors.load(std::memory_order_relaxed);
+    out.rejected += s->rejected.load(std::memory_order_relaxed);
+    out.deferred += s->deferred.load(std::memory_order_relaxed);
   }
   return out;
+}
+
+IngestShardStats IngestService::shard_stats(int shard) const {
+  if (shard < 0 || shard >= shards_count_) {
+    throw ApiError("shard_stats: invalid shard " + std::to_string(shard));
+  }
+  const Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  IngestShardStats out;
+  out.items = s.items.load(std::memory_order_relaxed);
+  out.batches = s.batches.load(std::memory_order_relaxed);
+  out.ops = s.ops.load(std::memory_order_relaxed);
+  out.clamped = s.clamped.load(std::memory_order_relaxed);
+  out.errors = s.errors.load(std::memory_order_relaxed);
+  out.rejected = s.rejected.load(std::memory_order_relaxed);
+  out.deferred = s.deferred.load(std::memory_order_relaxed);
+  return out;
+}
+
+/// Producer-side admission gate: with a QoS policy attached, check the
+/// tenant's bounds counting the shard's queued backlog toward depth.
+/// `defer` selects the fire-and-forget contract (count + admit) over the
+/// token contract (count + rethrow AdmissionError).
+void IngestService::check_admission(Shard& s, TenantId tenant, bool defer,
+                                    const char* call) {
+  QosManager* q = rt_->qos();
+  if (q == nullptr) return;
+  try {
+    q->check_admission(tenant, s.queued.load(std::memory_order_acquire),
+                       call);
+  } catch (const AdmissionError&) {
+    if (defer) {
+      s.deferred.fetch_add(1, std::memory_order_relaxed);
+      return;  // fire-and-forget: note the backlog, queue anyway
+    }
+    s.rejected.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -397,6 +442,8 @@ void IngestService::help_drain(Shard& s) {
 
 std::future<OpId> IngestService::submit(TenantId tenant, Op op,
                                         TimeUs host_time) {
+  Shard& s = shard_for(tenant);
+  check_admission(s, tenant, /*defer=*/false, "IngestService::submit");
   Item* it = new Item;
   it->kind = Item::Kind::Op;
   it->tenant = tenant;
@@ -404,17 +451,19 @@ std::future<OpId> IngestService::submit(TenantId tenant, Op op,
   it->host_time = host_time;
   it->want_token = true;
   std::future<OpId> token = it->op_token.get_future();
-  push(shard_for(tenant), it);
+  push(s, it);
   return token;
 }
 
 void IngestService::post(TenantId tenant, Op op, TimeUs host_time) {
+  Shard& s = shard_for(tenant);
+  check_admission(s, tenant, /*defer=*/true, "IngestService::post");
   Item* it = new Item;
   it->kind = Item::Kind::Op;
   it->tenant = tenant;
   it->op = std::move(op);
   it->host_time = host_time;
-  push(shard_for(tenant), it);
+  push(s, it);
 }
 
 void IngestService::post_record(TenantId tenant, EventId event,

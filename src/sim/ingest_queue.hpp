@@ -72,6 +72,19 @@ struct IngestStats {
   long ops = 0;      ///< engine ops those batches carried
   long clamped = 0;  ///< producer host times raised by the monotone floor
   long errors = 0;   ///< recoverable per-item errors surfaced to tokens
+  long rejected = 0;  ///< submissions turned away by admission control
+  long deferred = 0;  ///< over-limit fire-and-forget posts (still queued)
+};
+
+/// Per-shard view of the same counters (IngestService::shard_stats()).
+struct IngestShardStats {
+  long items = 0;
+  long batches = 0;
+  long ops = 0;
+  long clamped = 0;
+  long errors = 0;
+  long rejected = 0;
+  long deferred = 0;
 };
 
 class IngestService {
@@ -98,9 +111,17 @@ class IngestService {
   // --- producer API: callable from any OS thread ---
   /// Enqueue a raw engine op stamped with the producer's host time
   /// (clamped monotone per shard at drain). The token resolves with the
-  /// assigned OpId once the op's drain batch has committed.
+  /// assigned OpId once the op's drain batch has committed. With a
+  /// QosManager attached to the runtime, the tenant's admission bounds
+  /// are checked first (the shard's queued backlog counts toward depth):
+  /// an over-limit submit throws AdmissionError *before* anything is
+  /// queued — counted in the shard's `rejected` — and the producer can
+  /// resubmit once the backlog drains.
   std::future<OpId> submit(TenantId tenant, Op op, TimeUs host_time);
-  /// Fire-and-forget forms (no promise allocation on the hot path).
+  /// Fire-and-forget forms (no promise allocation on the hot path). An
+  /// over-limit post cannot surface an error to its producer, so it is
+  /// *deferred* instead of rejected: counted in the shard's `deferred`
+  /// and queued anyway (the backlog signal, not a drop).
   void post(TenantId tenant, Op op, TimeUs host_time);
   void post_record(TenantId tenant, EventId event, StreamId stream,
                    TimeUs host_time);
@@ -138,12 +159,19 @@ class IngestService {
   /// True on an ingest thread of *this* service (drain-executed closures).
   [[nodiscard]] bool on_ingest_thread() const;
   [[nodiscard]] IngestStats stats() const;
+  /// One shard's counters (ApiError on an out-of-range shard index).
+  [[nodiscard]] IngestShardStats shard_stats(int shard) const;
 
  private:
   struct Item;
   struct Shard;
 
   [[nodiscard]] Shard& shard_for(TenantId tenant);
+  /// Producer-side admission gate (see submit/post). Throws
+  /// AdmissionError (counted in `rejected`) unless `defer`, which counts
+  /// the over-limit item in `deferred` and admits it.
+  void check_admission(Shard& s, TenantId tenant, bool defer,
+                       const char* call);
   void push(Shard& s, Item* it);
   [[nodiscard]] Item* pop(Shard& s);
   void run_shard(Shard& s);

@@ -1,5 +1,7 @@
 #include "sim/profiler.hpp"
 
+#include "sim/qos.hpp"
+
 namespace psched::sim {
 
 HwMetrics Profiler::compute(const Timeline& timeline, const DeviceSpec& spec) {
@@ -50,6 +52,29 @@ std::vector<SolverClassReport> Profiler::solver_report(const Engine& engine) {
       if (s.solves == 0 && s.full_scans == 0) continue;
       rows.push_back({src, dst, OpKind::CopyP2P, s});
     }
+  }
+  return rows;
+}
+
+std::vector<QosTenantReport> Profiler::qos_report(const QosManager& qos) {
+  std::vector<QosTenantReport> rows;
+  const std::size_t n = qos.num_tenants();
+  rows.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const QosTenantStats s = qos.stats(static_cast<TenantId>(t));
+    QosTenantReport r;
+    r.tenant = s.tenant;
+    r.service_class = s.service_class;
+    r.target_p99_us = s.target_p99_us;
+    r.p50_us = s.p50_us;
+    r.p99_us = s.p99_us;
+    r.samples = s.completed;
+    r.lag_us = s.lag_us;
+    r.eligible = s.eligible;
+    r.deadline_misses = s.deadline_misses;
+    r.admission_rejections = s.admission_rejections;
+    r.weight = s.weight;
+    rows.push_back(r);
   }
   return rows;
 }

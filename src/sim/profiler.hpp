@@ -38,6 +38,24 @@ struct SolverClassReport {
   Engine::SolverClassStats stats;
 };
 
+class QosManager;  // qos.hpp
+
+/// Per-tenant latency QoS row (completion-latency histogram percentiles
+/// plus the EEVDF / admission state), for the qos_report below.
+struct QosTenantReport {
+  TenantId tenant = kInvalidTenant;
+  ServiceClass service_class = ServiceClass::Batch;
+  double target_p99_us = 0;
+  double p50_us = 0;      ///< observed completion-latency median
+  double p99_us = 0;      ///< observed completion-latency p99
+  long samples = 0;       ///< completions the percentiles summarize
+  double lag_us = 0;      ///< entitled minus received service
+  bool eligible = true;
+  long deadline_misses = 0;
+  long admission_rejections = 0;
+  double weight = 0;      ///< current engine weight (controller boost)
+};
+
 class Profiler {
  public:
   /// Aggregate counters over the run recorded in `timeline`.
@@ -54,6 +72,13 @@ class Profiler {
   /// virtual-service path.
   [[nodiscard]] static std::vector<SolverClassReport> solver_report(
       const Engine& engine);
+
+  /// Per-tenant latency QoS rows from an attached QosManager: the
+  /// completion-latency histograms (p50/p99 since the last reset_stats),
+  /// the live lag/eligibility state, deadline misses and admission
+  /// rejections — one row per registered tenant, id order.
+  [[nodiscard]] static std::vector<QosTenantReport> qos_report(
+      const QosManager& qos);
 };
 
 }  // namespace psched::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace psched::sim {
 
@@ -115,6 +116,12 @@ void ResourceModel::max_min_fair_into(const std::vector<double>& demands,
                                       double capacity,
                                       std::vector<double>& alloc) const {
   water_fill(demands, capacity, alloc, mmf_unsat_, mmf_next_);
+}
+
+double ResourceModel::weight_for_share(double share, double other_weight_sum) {
+  if (!(share > 0)) return 0;
+  if (share >= 1.0) return std::numeric_limits<double>::infinity();
+  return share / (1.0 - share) * other_weight_sum;
 }
 
 void ResourceModel::water_fill_budgets(const std::vector<double>& weight,

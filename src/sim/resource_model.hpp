@@ -109,6 +109,14 @@ class ResourceModel {
                                  std::vector<double>& budget,
                                  std::vector<char>& active);
 
+  /// Inverse of the proportional split: the weight a party needs for a
+  /// `share` fraction of a saturated class against competitors whose
+  /// weights sum to `other_weight_sum` — w = share/(1-share) * W_others.
+  /// The QoS controller uses it to bound latency-class weight boosts so
+  /// batch tenants always keep a guaranteed sliver of the class.
+  [[nodiscard]] static double weight_for_share(double share,
+                                               double other_weight_sum);
+
   [[nodiscard]] const DeviceSpec& spec() const { return *spec_; }
 
  private:

@@ -5,6 +5,7 @@
 
 #include "sim/graph.hpp"
 #include "sim/ingest_queue.hpp"
+#include "sim/qos.hpp"
 
 namespace psched::sim {
 
@@ -73,6 +74,21 @@ void GpuRuntime::detach_ingest(IngestService* svc) {
   const auto gate = api_guard();
   if (ingest_.load(std::memory_order_relaxed) == svc) {
     ingest_.store(nullptr, std::memory_order_release);
+  }
+}
+
+void GpuRuntime::attach_qos(QosManager* qos) {
+  const auto gate = api_guard();
+  if (qos_.load(std::memory_order_relaxed) != nullptr) {
+    throw ApiError("attach_qos: a QoS manager is already attached");
+  }
+  qos_.store(qos, std::memory_order_release);
+}
+
+void GpuRuntime::detach_qos(QosManager* qos) {
+  const auto gate = api_guard();
+  if (qos_.load(std::memory_order_relaxed) == qos) {
+    qos_.store(nullptr, std::memory_order_release);
   }
 }
 
@@ -759,6 +775,12 @@ OpId GpuRuntime::launch(StreamId stream, const LaunchSpec& spec) {
   if (capture_ != nullptr) {
     capture_->on_captured_launch(stream, spec);
     return kInvalidOp;
+  }
+  // Admission control before any state changes: a rejected launch throws
+  // AdmissionError and leaves the host clock, batch and engine untouched,
+  // so the caller can back off and retry once the backlog drains.
+  if (QosManager* q = qos_.load(std::memory_order_acquire)) {
+    q->check_admission(active_tenant(), 0, "launch");
   }
   note_api_call();
   const DeviceId dev = engine_.stream_device(stream);

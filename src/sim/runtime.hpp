@@ -82,6 +82,7 @@ struct LaunchSpec {
 
 class TaskGraph;      // graph.hpp
 class IngestService;  // ingest_queue.hpp
+class QosManager;     // qos.hpp
 
 class GpuRuntime {
  public:
@@ -262,6 +263,17 @@ class GpuRuntime {
   /// never invisibly in flight at a host observation point.
   void flush_ingest(TenantId tenant);
 
+  // --- latency QoS (see sim/qos.hpp) ---
+  /// Called by QosManager's constructor / destructor. While attached,
+  /// launch() runs the manager's admission check for the ambient tenant
+  /// before any state changes — a rejected launch throws AdmissionError
+  /// and leaves the runtime untouched.
+  void attach_qos(QosManager* qos);
+  void detach_qos(QosManager* qos);
+  [[nodiscard]] QosManager* qos() const {
+    return qos_.load(std::memory_order_acquire);
+  }
+
   // --- introspection ---
   [[nodiscard]] Engine& engine() { return engine_; }
   [[nodiscard]] const Engine& engine() const { return engine_; }
@@ -427,6 +439,9 @@ class GpuRuntime {
   /// Engine gate + attached concurrent front-end (see api_guard()).
   mutable std::recursive_mutex api_mu_;
   std::atomic<IngestService*> ingest_{nullptr};
+  /// Attached QoS policy; atomic so ingest producer threads can consult
+  /// it lock-free at submission time (same pattern as ingest_).
+  std::atomic<QosManager*> qos_{nullptr};
   TaskGraph* capture_ = nullptr;
   Submission* record_ = nullptr;
   bool record_owns_batch_ = false;

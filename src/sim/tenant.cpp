@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/ingest_queue.hpp"
+#include "sim/qos.hpp"
 
 namespace psched::sim {
 
@@ -40,7 +41,14 @@ void Tenant::free_array(ArrayId id) {
 
 OpId Tenant::launch(StreamId stream, const LaunchSpec& spec) {
   const auto gate = mgr_->gpu_->api_guard();
-  return gpu().launch(stream, spec);
+  GpuRuntime& rt = gpu();
+  const OpId id = rt.launch(stream, spec);
+  // Report the issue to the QoS policy (if one is attached) so completion
+  // latency and outstanding depth are tracked per tenant. launch() already
+  // ran the admission check and charged the host clock, so the stamp is
+  // the op's actual issue time.
+  if (mgr_->qos_ != nullptr) mgr_->qos_->on_op_issued(id_, id, rt.now());
+  return id;
 }
 
 OpId Tenant::mem_prefetch_async(ArrayId id, StreamId stream) {
@@ -137,6 +145,25 @@ void TenantManager::attach_ingest(IngestService& svc) {
   }
 }
 
+void TenantManager::attach_qos(QosManager& qos) {
+  if (qos_ != nullptr) {
+    throw ApiError("attach_qos: a QoS manager is already attached");
+  }
+  for (const auto& t : tenants_) qos.register_tenant(t->id_, t->spec_);
+  qos_ = &qos;
+}
+
+void TenantManager::detach_qos(QosManager& qos) {
+  if (qos_ == &qos) qos_ = nullptr;
+}
+
+QosTenantStats Tenant::qos_stats() const {
+  if (mgr_->qos_ == nullptr) {
+    throw ApiError("qos_stats: no QoS manager attached");
+  }
+  return mgr_->qos_->stats(id_);
+}
+
 long Tenant::ops_completed() const {
   return mgr_->gpu_->engine().tenant_completed_ops(id_);
 }
@@ -169,6 +196,17 @@ std::size_t Tenant::device_bytes_used(DeviceId d) const {
 Tenant& TenantManager::create_tenant(TenantSpec spec) {
   const auto id = static_cast<TenantId>(tenants_.size());
   if (spec.name.empty()) spec.name = "tenant" + std::to_string(id);
+  // Class-config validation up front (before any state changes), whether
+  // or not a QoS manager is attached yet: a latency class without a
+  // target is meaningless and would otherwise surface only at attach.
+  if (spec.service_class == ServiceClass::LatencyCritical &&
+      !(spec.target_p99_us > 0)) {
+    throw QosError("create_tenant: LatencyCritical tenant " +
+                       std::to_string(id) +
+                       " needs a positive target_p99_us (got " +
+                       std::to_string(spec.target_p99_us) + ")",
+                   id);
+  }
   gpu_->engine().set_tenant_weight(id, spec.weight);
   if (spec.device_quota_bytes != MemoryManager::kNoQuota) {
     for (DeviceId d = 0; d < gpu_->num_devices(); ++d) {
@@ -181,6 +219,7 @@ Tenant& TenantManager::create_tenant(TenantSpec spec) {
   if (ingest_ != nullptr && t.spec_.ingest_shard >= 0) {
     ingest_->assign_shard(id, t.spec_.ingest_shard);
   }
+  if (qos_ != nullptr) qos_->register_tenant(id, t.spec_);
   return t;
 }
 

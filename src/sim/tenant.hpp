@@ -55,9 +55,19 @@ struct TenantSpec {
   /// Ingest shard this tenant's queued work drains through once an
   /// IngestService is attached (-1 = the service's modulo default).
   int ingest_shard = -1;
+  /// Latency service class (see sim/qos.hpp). Batch tenants are the
+  /// historical behaviour; LatencyCritical tenants must declare a
+  /// positive p99 completion-latency target below, enforced by an
+  /// attached QosManager (QosError at create_tenant otherwise).
+  ServiceClass service_class = ServiceClass::Batch;
+  /// p99 completion-latency target in microseconds (LatencyCritical
+  /// only; ignored for Batch).
+  double target_p99_us = 0;
 };
 
 class TenantManager;
+class QosManager;      // qos.hpp
+struct QosTenantStats;  // qos.hpp
 
 /// A GpuRuntime-like handle owned by one application. Every forwarded
 /// call activates this tenant on the shared runtime first.
@@ -115,6 +125,13 @@ class Tenant {
   [[nodiscard]] std::size_t bytes_evicted(DeviceId d) const;
   [[nodiscard]] std::size_t bytes_evicted() const;  ///< roster total
   [[nodiscard]] std::size_t device_bytes_used(DeviceId d) const;
+  [[nodiscard]] ServiceClass service_class() const {
+    return spec_.service_class;
+  }
+  /// Live QoS view of this tenant — service lag, eligibility, deadline
+  /// misses, outstanding depth — so admission behaviour is observable
+  /// without a profiler attached. ApiError if no QosManager is attached.
+  [[nodiscard]] QosTenantStats qos_stats() const;
   /// Streams this handle created (e.g. for engine-level assertions).
   [[nodiscard]] const std::vector<StreamId>& streams() const {
     return streams_;
@@ -161,6 +178,13 @@ class TenantManager {
   void attach_ingest(IngestService& svc);
   [[nodiscard]] IngestService* ingest() const { return ingest_; }
 
+  /// Called by QosManager's constructor / destructor: registers every
+  /// existing (and future) tenant's service class with the QoS subsystem
+  /// and enables the handles' qos_stats() surface.
+  void attach_qos(QosManager& qos);
+  void detach_qos(QosManager& qos);
+  [[nodiscard]] QosManager* qos() const { return qos_; }
+
   /// Jain's fairness index over per-tenant values: 1 = perfectly fair,
   /// 1/n = maximally unfair. Empty/zero input yields 1.
   [[nodiscard]] static double jain_index(std::span<const double> xs);
@@ -171,6 +195,7 @@ class TenantManager {
   friend class Tenant;
   GpuRuntime* gpu_;
   IngestService* ingest_ = nullptr;
+  QosManager* qos_ = nullptr;
   std::vector<std::unique_ptr<Tenant>> tenants_;
 };
 

@@ -96,6 +96,76 @@ class TransactionError : public ApiError {
   std::size_t pending_ops;
 };
 
+/// Latency service class a tenant declares in its TenantSpec. Batch
+/// tenants want throughput (their fair share, eventually); LatencyCritical
+/// tenants additionally declare a p99 completion-latency target that the
+/// QoS subsystem (sim/qos.hpp) enforces with virtual deadlines, feedback
+/// re-weighting and admission control.
+enum class ServiceClass {
+  Batch,            ///< throughput-oriented; no latency target
+  LatencyCritical,  ///< declares target_p99_us; EEVDF deadline = target
+};
+
+[[nodiscard]] inline const char* to_string(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::Batch: return "batch";
+    case ServiceClass::LatencyCritical: return "latency_critical";
+  }
+  return "?";
+}
+
+/// Raised on an invalid QoS configuration: a LatencyCritical tenant with a
+/// non-positive p99 target, admission limits on an unknown tenant, and the
+/// like. Thrown before any state changes, so the caller can fix the spec
+/// and retry.
+class QosError : public ApiError {
+ public:
+  QosError(const std::string& what, TenantId tenant_)
+      : ApiError(what), tenant(tenant_) {}
+
+  TenantId tenant = kInvalidTenant;
+};
+
+/// Raised when admission control turns work away at saturation: the
+/// tenant's outstanding queue depth or service lag exceeded its configured
+/// bound. Structured (who, which class, how deep, how far behind) and —
+/// like TransactionError — recoverable: the throw happens before any
+/// engine or queue state changes, so the producer can back off and
+/// resubmit once the backlog drains.
+class AdmissionError : public ApiError {
+ public:
+  AdmissionError(const char* call_, TenantId tenant_, ServiceClass cls_,
+                 long queue_depth_, long depth_limit_, double lag_us_,
+                 double lag_limit_us_)
+      : ApiError(std::string(call_) + ": admission rejected for tenant " +
+                 std::to_string(tenant_) + " (" + to_string(cls_) + "): " +
+                 (depth_limit_ >= 0 && queue_depth_ >= depth_limit_
+                      ? "queue depth " + std::to_string(queue_depth_) +
+                            " >= limit " + std::to_string(depth_limit_)
+                      : "lag " + std::to_string(lag_us_) + "us > limit " +
+                            std::to_string(lag_limit_us_) + "us")),
+        call(call_),
+        tenant(tenant_),
+        service_class(cls_),
+        queue_depth(queue_depth_),
+        depth_limit(depth_limit_),
+        lag_us(lag_us_),
+        lag_limit_us(lag_limit_us_) {}
+
+  /// The rejecting entry point (static string: "submit", "launch", ...).
+  const char* call;
+  TenantId tenant;
+  ServiceClass service_class;
+  /// Outstanding items (issued + queued, not yet completed) at the throw.
+  long queue_depth;
+  /// Configured depth bound (-1 = unbounded; depth did not trip).
+  long depth_limit;
+  /// Service lag (entitled minus received, in solo-us) at the throw.
+  double lag_us;
+  /// Configured lag bound (-1 = unbounded; lag did not trip).
+  double lag_limit_us;
+};
+
 /// Raised when a memory demand cannot be satisfied even after eviction.
 /// Device memory is oversubscribable (the paged unified-memory model evicts
 /// LRU pages to make room), so this fires only when the working set of a
